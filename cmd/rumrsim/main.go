@@ -1,0 +1,193 @@
+// Command rumrsim simulates one divisible-workload execution on a
+// homogeneous star platform and prints the makespan, per-chunk schedule
+// statistics and an ASCII Gantt chart.
+//
+// Examples:
+//
+//	rumrsim -algo rumr -n 20 -r 1.5 -clat 0.3 -nlat 0.3 -error 0.3
+//	rumrsim -algo umr -n 10 -b 30 -w 5000 -gantt=false
+//	rumrsim -algo all -n 20 -r 1.8 -clat 0.3 -nlat 0.9 -error 0.2 -reps 40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"rumr"
+	"rumr/internal/stats"
+)
+
+// traceFlags bundle the trace-output options.
+type traceFlags struct {
+	csv   string
+	json  string
+	stats bool
+}
+
+func main() {
+	var (
+		algo      = flag.String("algo", "rumr", "scheduler: rumr, rumr-fixed<pct>, rumr-plain, rumr-adaptive, umr, mi<x>, factoring, wfactoring, fsc, gss, tss, selfsched, or 'all'")
+		n         = flag.Int("n", 20, "number of workers")
+		r         = flag.Float64("r", 1.5, "bandwidth ratio: B = r*N (ignored when -b is set)")
+		b         = flag.Float64("b", 0, "link rate B in units/s (overrides -r)")
+		s         = flag.Float64("s", 1, "worker speed S in units/s")
+		cLat      = flag.Float64("clat", 0.3, "computation latency in seconds")
+		nLat      = flag.Float64("nlat", 0.3, "transfer latency in seconds")
+		total     = flag.Float64("w", 1000, "total workload in units")
+		errMag    = flag.Float64("error", 0, "prediction-error magnitude (sd of the predicted/effective ratio)")
+		unknown   = flag.Bool("unknown-error", false, "hide the error magnitude from the scheduler")
+		uniform   = flag.Bool("uniform", false, "use the uniform error model instead of the truncated normal")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		reps      = flag.Int("reps", 1, "repetitions (reports mean and sd when > 1)")
+		parallel  = flag.Int("parallel", 1, "concurrent master transfers (1 = the paper's serialised port)")
+		gantt     = flag.Bool("gantt", true, "print an ASCII Gantt chart (single repetition only)")
+		width     = flag.Int("width", 100, "gantt width in characters")
+		traceCSV  = flag.String("trace-csv", "", "write the per-chunk trace as CSV to this file")
+		traceJSON = flag.String("trace-json", "", "write the per-chunk trace as JSON to this file")
+		showStats = flag.Bool("stats", false, "print schedule statistics (utilization, gaps, phases)")
+	)
+	flag.Parse()
+
+	bw := *b
+	if bw <= 0 {
+		bw = *r * float64(*n)
+	}
+	p := rumr.HomogeneousPlatform(*n, *s, bw, *cLat, *nLat)
+
+	names := []string{*algo}
+	if *algo == "all" {
+		names = []string{"rumr", "rumr-adaptive", "umr", "mi1", "mi2", "mi3", "mi4", "factoring", "fsc", "gss", "tss", "wfactoring"}
+	}
+	for _, name := range names {
+		s, err := schedulerByName(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rumrsim:", err)
+			os.Exit(2)
+		}
+		tf := traceFlags{csv: *traceCSV, json: *traceJSON, stats: *showStats}
+		if err := run(p, s, *total, *errMag, *unknown, *uniform, *parallel, *seed, *reps, *gantt && *algo != "all", *width, tf); err != nil {
+			fmt.Fprintln(os.Stderr, "rumrsim:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// schedulerByName resolves the -algo flag.
+func schedulerByName(name string) (rumr.Scheduler, error) {
+	switch {
+	case name == "rumr":
+		return rumr.RUMR(), nil
+	case name == "rumr-plain":
+		return rumr.RUMRPlainPhase1(), nil
+	case name == "rumr-adaptive":
+		return rumr.RUMRAdaptive(), nil
+	case strings.HasPrefix(name, "rumr-fixed"):
+		pct, err := strconv.Atoi(strings.TrimPrefix(name, "rumr-fixed"))
+		if err != nil || pct <= 0 || pct > 100 {
+			return nil, fmt.Errorf("bad fixed split in %q", name)
+		}
+		return rumr.RUMRFixedSplit(float64(pct) / 100), nil
+	case name == "umr":
+		return rumr.UMR(), nil
+	case strings.HasPrefix(name, "mi"):
+		x, err := strconv.Atoi(strings.TrimPrefix(name, "mi"))
+		if err != nil || x < 1 {
+			return nil, fmt.Errorf("bad installment count in %q", name)
+		}
+		return rumr.MI(x), nil
+	case name == "factoring":
+		return rumr.Factoring(), nil
+	case name == "fsc":
+		return rumr.FSC(), nil
+	case name == "selfsched":
+		return rumr.SelfScheduling(0), nil
+	case name == "gss":
+		return rumr.GSS(), nil
+	case name == "tss":
+		return rumr.TSS(), nil
+	case name == "wfactoring":
+		return rumr.WeightedFactoring(), nil
+	}
+	return nil, fmt.Errorf("unknown scheduler %q", name)
+}
+
+func run(p *rumr.Platform, s rumr.Scheduler, total, errMag float64, unknown, uniform bool, parallel int, seed uint64, reps int, gantt bool, width int, tf traceFlags) error {
+	needTrace := (gantt || tf.csv != "" || tf.json != "" || tf.stats) && reps == 1
+	opts := rumr.SimOptions{Error: errMag, Seed: seed, RecordTrace: needTrace, ParallelSends: parallel}
+	if uniform {
+		opts.Model = rumr.UniformError
+	}
+	if unknown {
+		u := -1.0
+		opts.SchedulerError = &u
+	}
+	var mks, chunks []float64
+	var last rumr.Result
+	for rep := 0; rep < reps; rep++ {
+		opts.Seed = seed + uint64(rep)
+		res, err := rumr.Simulate(p, s, total, opts)
+		if err != nil {
+			return err
+		}
+		mks = append(mks, res.Makespan)
+		chunks = append(chunks, float64(res.Chunks))
+		last = res
+	}
+	sort.Float64s(mks)
+	fmt.Printf("%-14s makespan %.4f", s.Name(), stats.Mean(mks))
+	if reps > 1 {
+		fmt.Printf(" ± %.4f (sd over %d reps, min %.4f max %.4f)",
+			stats.StdDev(mks), reps, mks[0], mks[len(mks)-1])
+	}
+	fmt.Printf("   chunks %.0f\n", stats.Mean(chunks))
+	if last.Trace != nil {
+		if err := last.Trace.Validate(p, total); err != nil {
+			return fmt.Errorf("schedule failed validation: %w", err)
+		}
+		if gantt {
+			fmt.Print(rumr.Gantt(last.Trace, p.N(), width))
+		}
+		if tf.stats {
+			st := last.Trace.ComputeStats(p.N())
+			fmt.Printf("  port utilization %.1f%%   mean worker utilization %.1f%%   mean idle gap %.3fs\n",
+				100*st.PortUtilization, 100*st.MeanWorkerUtilization, st.MeanIdleGap)
+			fmt.Printf("  chunk sizes [%.3g, %.3g]", st.ChunkSizeMin, st.ChunkSizeMax)
+			for _, ph := range last.Trace.Phases() {
+				span := last.Trace.PhaseTimeline()[ph]
+				fmt.Printf("   phase %d: %.3g units over t=[%.4g, %.4g]", ph, st.PhaseWork[ph], span[0], span[1])
+			}
+			fmt.Println()
+		}
+		if tf.csv != "" {
+			f, err := os.Create(tf.csv)
+			if err != nil {
+				return err
+			}
+			if err := last.Trace.WriteCSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+		if tf.json != "" {
+			f, err := os.Create(tf.json)
+			if err != nil {
+				return err
+			}
+			if err := last.Trace.WriteJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

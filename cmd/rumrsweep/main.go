@@ -1,0 +1,346 @@
+// Command rumrsweep reproduces the paper's evaluation (§5): it sweeps the
+// experimental grid and regenerates Tables 2-3 and Figures 4(a), 4(b), 5,
+// 6 and 7, printing them to stdout and optionally writing CSVs.
+//
+// By default it runs every artifact on the laptop-sized ReducedGrid
+// (minutes). Select artifacts with flags, and grids with -smoke (seconds)
+// or -full (the complete Table 1 grid — hours of CPU):
+//
+//	rumrsweep                    # everything, reduced grid
+//	rumrsweep -table2 -table3    # just the tables
+//	rumrsweep -fig5              # the Fig. 5 configuration (paper-exact)
+//	rumrsweep -full -out results # paper grid, CSVs under results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"rumr"
+	"rumr/internal/experiment"
+)
+
+type artifact struct {
+	name string
+	run  func(ctx *context) error
+}
+
+type context struct {
+	grid   rumr.Grid
+	opts   rumr.SweepOptions
+	outDir string
+	std    *rumr.SweepResults // cached standard-algorithm sweep
+}
+
+func main() {
+	var (
+		smoke   = flag.Bool("smoke", false, "use the seconds-scale smoke grid")
+		full    = flag.Bool("full", false, "use the complete Table 1 grid (hours of CPU)")
+		outDir  = flag.String("out", "", "directory to write CSV files into (optional)")
+		workers = flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
+		uniform = flag.Bool("uniform", false, "use the uniform error model (the paper's alternative)")
+		unknown = flag.Bool("unknown-error", false, "hide the error magnitude from the schedulers")
+		reps    = flag.Int("reps", 0, "override repetitions per cell")
+		quiet   = flag.Bool("q", false, "suppress progress output")
+
+		table2  = flag.Bool("table2", false, "Table 2: win percentages per error bucket")
+		table3  = flag.Bool("table3", false, "Table 3: wins by >= 10%")
+		fig4a   = flag.Bool("fig4a", false, "Fig 4(a): normalised makespans, whole grid")
+		fig4b   = flag.Bool("fig4b", false, "Fig 4(b): normalised makespans, cLat<0.3 nLat<0.3")
+		fig5    = flag.Bool("fig5", false, "Fig 5: the high-nLat single configuration")
+		fig6    = flag.Bool("fig6", false, "Fig 6: fixed phase-1 splits vs original RUMR")
+		fig7    = flag.Bool("fig7", false, "Fig 7: plain phase-1 vs original RUMR")
+		fsc     = flag.Bool("fsc", false, "FSC-vs-Factoring claim of §5.1")
+		umrBase = flag.Bool("umrbase", false, "UMR-vs-MI baseline claim of §3.2")
+		hetero  = flag.Bool("hetero", false, "heterogeneity study (beyond the paper)")
+	)
+	flag.Parse()
+
+	grid := experiment.ReducedGrid()
+	switch {
+	case *smoke && *full:
+		fmt.Fprintln(os.Stderr, "rumrsweep: -smoke and -full are mutually exclusive")
+		os.Exit(2)
+	case *smoke:
+		grid = experiment.SmokeGrid()
+	case *full:
+		grid = experiment.PaperGrid()
+	}
+	if *reps > 0 {
+		grid.Reps = *reps
+	}
+
+	opts := rumr.SweepOptions{Workers: *workers, UnknownError: *unknown}
+	if *uniform {
+		opts.Model = rumr.UniformError
+	}
+	if !*quiet {
+		opts.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d configurations", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+
+	ctx := &context{grid: grid, opts: opts, outDir: *outDir}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "rumrsweep:", err)
+			os.Exit(1)
+		}
+	}
+
+	all := []artifact{
+		{"table2", runTable2}, {"table3", runTable3},
+		{"fig4a", runFig4a}, {"fig4b", runFig4b}, {"fig5", runFig5},
+		{"fig6", runFig6}, {"fig7", runFig7},
+		{"fsc", runFSC}, {"umrbase", runUMRBase}, {"hetero", runHetero},
+	}
+	selected := map[string]bool{
+		"table2": *table2, "table3": *table3,
+		"fig4a": *fig4a, "fig4b": *fig4b, "fig5": *fig5,
+		"fig6": *fig6, "fig7": *fig7, "fsc": *fsc, "umrbase": *umrBase,
+		"hetero": *hetero,
+	}
+	any := false
+	for _, v := range selected {
+		any = any || v
+	}
+	start := time.Now()
+	for _, a := range all {
+		if any && !selected[a.name] {
+			continue
+		}
+		if err := a.run(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "rumrsweep: %s: %v\n", a.name, err)
+			os.Exit(1)
+		}
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "total %s (grid: %d configs x %d errors x %d reps)\n",
+			time.Since(start).Round(time.Millisecond),
+			len(grid.Configs()), len(grid.Errors), grid.Reps)
+	}
+}
+
+// standardSweep runs (or reuses) the sweep over the seven §5.1 algorithms.
+func (ctx *context) standardSweep() (*rumr.SweepResults, error) {
+	if ctx.std != nil {
+		return ctx.std, nil
+	}
+	res, err := rumr.Sweep(ctx.grid, ctx.opts)
+	if err != nil {
+		return nil, err
+	}
+	ctx.std = res
+	return res, nil
+}
+
+// writeCSV saves an artifact CSV when -out was given.
+func (ctx *context) writeCSV(name string, write func(f *os.File) error) error {
+	if ctx.outDir == "" {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(ctx.outDir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return write(f)
+}
+
+func runTable2(ctx *context) error {
+	res, err := ctx.standardSweep()
+	if err != nil {
+		return err
+	}
+	wt := rumr.ComputeWinTable(res, 0)
+	if err := rumr.WriteWinTable(os.Stdout, wt, "\nTable 2: % of experiments in which RUMR outperforms"); err != nil {
+		return err
+	}
+	fmt.Printf("Overall: RUMR outperforms competitors in %.1f%% of experiments (paper: 79%%)\n",
+		rumr.OverallWinPercent(res, 0))
+	return ctx.writeCSV("table2.csv", func(f *os.File) error {
+		return rumr.WriteWinTableCSV(f, wt, "")
+	})
+}
+
+func runTable3(ctx *context) error {
+	res, err := ctx.standardSweep()
+	if err != nil {
+		return err
+	}
+	wt := rumr.ComputeWinTable(res, 0.10)
+	if err := rumr.WriteWinTable(os.Stdout, wt, "\nTable 3: % of experiments in which RUMR outperforms by >= 10%"); err != nil {
+		return err
+	}
+	return ctx.writeCSV("table3.csv", func(f *os.File) error {
+		return rumr.WriteWinTableCSV(f, wt, "")
+	})
+}
+
+func runFig4a(ctx *context) error {
+	res, err := ctx.standardSweep()
+	if err != nil {
+		return err
+	}
+	cv := rumr.ComputeCurves(res, nil)
+	if err := rumr.WriteCurvesTable(os.Stdout, cv, "\nFig 4(a): makespan normalised to RUMR vs error (all parameters)"); err != nil {
+		return err
+	}
+	if err := rumr.WriteCurvesChart(os.Stdout, cv, ""); err != nil {
+		return err
+	}
+	if err := ctx.writeCSV("fig4a.csv", func(f *os.File) error {
+		return rumr.WriteCurvesCSV(f, cv, "")
+	}); err != nil {
+		return err
+	}
+	return ctx.writeCSV("fig4a.svg", func(f *os.File) error {
+		return rumr.WriteCurvesSVG(f, cv, "Fig 4(a): makespan normalised to RUMR vs error")
+	})
+}
+
+func runFig4b(ctx *context) error {
+	res, err := ctx.standardSweep()
+	if err != nil {
+		return err
+	}
+	cv := rumr.ComputeCurves(res, rumr.LowLatencyFilter)
+	if err := rumr.WriteCurvesTable(os.Stdout, cv, "\nFig 4(b): makespan normalised to RUMR vs error (cLat<0.3, nLat<0.3)"); err != nil {
+		return err
+	}
+	if err := ctx.writeCSV("fig4b.csv", func(f *os.File) error {
+		return rumr.WriteCurvesCSV(f, cv, "")
+	}); err != nil {
+		return err
+	}
+	return ctx.writeCSV("fig4b.svg", func(f *os.File) error {
+		return rumr.WriteCurvesSVG(f, cv, "Fig 4(b): cLat<0.3, nLat<0.3")
+	})
+}
+
+func runFig5(ctx *context) error {
+	// Fig 5 always uses its own paper-exact grid.
+	res, err := rumr.Sweep(rumr.Fig5Grid(), ctx.opts)
+	if err != nil {
+		return err
+	}
+	cv := rumr.ComputeCurves(res, nil)
+	if err := rumr.WriteCurvesTable(os.Stdout, cv, "\nFig 5: makespan normalised to RUMR vs error (cLat=0.3, nLat=0.9, N=20, B=36)"); err != nil {
+		return err
+	}
+	if err := rumr.WriteCurvesChart(os.Stdout, cv, ""); err != nil {
+		return err
+	}
+	if err := ctx.writeCSV("fig5.csv", func(f *os.File) error {
+		return rumr.WriteCurvesCSV(f, cv, "")
+	}); err != nil {
+		return err
+	}
+	return ctx.writeCSV("fig5.svg", func(f *os.File) error {
+		return rumr.WriteCurvesSVG(f, cv, "Fig 5: cLat=0.3, nLat=0.9, N=20, B=36")
+	})
+}
+
+func runFig6(ctx *context) error {
+	opts := ctx.opts
+	opts.Algorithms = experiment.Fig6Algorithms()
+	res, err := rumr.Sweep(ctx.grid, opts)
+	if err != nil {
+		return err
+	}
+	cv := rumr.ComputeCurves(res, nil)
+	if err := rumr.WriteCurvesTable(os.Stdout, cv, "\nFig 6: fixed phase-1 splits normalised to original RUMR"); err != nil {
+		return err
+	}
+	if err := ctx.writeCSV("fig6.csv", func(f *os.File) error {
+		return rumr.WriteCurvesCSV(f, cv, "")
+	}); err != nil {
+		return err
+	}
+	return ctx.writeCSV("fig6.svg", func(f *os.File) error {
+		return rumr.WriteCurvesSVG(f, cv, "Fig 6: fixed phase-1 splits vs original RUMR")
+	})
+}
+
+func runFig7(ctx *context) error {
+	opts := ctx.opts
+	opts.Algorithms = experiment.Fig7Algorithms()
+	res, err := rumr.Sweep(ctx.grid, opts)
+	if err != nil {
+		return err
+	}
+	cv := rumr.ComputeCurves(res, nil)
+	if err := rumr.WriteCurvesTable(os.Stdout, cv, "\nFig 7: plain (in-order) phase 1 normalised to original RUMR"); err != nil {
+		return err
+	}
+	if err := ctx.writeCSV("fig7.csv", func(f *os.File) error {
+		return rumr.WriteCurvesCSV(f, cv, "")
+	}); err != nil {
+		return err
+	}
+	return ctx.writeCSV("fig7.svg", func(f *os.File) error {
+		return rumr.WriteCurvesSVG(f, cv, "Fig 7: plain phase 1 vs original RUMR")
+	})
+}
+
+func runFSC(ctx *context) error {
+	opts := ctx.opts
+	opts.Algorithms = []rumr.Scheduler{rumr.Factoring(), rumr.FSC()}
+	res, err := rumr.Sweep(ctx.grid, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nFSC claim (§5.1): Factoring beats FSC in %.1f%% of experiments (paper: \"most\")\n",
+		rumr.OverallWinPercent(res, 0))
+	return nil
+}
+
+func runUMRBase(ctx *context) error {
+	grid := ctx.grid
+	grid.Errors = []float64{0}
+	grid.Reps = 1
+	opts := ctx.opts
+	opts.Algorithms = []rumr.Scheduler{rumr.UMR(), rumr.MI(1), rumr.MI(2), rumr.MI(3), rumr.MI(4)}
+	res, err := rumr.Sweep(grid, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nUMR baseline (§3.2): UMR beats MI-1..4 at error=0 in %.1f%% of experiments (paper: >95%%)\n",
+		rumr.OverallWinPercent(res, 0))
+	return nil
+}
+
+func runHetero(ctx *context) error {
+	g := experiment.DefaultHeteroGrid()
+	algos := []rumr.Scheduler{
+		rumr.RUMR(), rumr.UMR(), rumr.Factoring(), rumr.WeightedFactoring(),
+	}
+	res, err := experiment.RunHetero(g, algos)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nHeterogeneity study (beyond the paper): mean competitor/RUMR ratio")
+	fmt.Printf("%-8s", "spread")
+	for _, e := range g.Errors {
+		for _, a := range res.Algorithms {
+			fmt.Printf("  %s@%.1f", a, e)
+		}
+	}
+	fmt.Println()
+	for si, spread := range g.Spreads {
+		fmt.Printf("%-8.1f", spread)
+		for ei := range g.Errors {
+			for ai := range res.Algorithms {
+				fmt.Printf("  %8.3f", res.Ratio[si][ei][ai])
+			}
+		}
+		fmt.Println()
+	}
+	return nil
+}

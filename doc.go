@@ -1,0 +1,42 @@
+// Package rumr is a Go implementation of RUMR (Robust Uniform
+// Multi-Round), the divisible-workload scheduling algorithm of Yang and
+// Casanova (HPDC 2003), together with everything needed to reproduce the
+// paper's evaluation: the UMR, Multi-Installment, Factoring, FSC and
+// self-scheduling competitors, a deterministic discrete-event simulator of
+// the paper's star master/worker platform, its prediction-error models,
+// and a parallel experiment harness that regenerates every table and
+// figure of the paper.
+//
+// # Quick start
+//
+//	p := rumr.HomogeneousPlatform(20, 1, 30, 0.3, 0.3) // N=20, S=1, B=30
+//	res, err := rumr.Simulate(p, rumr.RUMR(), 1000, rumr.SimOptions{
+//		Error: 0.3, // prediction-error magnitude (known to the scheduler)
+//		Seed:  42,
+//	})
+//	if err != nil { ... }
+//	fmt.Println("makespan:", res.Makespan)
+//
+// # Scheduling divisible workloads
+//
+// A divisible workload is an amount of computation W that can be split in
+// arbitrary "chunks"; the input data of a chunk is proportional to its
+// computation. The master owns the data and sends chunks to N workers over
+// a shared serialised port; workers can receive while computing. Sending
+// chunk units to worker i costs nLat_i + chunk/B_i (+ an overlappable tail
+// tLat_i); computing costs cLat_i + chunk/S_i. The scheduling question is
+// how to slice W to minimise the makespan when predictions of those costs
+// are wrong by a known or unknown magnitude.
+//
+// RUMR answers with two phases: a precalculated UMR schedule (chunks grow
+// across rounds for overlap) for the first (1-error)·W units, then
+// demand-driven Factoring (chunks shrink geometrically) for the rest, so
+// late-run prediction errors only ever misplace small chunks.
+//
+// # Layout
+//
+// The implementation lives in internal packages (engine, platform, sched/*,
+// experiment, ...) and this package re-exports the public surface:
+// platform construction, the schedulers, single-run simulation, and the
+// sweep harness used by cmd/rumrsweep and the benchmarks.
+package rumr

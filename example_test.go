@@ -1,0 +1,77 @@
+package rumr_test
+
+import (
+	"fmt"
+	"log"
+
+	"rumr"
+)
+
+// ExampleSimulate runs RUMR once on the paper's central platform and
+// checks the work was conserved.
+func ExampleSimulate() {
+	p := rumr.HomogeneousPlatform(20, 1, 30, 0.3, 0.3)
+	res, err := rumr.Simulate(p, rumr.RUMR(), 1000, rumr.SimOptions{
+		Error: 0.3, Seed: 42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dispatched %.0f units in %d chunks\n", res.DispatchedWork, res.Chunks)
+	fmt.Printf("makespan positive: %v\n", res.Makespan > 0)
+	// Output:
+	// dispatched 1000 units in 120 chunks
+	// makespan positive: true
+}
+
+// ExampleSimulate_validate records a trace and re-checks the schedule
+// against the platform model with the independent validator.
+func ExampleSimulate_validate() {
+	p := rumr.HomogeneousPlatform(8, 1, 12, 0.2, 0.2)
+	res, err := rumr.Simulate(p, rumr.UMR(), 500, rumr.SimOptions{Seed: 7, RecordTrace: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := res.Trace.Validate(p, 500); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("schedule valid")
+	// Output:
+	// schedule valid
+}
+
+// ExampleScheduler_names lists the algorithm suite.
+func ExampleScheduler_names() {
+	for _, s := range []rumr.Scheduler{
+		rumr.RUMR(), rumr.UMR(), rumr.MI(3), rumr.Factoring(),
+		rumr.FSC(), rumr.GSS(), rumr.TSS(), rumr.WeightedFactoring(),
+	} {
+		fmt.Println(s.Name())
+	}
+	// Output:
+	// RUMR
+	// UMR
+	// MI-3
+	// Factoring
+	// FSC
+	// GSS
+	// TSS
+	// WFactoring
+}
+
+// ExampleSweep runs a tiny sweep and prints which algorithms were
+// compared.
+func ExampleSweep() {
+	g := rumr.Grid{
+		Ns: []int{10}, Rs: []float64{1.5},
+		CLats: []float64{0.3}, NLats: []float64{0.3},
+		Errors: []float64{0, 0.3}, Reps: 2, Total: 1000, BaseSeed: 1,
+	}
+	res, err := rumr.Sweep(g, rumr.SweepOptions{Workers: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Algorithms)
+	// Output:
+	// [RUMR UMR MI-1 MI-2 MI-3 MI-4 Factoring]
+}

@@ -1,0 +1,57 @@
+// Adaptive RUMR: the paper's future-work scenario (§6). In practice no
+// one hands the scheduler the true prediction-error magnitude; it has to
+// be measured. This example compares, across the error range, three ways
+// of running RUMR:
+//
+//   - informed: the scheduler is told the true error (the paper's main
+//     evaluation scenario);
+//   - blind: the scheduler knows nothing and falls back to the fixed
+//     80/20 split the paper recommends (§5.2.1);
+//   - adaptive: the scheduler measures the error online from completed
+//     chunks and makes the phase split at run time.
+//
+// Run with:
+//
+//	go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rumr"
+)
+
+func mean(p *rumr.Platform, s rumr.Scheduler, total, trueErr float64, blind bool) float64 {
+	const reps = 25
+	var sum float64
+	for seed := uint64(0); seed < reps; seed++ {
+		opts := rumr.SimOptions{Error: trueErr, Seed: seed}
+		if blind {
+			u := -1.0
+			opts.SchedulerError = &u
+		}
+		res, err := rumr.Simulate(p, s, total, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sum += res.Makespan
+	}
+	return sum / reps
+}
+
+func main() {
+	p := rumr.HomogeneousPlatform(20, 1, 30, 0.3, 0.3)
+	const total = 1000.0
+
+	fmt.Println("RUMR with known, unknown, and measured error (mean makespan, s)")
+	fmt.Printf("%-6s %10s %10s %10s\n", "error", "informed", "blind", "adaptive")
+	for _, e := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5} {
+		informed := mean(p, rumr.RUMR(), total, e, false)
+		blind := mean(p, rumr.RUMR(), total, e, true)
+		adaptive := mean(p, rumr.RUMRAdaptive(), total, e, true)
+		fmt.Printf("%-6.2f %10.2f %10.2f %10.2f\n", e, informed, blind, adaptive)
+	}
+	fmt.Println("\ninformed = told the true error; blind = fixed 80/20 fallback;")
+	fmt.Println("adaptive = splits at run time from an online estimate.")
+}

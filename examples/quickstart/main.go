@@ -1,0 +1,66 @@
+// Quickstart: schedule a 1000-unit divisible workload on 20 workers with
+// RUMR and compare it against the competitors of the paper, under a 30%
+// prediction-error magnitude.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rumr"
+)
+
+func main() {
+	// The paper's central platform: N=20 homogeneous workers with speed
+	// S=1 unit/s, link rate B = 1.5*N = 30 units/s, and 0.3 s latencies to
+	// start a transfer (nLat) and a computation (cLat).
+	p := rumr.HomogeneousPlatform(20, 1, 30, 0.3, 0.3)
+	const total = 1000.0 // workload units
+	const errMag = 0.3   // sd of the predicted/effective duration ratio
+
+	schedulers := []rumr.Scheduler{
+		rumr.RUMR(),
+		rumr.UMR(),
+		rumr.MI(3),
+		rumr.Factoring(),
+		rumr.FSC(),
+	}
+
+	fmt.Printf("platform: 20 workers, S=1, B=30, cLat=nLat=0.3; W=%.0f units, error=%.0f%%\n\n",
+		total, 100*errMag)
+	fmt.Printf("%-12s %10s %8s\n", "scheduler", "makespan", "chunks")
+	for _, s := range schedulers {
+		// Average a few repetitions: the error model is random.
+		const reps = 20
+		var sum float64
+		var chunks int
+		for seed := uint64(0); seed < reps; seed++ {
+			res, err := rumr.Simulate(p, s, total, rumr.SimOptions{Error: errMag, Seed: seed})
+			if err != nil {
+				log.Fatalf("%s: %v", s.Name(), err)
+			}
+			sum += res.Makespan
+			chunks = res.Chunks
+		}
+		fmt.Printf("%-12s %10.2f %8d\n", s.Name(), sum/reps, chunks)
+	}
+
+	// Inspect one RUMR run in detail: record the trace, validate it
+	// against the platform model, and draw the schedule.
+	res, err := rumr.Simulate(p, rumr.RUMR(), total, rumr.SimOptions{
+		Error: errMag, Seed: 42, RecordTrace: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := res.Trace.Validate(p, total); err != nil {
+		log.Fatalf("schedule failed validation: %v", err)
+	}
+	fmt.Printf("\none RUMR run (seed 42): makespan %.2f s, %d chunks, %d events\n",
+		res.Makespan, res.Chunks, res.Events)
+	fmt.Print(rumr.Gantt(res.Trace, p.N(), 100))
+}

@@ -1,0 +1,59 @@
+// Ray tracing: the paper's example of an application whose prediction
+// errors are *inherent* — the time to trace a tile depends on the scene
+// behind it, so even a dedicated cluster mispredicts per-chunk times.
+//
+// The example sweeps the error magnitude from 0 (a flat, boring scene) to
+// 0.6 (wildly varying complexity) and shows the crossover the paper is
+// about: precalculated UMR wins when predictions hold, robust schedulers
+// win when they do not, and RUMR tracks the best of both. It also shows
+// what happens when RUMR's error estimate is wrong (the estimate half the
+// truth / double the truth ablation).
+//
+// Run with:
+//
+//	go run ./examples/raytrace
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rumr"
+)
+
+func mean(p *rumr.Platform, s rumr.Scheduler, total, trueErr, toldErr float64) float64 {
+	const reps = 20
+	var sum float64
+	for seed := uint64(0); seed < reps; seed++ {
+		opts := rumr.SimOptions{Error: trueErr, Seed: seed}
+		if toldErr != trueErr {
+			opts.SchedulerError = &toldErr
+		}
+		res, err := rumr.Simulate(p, s, total, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sum += res.Makespan
+	}
+	return sum / reps
+}
+
+func main() {
+	app := rumr.RayTracing(4096) // 4096 tiles of a large frame
+	// A render farm: 24 nodes; tiles are compute-heavy and cheap to ship.
+	p := rumr.HomogeneousPlatform(24, 1, 80, 0.2, 0.05)
+
+	fmt.Printf("%s: %.0f tiles on 24 nodes\n\n", app.Name, app.Total)
+	fmt.Printf("%-6s %10s %10s %10s %12s %12s\n",
+		"error", "RUMR", "UMR", "Factoring", "RUMR(half)", "RUMR(double)")
+	for _, e := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6} {
+		r := mean(p, rumr.RUMR(), app.Total, e, e)
+		u := mean(p, rumr.UMR(), app.Total, e, e)
+		f := mean(p, rumr.Factoring(), app.Total, e, e)
+		// Misestimated error: RUMR is told half / double the truth.
+		rh := mean(p, rumr.RUMR(), app.Total, e, e/2)
+		rd := mean(p, rumr.RUMR(), app.Total, e, e*2)
+		fmt.Printf("%-6.2f %10.1f %10.1f %10.1f %12.1f %12.1f\n", e, r, u, f, rh, rd)
+	}
+	fmt.Println("\nRUMR(half)/RUMR(double): makespan when the error estimate is off by 2x either way.")
+}

@@ -1,0 +1,81 @@
+// Sequence matching: the paper's BLAST-style motivating application. A
+// query sequence is compared against a dictionary of 50 000 sequences; one
+// workload unit is one dictionary sequence, and the data shipped per chunk
+// is proportional to the sequences in it.
+//
+// This example shows how to go from application-level numbers (sequences,
+// bytes, cluster hardware) to the platform model, how a measured error
+// magnitude feeds RUMR, and what the two-phase schedule looks like.
+//
+// Run with:
+//
+//	go run ./examples/seqmatch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rumr"
+)
+
+func main() {
+	app := rumr.SequenceMatching(50000)
+
+	// Cluster hardware: 16 nodes, 1 Gop/s each, 100 Mbit/s switched
+	// Ethernet to the master, ~15 ms to open a TCP connection and ~50 ms
+	// of process start-up per chunk.
+	const (
+		nodes     = 16
+		opsPerSec = 1e9
+		linkBps   = 100e6 / 8 // bytes/s
+		nLat      = 0.015     // seconds
+		cLat      = 0.050     // seconds
+	)
+	// Convert to workload units: one unit = one sequence.
+	s := opsPerSec / app.UnitOps   // sequences computed per second
+	b := linkBps / app.DataPerUnit // sequences transferred per second
+	p := rumr.HomogeneousPlatform(nodes, s, b, cLat, nLat)
+
+	fmt.Printf("%s: %.0f sequences, %.1f KB each\n", app.Name, app.Total, app.DataPerUnit/1e3)
+	fmt.Printf("derived platform: S=%.1f units/s, B=%.0f units/s per node, utilization ratio %.2f\n\n",
+		s, b, p.UtilizationRatio())
+
+	// Sequence comparisons have mildly data-dependent cost, and the
+	// cluster is shared: suppose past runs measured a 15% error magnitude.
+	const errMag = 0.15
+
+	for _, sch := range []rumr.Scheduler{rumr.RUMR(), rumr.UMR(), rumr.Factoring()} {
+		const reps = 10
+		var sum float64
+		for seed := uint64(0); seed < reps; seed++ {
+			res, err := rumr.Simulate(p, sch, app.Total, rumr.SimOptions{Error: errMag, Seed: seed})
+			if err != nil {
+				log.Fatal(err)
+			}
+			sum += res.Makespan
+		}
+		fmt.Printf("%-10s mean makespan %8.1f s\n", sch.Name(), sum/reps)
+	}
+
+	// Show the phase structure of one RUMR run.
+	res, err := rumr.Simulate(p, rumr.RUMR(), app.Total, rumr.SimOptions{
+		Error: errMag, Seed: 3, RecordTrace: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var p1, p2 float64
+	var p1Chunks, p2Chunks int
+	for _, rec := range res.Trace.Records {
+		if rec.Phase == 2 {
+			p2 += rec.Size
+			p2Chunks++
+		} else {
+			p1 += rec.Size
+			p1Chunks++
+		}
+	}
+	fmt.Printf("\nRUMR phases: %.0f sequences in %d growing chunks (phase 1), "+
+		"%.0f in %d shrinking chunks (phase 2)\n", p1, p1Chunks, p2, p2Chunks)
+}

@@ -1,0 +1,128 @@
+package rumr
+
+import (
+	"io"
+
+	"rumr/internal/experiment"
+)
+
+// Grid describes a parameter sweep over the paper's experimental space.
+type Grid = experiment.Grid
+
+// Config is one platform configuration of a grid.
+type Config = experiment.Config
+
+// SweepResults holds per-(configuration, error, algorithm) mean makespans.
+type SweepResults = experiment.Results
+
+// Curves is the data behind the paper's normalised-makespan figures.
+type Curves = experiment.Curves
+
+// WinTable is the data behind the paper's Tables 2 and 3.
+type WinTable = experiment.WinTable
+
+// PaperGrid returns the full Table 1 grid (hours of compute);
+// ReducedGrid a laptop-sized subsample; Fig5Grid the single configuration
+// of Fig. 5.
+var (
+	PaperGrid   = experiment.PaperGrid
+	ReducedGrid = experiment.ReducedGrid
+	Fig5Grid    = experiment.Fig5Grid
+)
+
+// StandardAlgorithms returns RUMR (baseline) plus the six competitors of
+// §5.1 in the paper's order.
+func StandardAlgorithms() []Scheduler { return experiment.StandardAlgorithms() }
+
+// SweepOptions configure a parameter sweep.
+type SweepOptions struct {
+	// Algorithms to compare; index 0 is the normalisation baseline.
+	// Nil selects StandardAlgorithms().
+	Algorithms []Scheduler
+	// Workers bounds the goroutine pool (0 = all CPUs).
+	Workers int
+	// Model selects the error distribution.
+	Model ErrorModel
+	// UnknownError hides the error magnitude from the schedulers.
+	UnknownError bool
+	// Progress, when non-nil, is called after each finished configuration.
+	Progress func(done, total int)
+}
+
+// Sweep runs every algorithm over every (configuration, error,
+// repetition) cell of the grid in parallel and returns the mean makespans.
+func Sweep(g Grid, opts SweepOptions) (*SweepResults, error) {
+	algos := opts.Algorithms
+	if algos == nil {
+		algos = experiment.StandardAlgorithms()
+	}
+	kind := experiment.NormalError
+	if opts.Model == UniformError {
+		kind = experiment.UniformError
+	}
+	r := &experiment.Runner{
+		Algorithms:   algos,
+		Workers:      opts.Workers,
+		ErrorModel:   kind,
+		UnknownError: opts.UnknownError,
+		Progress:     opts.Progress,
+	}
+	return r.Sweep(g)
+}
+
+// ComputeWinTable reproduces Tables 2 (margin 0) and 3 (margin 0.10): the
+// percentage of experiments, per error bucket, in which the baseline beat
+// each competitor by more than margin.
+func ComputeWinTable(res *SweepResults, margin float64) *WinTable {
+	return experiment.ComputeWinTable(res, margin, experiment.PaperBuckets())
+}
+
+// ComputeCurves reproduces the normalised-makespan figures. filter
+// restricts the configurations (nil = all; LowLatencyFilter = Fig. 4(b)).
+func ComputeCurves(res *SweepResults, filter func(Config) bool) *Curves {
+	return experiment.ComputeCurves(res, filter)
+}
+
+// LowLatencyFilter selects cLat < 0.3 and nLat < 0.3 — Fig. 4(b).
+func LowLatencyFilter(c Config) bool { return experiment.LowLatencyFilter(c) }
+
+// OverallWinPercent is the paper's headline aggregate ("RUMR outperforms
+// competing algorithms in 79% of our experiments").
+func OverallWinPercent(res *SweepResults, margin float64) float64 {
+	return experiment.OverallWinPercent(res, margin)
+}
+
+// WriteWinTable renders a win table as aligned text.
+func WriteWinTable(w io.Writer, wt *WinTable, title string) error {
+	return experiment.RenderWinTable(wt, title).Write(w)
+}
+
+// WriteCurvesChart renders curves as an ASCII chart.
+func WriteCurvesChart(w io.Writer, cv *Curves, title string) error {
+	return experiment.RenderCurves(cv, title).Write(w)
+}
+
+// WriteCurvesTable renders curves as a numeric table.
+func WriteCurvesTable(w io.Writer, cv *Curves, title string) error {
+	return experiment.CurvesTable(cv, title).Write(w)
+}
+
+// WriteCurvesCSV renders curves as CSV for external plotting.
+func WriteCurvesCSV(w io.Writer, cv *Curves, title string) error {
+	return experiment.RenderCurves(cv, title).WriteCSV(w)
+}
+
+// WriteCurvesSVG renders curves as a standalone SVG figure in the style
+// of the paper's plots.
+func WriteCurvesSVG(w io.Writer, cv *Curves, title string) error {
+	return experiment.RenderCurves(cv, title).WriteSVG(w)
+}
+
+// WriteWinTableCSV renders a win table as CSV.
+func WriteWinTableCSV(w io.Writer, wt *WinTable, title string) error {
+	return experiment.RenderWinTable(wt, title).WriteCSV(w)
+}
+
+// Gantt renders a recorded trace as an ASCII Gantt chart with the given
+// worker count and width.
+func Gantt(tr *Trace, workers, width int) string { return tr.Gantt(workers, width) }

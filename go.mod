@@ -1,0 +1,3 @@
+module rumr
+
+go 1.22

@@ -1,0 +1,179 @@
+// Package des implements a deterministic discrete-event simulation kernel:
+// a virtual clock and a priority queue of timestamped callbacks.
+//
+// This is the substrate standing in for the SimGrid toolkit used by the
+// paper. The RUMR study only needs SimGrid for timing master/worker message
+// exchanges and computations on a star platform, so a callback-based kernel
+// is sufficient and — unlike a goroutine-per-process design — is exactly
+// reproducible and fast enough to run hundreds of thousands of simulations
+// in a test run.
+//
+// Ties in event time are broken by insertion order (a monotonically
+// increasing sequence number), which makes simulations deterministic
+// regardless of heap internals.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a scheduled callback. Events are managed by the Simulator and
+// can be cancelled before they fire.
+type Event struct {
+	time   float64
+	seq    uint64
+	index  int // heap index, -1 once removed
+	fn     func()
+	cancel bool
+}
+
+// Time returns the virtual time at which the event fires (or would have
+// fired, if cancelled).
+func (e *Event) Time() float64 { return e.time }
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e.cancel }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator owns a virtual clock and the pending event queue. The zero
+// value is ready to use, with the clock at 0.
+type Simulator struct {
+	now     float64
+	seq     uint64
+	queue   eventHeap
+	stopped bool
+	// Processed counts events executed, for tests and diagnostics.
+	processed uint64
+}
+
+// New returns a fresh simulator with the clock at zero.
+func New() *Simulator { return &Simulator{} }
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() float64 { return s.now }
+
+// Pending returns the number of scheduled (uncancelled) events.
+func (s *Simulator) Pending() int {
+	n := 0
+	for _, e := range s.queue {
+		if !e.cancel {
+			n++
+		}
+	}
+	return n
+}
+
+// Processed returns the number of events executed so far.
+func (s *Simulator) Processed() uint64 { return s.processed }
+
+// At schedules fn at absolute virtual time t. Scheduling in the past (or a
+// NaN time) panics: it always indicates a bug in a model.
+func (s *Simulator) At(t float64, fn func()) *Event {
+	if math.IsNaN(t) {
+		panic("des: scheduling at NaN time")
+	}
+	if t < s.now {
+		panic(fmt.Sprintf("des: scheduling in the past: t=%g now=%g", t, s.now))
+	}
+	e := &Event{time: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn d time units from now. Negative delays panic.
+func (s *Simulator) After(d float64, fn func()) *Event {
+	if d < 0 || math.IsNaN(d) {
+		panic(fmt.Sprintf("des: negative or NaN delay %g", d))
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Cancel prevents a scheduled event from firing. Cancelling an event that
+// already fired (or was already cancelled) is a no-op.
+func (s *Simulator) Cancel(e *Event) {
+	if e == nil {
+		return
+	}
+	e.cancel = true
+	// Leave it in the heap; Run skips cancelled events. Removing eagerly
+	// is possible but not worth the code for our event volumes.
+}
+
+// Stop makes Run return after the currently executing event.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Run executes events in timestamp order until the queue drains or Stop is
+// called. It returns the final virtual time.
+func (s *Simulator) Run() float64 {
+	return s.RunUntil(math.Inf(1))
+}
+
+// RunUntil executes events with time <= deadline, then advances the clock
+// to min(deadline, time of next event) — or leaves it at the last executed
+// event when the queue drains first. It returns the final virtual time.
+func (s *Simulator) RunUntil(deadline float64) float64 {
+	s.stopped = false
+	for len(s.queue) > 0 && !s.stopped {
+		e := s.queue[0]
+		if e.cancel {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if e.time > deadline {
+			s.now = deadline
+			return s.now
+		}
+		heap.Pop(&s.queue)
+		s.now = e.time
+		s.processed++
+		e.fn()
+	}
+	return s.now
+}
+
+// Step executes exactly one (uncancelled) event and reports whether one was
+// available.
+func (s *Simulator) Step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.cancel {
+			continue
+		}
+		s.now = e.time
+		s.processed++
+		e.fn()
+		return true
+	}
+	return false
+}

@@ -1,0 +1,266 @@
+package des
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"rumr/internal/rng"
+)
+
+func TestEventsFireInOrder(t *testing.T) {
+	s := New()
+	var got []float64
+	s.At(3, func() { got = append(got, 3) })
+	s.At(1, func() { got = append(got, 1) })
+	s.At(2, func() { got = append(got, 2) })
+	end := s.Run()
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v", got)
+		}
+	}
+	if end != 3 {
+		t.Fatalf("end time = %v", end)
+	}
+}
+
+func TestTieBreakByInsertion(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("tie order = %v", got)
+		}
+	}
+}
+
+func TestAfterAdvancesRelative(t *testing.T) {
+	s := New()
+	var times []float64
+	s.After(1, func() {
+		times = append(times, s.Now())
+		s.After(2, func() { times = append(times, s.Now()) })
+	})
+	s.Run()
+	if len(times) != 2 || times[0] != 1 || times[1] != 3 {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New()
+	s.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past should panic")
+			}
+		}()
+		s.At(5, func() {})
+	})
+	s.Run()
+}
+
+func TestNaNPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NaN time should panic")
+		}
+	}()
+	s.At(math.NaN(), func() {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay should panic")
+		}
+	}()
+	s.After(-1, func() {})
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	e := s.At(1, func() { fired = true })
+	s.Cancel(e)
+	s.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !e.Cancelled() {
+		t.Fatal("event should report cancelled")
+	}
+	s.Cancel(nil) // must not panic
+}
+
+func TestCancelDuringRun(t *testing.T) {
+	s := New()
+	fired := false
+	var e *Event
+	s.At(1, func() { s.Cancel(e) })
+	e = s.At(2, func() { fired = true })
+	s.Run()
+	if fired {
+		t.Fatal("event cancelled at t=1 still fired at t=2")
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.At(float64(i), func() {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	// Run can resume after a stop.
+	s.Run()
+	if count != 10 {
+		t.Fatalf("after resume count = %d, want 10", count)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.At(float64(i), func() { count++ })
+	}
+	end := s.RunUntil(5.5)
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if end != 5.5 {
+		t.Fatalf("clock = %v, want 5.5", end)
+	}
+	s.Run()
+	if count != 10 {
+		t.Fatalf("final count = %d", count)
+	}
+}
+
+func TestRunUntilBoundaryInclusive(t *testing.T) {
+	s := New()
+	fired := false
+	s.At(5, func() { fired = true })
+	s.RunUntil(5)
+	if !fired {
+		t.Fatal("event exactly at the deadline should fire")
+	}
+}
+
+func TestStep(t *testing.T) {
+	s := New()
+	count := 0
+	s.At(1, func() { count++ })
+	s.At(2, func() { count++ })
+	if !s.Step() || count != 1 {
+		t.Fatal("first step")
+	}
+	if !s.Step() || count != 2 {
+		t.Fatal("second step")
+	}
+	if s.Step() {
+		t.Fatal("step on empty queue should report false")
+	}
+}
+
+func TestPendingAndProcessed(t *testing.T) {
+	s := New()
+	e := s.At(1, func() {})
+	s.At(2, func() {})
+	if s.Pending() != 2 {
+		t.Fatalf("pending = %d", s.Pending())
+	}
+	s.Cancel(e)
+	if s.Pending() != 1 {
+		t.Fatalf("pending after cancel = %d", s.Pending())
+	}
+	s.Run()
+	if s.Processed() != 1 {
+		t.Fatalf("processed = %d", s.Processed())
+	}
+}
+
+// Property: random schedules always execute in nondecreasing time order and
+// execute every uncancelled event exactly once.
+func TestRandomSchedulesOrdered(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		s := New()
+		n := 1 + src.Intn(200)
+		var fired []float64
+		times := make([]float64, n)
+		for i := 0; i < n; i++ {
+			times[i] = src.Uniform(0, 100)
+			tt := times[i]
+			s.At(tt, func() { fired = append(fired, tt) })
+		}
+		s.Run()
+		if len(fired) != n {
+			return false
+		}
+		if !sort.Float64sAreSorted(fired) {
+			return false
+		}
+		sort.Float64s(times)
+		for i := range times {
+			if times[i] != fired[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Events scheduled from within callbacks (a cascading chain) must work; this
+// is the pattern the engine uses everywhere.
+func TestCascade(t *testing.T) {
+	s := New()
+	depth := 0
+	var step func()
+	step = func() {
+		depth++
+		if depth < 1000 {
+			s.After(0.001, step)
+		}
+	}
+	s.After(0, step)
+	end := s.Run()
+	if depth != 1000 {
+		t.Fatalf("depth = %d", depth)
+	}
+	if math.Abs(end-0.999) > 1e-9 {
+		t.Fatalf("end = %v", end)
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := New()
+		for j := 0; j < 1000; j++ {
+			s.At(float64(j%37), func() {})
+		}
+		s.Run()
+	}
+}

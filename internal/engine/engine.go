@@ -1,0 +1,307 @@
+// Package engine simulates the execution of a divisible workload on the
+// paper's star platform. It is the substrate standing in for SimGrid: it
+// implements exactly the timing semantics of §3.1 —
+//
+//   - the master sends chunks one at a time; a transfer occupies the
+//     master's port for nLat_i + chunk/B_i, perturbed by the error model;
+//   - the pipeline tail tLat_i overlaps with subsequent transfers: the
+//     worker holds the data tLat_i after the port frees;
+//   - workers have a front end: they receive while computing;
+//   - computing a chunk takes cLat_i + chunk/S_i, perturbed by the error
+//     model, and chunks are computed in arrival order.
+//
+// Scheduling policy is supplied through the Dispatcher interface; the
+// engine asks the dispatcher for the next chunk whenever the master's port
+// is free and the system state has changed (start, a send completed, a
+// chunk completed, a chunk arrived). This single mechanism supports both
+// precalculated schedules (UMR, MI) and demand-driven ones (Factoring,
+// FSC, RUMR's phase 2).
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"rumr/internal/des"
+	"rumr/internal/perferr"
+	"rumr/internal/platform"
+	"rumr/internal/trace"
+)
+
+// Chunk is a dispatch instruction produced by a Dispatcher.
+type Chunk struct {
+	// Worker is the destination worker index.
+	Worker int
+	// Size is the chunk size in workload units; must be positive.
+	Size float64
+	// Round tags the chunk with a scheduler-defined round/batch index.
+	Round int
+	// Phase tags the chunk with a scheduler-defined phase (RUMR: 1 or 2).
+	Phase int
+}
+
+// WorkerState is the dispatcher-visible state of one worker.
+type WorkerState struct {
+	// Computing reports whether the worker is currently executing a chunk.
+	Computing bool
+	// Queued is the number of chunks that have arrived and await
+	// computation.
+	Queued int
+	// InFlight is the number of chunks sent (or sending) but not arrived.
+	InFlight int
+	// CompletedChunks and CompletedWork account for finished computation.
+	CompletedChunks int
+	CompletedWork   float64
+}
+
+// Idle reports whether the worker has nothing to do and nothing on the
+// way — the paper's "finished prematurely" condition for out-of-order
+// dispatch.
+func (w WorkerState) Idle() bool {
+	return !w.Computing && w.Queued == 0 && w.InFlight == 0
+}
+
+// View is the read-only snapshot a Dispatcher sees when deciding what to
+// send next.
+type View struct {
+	// Time is the current virtual time.
+	Time float64
+	// Workers holds one state per worker; dispatchers must not mutate it.
+	Workers []WorkerState
+}
+
+// IdleWorkers returns the indices of idle workers, in worker order.
+func (v *View) IdleWorkers() []int {
+	var idle []int
+	for i, w := range v.Workers {
+		if w.Idle() {
+			idle = append(idle, i)
+		}
+	}
+	return idle
+}
+
+// Dispatcher decides the next chunk to send. Implementations see the
+// engine state through the View; they are invoked only while the master's
+// port is free.
+type Dispatcher interface {
+	// Next returns the next chunk and true, or false when nothing should
+	// be dispatched right now (either the workload is fully dispatched, or
+	// the policy waits for a completion). The engine re-invokes Next after
+	// every state change.
+	Next(v *View) (Chunk, bool)
+}
+
+// Observer is implemented by dispatchers that react to chunk completions
+// (demand-driven policies, online error estimators).
+type Observer interface {
+	// OnComplete is called when a worker finishes computing a chunk;
+	// predicted and effective are the chunk's predicted and actual
+	// computation durations, for online error estimation.
+	OnComplete(workerIdx int, c Chunk, at, predicted, effective float64)
+}
+
+// Options tune a simulation run.
+type Options struct {
+	// CommModel perturbs transfer durations; nil means perfect prediction.
+	CommModel perferr.Model
+	// CompModel perturbs computation durations; nil means perfect
+	// prediction.
+	CompModel perferr.Model
+	// RecordTrace makes Run return a full per-chunk trace.
+	RecordTrace bool
+	// ParallelSends is the number of transfers the master may run
+	// concurrently. The paper's model (and the default, 0 or 1) is a
+	// fully serialised port; higher values implement the "simultaneous
+	// transfers" extension its future work sketches for WAN platforms,
+	// where per-link bandwidth — not the master's port — is the
+	// bottleneck, so each concurrent transfer still proceeds at its
+	// link's full B_i.
+	ParallelSends int
+	// MaxChunks aborts runaway dispatchers (default 10 million).
+	MaxChunks int
+}
+
+// Result summarises one simulated run.
+type Result struct {
+	// Makespan is the completion time of the last chunk.
+	Makespan float64
+	// Chunks is the number of chunks dispatched.
+	Chunks int
+	// DispatchedWork is the total workload sent out; callers should check
+	// it equals W_total (the engine cannot know the intended total).
+	DispatchedWork float64
+	// Trace is non-nil when Options.RecordTrace was set.
+	Trace *trace.Trace
+	// Events is the number of simulator events processed.
+	Events uint64
+}
+
+type workerRuntime struct {
+	state   WorkerState
+	queue   []pendingChunk // arrived, not yet computed (FIFO)
+	current pendingChunk
+}
+
+type pendingChunk struct {
+	chunk  Chunk
+	record int // index into records, -1 when tracing is off
+}
+
+// Run simulates dispatching on p according to d and returns the result.
+// It returns an error for invalid platforms or misbehaving dispatchers
+// (out-of-range worker, non-positive size, runaway chunk count).
+func Run(p *platform.Platform, d Dispatcher, opts Options) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	comm := opts.CommModel
+	if comm == nil {
+		comm = perferr.Perfect{}
+	}
+	comp := opts.CompModel
+	if comp == nil {
+		comp = perferr.Perfect{}
+	}
+	maxChunks := opts.MaxChunks
+	if maxChunks <= 0 {
+		maxChunks = 10_000_000
+	}
+	slots := opts.ParallelSends
+	if slots <= 0 {
+		slots = 1
+	}
+
+	sim := des.New()
+	n := p.N()
+	workers := make([]workerRuntime, n)
+	view := View{Workers: make([]WorkerState, n)}
+	var res Result
+	var tr *trace.Trace
+	if opts.RecordTrace {
+		tr = &trace.Trace{ParallelSends: slots}
+	}
+	sending := 0
+	var dispatchErr error
+
+	syncView := func() {
+		view.Time = sim.Now()
+		for i := range workers {
+			view.Workers[i] = workers[i].state
+		}
+	}
+
+	fail := func(err error) {
+		if dispatchErr == nil {
+			dispatchErr = err
+		}
+		sim.Stop()
+	}
+
+	var kick func()
+	var startCompute func(int)
+
+	startCompute = func(wi int) {
+		w := &workers[wi]
+		if w.state.Computing || len(w.queue) == 0 {
+			return
+		}
+		pc := w.queue[0]
+		w.queue = w.queue[1:]
+		w.state.Queued--
+		w.state.Computing = true
+		w.current = pc
+		spec := p.Workers[wi]
+		predicted := spec.CLat + pc.chunk.Size/spec.S
+		effective := comp.Perturb(predicted)
+		start := sim.Now()
+		if tr != nil && pc.record >= 0 {
+			tr.Records[pc.record].CompStart = start
+		}
+		sim.After(effective, func() {
+			w.state.Computing = false
+			w.state.CompletedChunks++
+			w.state.CompletedWork += pc.chunk.Size
+			end := sim.Now()
+			if end > res.Makespan {
+				res.Makespan = end
+			}
+			if tr != nil && pc.record >= 0 {
+				tr.Records[pc.record].CompEnd = end
+			}
+			if obs, ok := d.(Observer); ok {
+				obs.OnComplete(wi, pc.chunk, end, predicted, effective)
+			}
+			startCompute(wi) // pull the next queued chunk, if any
+			kick()
+		})
+	}
+
+	kick = func() {
+		if sending >= slots || dispatchErr != nil {
+			return
+		}
+		syncView()
+		c, ok := d.Next(&view)
+		if !ok {
+			return
+		}
+		if c.Worker < 0 || c.Worker >= n {
+			fail(fmt.Errorf("engine: dispatcher sent chunk to worker %d of %d", c.Worker, n))
+			return
+		}
+		if c.Size <= 0 || math.IsNaN(c.Size) || math.IsInf(c.Size, 0) {
+			fail(fmt.Errorf("engine: dispatcher produced invalid chunk size %g", c.Size))
+			return
+		}
+		res.Chunks++
+		if res.Chunks > maxChunks {
+			fail(fmt.Errorf("engine: dispatcher exceeded %d chunks; runaway policy?", maxChunks))
+			return
+		}
+		res.DispatchedWork += c.Size
+		spec := p.Workers[c.Worker]
+		sendDur := comm.Perturb(spec.NLat + c.Size/spec.B)
+		sending++
+		workers[c.Worker].state.InFlight++
+		recIdx := -1
+		if tr != nil {
+			tr.Records = append(tr.Records, trace.ChunkRecord{
+				Worker: c.Worker, Size: c.Size, Round: c.Round, Phase: c.Phase,
+				SendStart: sim.Now(), SendEnd: sim.Now() + sendDur,
+				Arrive: sim.Now() + sendDur + spec.TLat,
+			})
+			recIdx = len(tr.Records) - 1
+		}
+		wi := c.Worker
+		pc := pendingChunk{chunk: c, record: recIdx}
+		// The send slot frees when the non-overlappable part completes...
+		sim.After(sendDur, func() {
+			sending--
+			// ...and the worker holds the data tLat later.
+			sim.After(spec.TLat, func() {
+				w := &workers[wi]
+				w.state.InFlight--
+				w.state.Queued++
+				w.queue = append(w.queue, pc)
+				startCompute(wi)
+				kick()
+			})
+			kick()
+		})
+		// With spare slots the master may start further transfers now.
+		kick()
+	}
+
+	kick()
+	sim.Run()
+	if dispatchErr != nil {
+		return Result{}, dispatchErr
+	}
+	res.Events = sim.Processed()
+	if tr != nil {
+		tr.Makespan = res.Makespan
+		res.Trace = tr
+	}
+	return res, nil
+}

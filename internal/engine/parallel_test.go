@@ -1,0 +1,125 @@
+package engine
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rumr/internal/perferr"
+	"rumr/internal/platform"
+	"rumr/internal/rng"
+)
+
+func TestParallelSendsOverlapTransfers(t *testing.T) {
+	// Two workers, two chunks. Serial port: second send starts when the
+	// first ends. Two slots: both start at t=0.
+	p := platform.Homogeneous(2, 1, 2, 0, 0)
+	plan := []Chunk{{Worker: 0, Size: 10}, {Worker: 1, Size: 10}}
+
+	serial, err := Run(p, &listDispatcher{plan: plan}, Options{RecordTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Trace.Records[1].SendStart != 5 {
+		t.Fatalf("serial second send at %v, want 5", serial.Trace.Records[1].SendStart)
+	}
+
+	par, err := Run(p, &listDispatcher{plan: plan}, Options{RecordTrace: true, ParallelSends: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Trace.Records[1].SendStart != 0 {
+		t.Fatalf("parallel second send at %v, want 0", par.Trace.Records[1].SendStart)
+	}
+	// Both workers start computing at t=5 instead of 5 and 10.
+	want := 5.0 + 10.0
+	if math.Abs(par.Makespan-want) > 1e-12 {
+		t.Fatalf("parallel makespan = %v, want %v", par.Makespan, want)
+	}
+	if par.Makespan >= serial.Makespan {
+		t.Fatalf("parallel sends should shorten the ramp: %v vs %v", par.Makespan, serial.Makespan)
+	}
+	// The trace validator must accept the overlapping schedule...
+	if err := par.Trace.Validate(p, 20); err != nil {
+		t.Fatalf("parallel trace rejected: %v", err)
+	}
+	// ...and reject it if it claims a serial port.
+	par.Trace.ParallelSends = 1
+	if err := par.Trace.Validate(p, 20); err == nil {
+		t.Fatal("overlapping sends accepted under a serial-port claim")
+	}
+}
+
+func TestParallelSendsRespectCapacity(t *testing.T) {
+	// Four chunks, two slots: at no instant more than two sends.
+	p := platform.Homogeneous(4, 1, 4, 0, 0.1)
+	var plan []Chunk
+	for i := 0; i < 4; i++ {
+		plan = append(plan, Chunk{Worker: i, Size: 8})
+	}
+	res, err := Run(p, &listDispatcher{plan: plan}, Options{RecordTrace: true, ParallelSends: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Trace.Validate(p, 32); err != nil {
+		t.Fatal(err)
+	}
+	// Third send must wait for a slot: starts when the first ends (2.1).
+	r := res.Trace.Records
+	if math.Abs(r[2].SendStart-2.1) > 1e-12 {
+		t.Fatalf("third send at %v, want 2.1", r[2].SendStart)
+	}
+}
+
+func TestParallelSendsDefaultIsSerial(t *testing.T) {
+	p := platform.Homogeneous(2, 1, 2, 0, 0)
+	plan := []Chunk{{Worker: 0, Size: 4}, {Worker: 1, Size: 4}}
+	a, err := Run(p, &listDispatcher{plan: plan}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(p, &listDispatcher{plan: plan}, Options{ParallelSends: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan {
+		t.Fatal("ParallelSends 0 and 1 must coincide")
+	}
+}
+
+// Property: parallel sends never hurt a demand-driven run and always
+// produce a validating trace.
+func TestParallelSendsProperty(t *testing.T) {
+	f := func(seed uint64, slotsByte uint8) bool {
+		src := rng.New(seed)
+		slots := 1 + int(slotsByte)%4
+		n := 2 + src.Intn(6)
+		p := platform.Homogeneous(n, 1, float64(n)*src.Uniform(1.2, 2), src.Uniform(0, 0.5), src.Uniform(0, 0.5))
+		errMag := src.Uniform(0, 0.4)
+		run := func(k int) (Result, bool) {
+			d := &demandDispatcher{remaining: 200, size: 10}
+			s2 := rng.New(seed + 1)
+			res, err := Run(p, d, Options{
+				CommModel:     perferr.NewTruncNormal(errMag, s2.Split()),
+				CompModel:     perferr.NewTruncNormal(errMag, s2.Split()),
+				ParallelSends: k,
+				RecordTrace:   true,
+			})
+			if err != nil {
+				return Result{}, false
+			}
+			return res, true
+		}
+		res, ok := run(slots)
+		if !ok {
+			return false
+		}
+		if math.Abs(res.DispatchedWork-200) > 1e-6 {
+			return false
+		}
+		return res.Trace.Validate(p, 200) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

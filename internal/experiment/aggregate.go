@@ -1,0 +1,189 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"rumr/internal/stats"
+)
+
+// Bucket is one error range of Tables 2-3 (e.g. "0-0.08" covers the five
+// error values 0, 0.02, ..., 0.08).
+type Bucket struct {
+	Lo, Hi float64
+}
+
+// Label renders the bucket the way the paper prints it.
+func (b Bucket) Label() string { return fmt.Sprintf("%.2g-%.2g", b.Lo, b.Hi) }
+
+// Contains reports whether an error value falls in the bucket.
+func (b Bucket) Contains(e float64) bool { return e >= b.Lo-1e-9 && e <= b.Hi+1e-9 }
+
+// PaperBuckets are the five ranges of Tables 2 and 3.
+func PaperBuckets() []Bucket {
+	return []Bucket{
+		{0, 0.08}, {0.1, 0.18}, {0.2, 0.28}, {0.3, 0.38}, {0.4, 0.48},
+	}
+}
+
+// WinTable is the shape of Tables 2 and 3: for each competitor (row) and
+// error bucket (column), the percentage of experiments in which the
+// baseline (algorithm 0, RUMR) achieved a smaller mean makespan — by more
+// than Margin when it is non-zero.
+type WinTable struct {
+	Margin     float64
+	Buckets    []Bucket
+	Algorithms []string // competitors, excluding the baseline
+	// Percent[row][col] is the win percentage.
+	Percent [][]float64
+}
+
+// ComputeWinTable aggregates sweep results into a win table against the
+// baseline (index 0). An "experiment" is one (configuration, error) cell,
+// with makespans already averaged over repetitions, matching the paper's
+// presentation of averages over 40 repetitions.
+func ComputeWinTable(res *Results, margin float64, buckets []Bucket) *WinTable {
+	nAlg := len(res.Algorithms)
+	wt := &WinTable{
+		Margin:     margin,
+		Buckets:    buckets,
+		Algorithms: res.Algorithms[1:],
+		Percent:    make([][]float64, nAlg-1),
+	}
+	rates := make([][]stats.WinRate, nAlg-1)
+	for a := range rates {
+		rates[a] = make([]stats.WinRate, len(buckets))
+	}
+	for ci := range res.Configs {
+		for ei, errMag := range res.Grid.Errors {
+			bi := -1
+			for k, b := range buckets {
+				if b.Contains(errMag) {
+					bi = k
+					break
+				}
+			}
+			if bi < 0 {
+				continue
+			}
+			base := res.Mean[ci][ei][0]
+			if math.IsNaN(base) {
+				continue
+			}
+			for a := 1; a < nAlg; a++ {
+				them := res.Mean[ci][ei][a]
+				if math.IsNaN(them) {
+					continue
+				}
+				rates[a-1][bi].Record(base, them, margin)
+			}
+		}
+	}
+	for a := range rates {
+		wt.Percent[a] = make([]float64, len(buckets))
+		for b := range buckets {
+			wt.Percent[a][b] = rates[a][b].Percent()
+		}
+	}
+	return wt
+}
+
+// OverallWinPercent returns the baseline's win rate across every
+// experiment and competitor — the paper's "RUMR outperforms competing
+// algorithms in 79% of our experiments".
+func OverallWinPercent(res *Results, margin float64) float64 {
+	var wr stats.WinRate
+	for ci := range res.Configs {
+		for ei := range res.Grid.Errors {
+			base := res.Mean[ci][ei][0]
+			if math.IsNaN(base) {
+				continue
+			}
+			for a := 1; a < len(res.Algorithms); a++ {
+				them := res.Mean[ci][ei][a]
+				if math.IsNaN(them) {
+					continue
+				}
+				wr.Record(base, them, margin)
+			}
+		}
+	}
+	return wr.Percent()
+}
+
+// Curves is the shape of Figs. 4-7: per error value (X), the mean over
+// configurations of each algorithm's makespan normalised to the
+// baseline's (Y per algorithm). Values above 1 favour the baseline.
+type Curves struct {
+	Errors     []float64
+	Algorithms []string // competitors, excluding the baseline
+	// Ratio[a][e] is mean(makespan_a / makespan_baseline) at Errors[e].
+	Ratio [][]float64
+	// N[a][e] counts the configurations contributing to each point.
+	N [][]int
+}
+
+// ComputeCurves aggregates normalised-makespan curves over the
+// configurations accepted by filter (nil means all) — filter selects the
+// subsets of Fig. 4(b) (cLat < 0.3, nLat < 0.3) and Fig. 5 (one point).
+func ComputeCurves(res *Results, filter func(Config) bool) *Curves {
+	nAlg := len(res.Algorithms)
+	cv := &Curves{
+		Errors:     res.Grid.Errors,
+		Algorithms: res.Algorithms[1:],
+		Ratio:      make([][]float64, nAlg-1),
+		N:          make([][]int, nAlg-1),
+	}
+	for a := range cv.Ratio {
+		cv.Ratio[a] = make([]float64, len(res.Grid.Errors))
+		cv.N[a] = make([]int, len(res.Grid.Errors))
+	}
+	for ci, cfg := range res.Configs {
+		if filter != nil && !filter(cfg) {
+			continue
+		}
+		for ei := range res.Grid.Errors {
+			base := res.Mean[ci][ei][0]
+			if math.IsNaN(base) || base <= 0 {
+				continue
+			}
+			for a := 1; a < nAlg; a++ {
+				them := res.Mean[ci][ei][a]
+				if math.IsNaN(them) {
+					continue
+				}
+				cv.Ratio[a-1][ei] += them / base
+				cv.N[a-1][ei]++
+			}
+		}
+	}
+	for a := range cv.Ratio {
+		for e := range cv.Ratio[a] {
+			if cv.N[a][e] > 0 {
+				cv.Ratio[a][e] /= float64(cv.N[a][e])
+			} else {
+				cv.Ratio[a][e] = math.NaN()
+			}
+		}
+	}
+	return cv
+}
+
+// LowLatencyFilter selects the Fig. 4(b) subset: cLat < 0.3 and nLat < 0.3.
+func LowLatencyFilter(c Config) bool { return c.CLat < 0.3 && c.NLat < 0.3 }
+
+// MeanRatioOverErrors returns one scalar per algorithm: the curve's mean
+// over all error values (used to rank the Fig. 6 fixed-split variants).
+func (cv *Curves) MeanRatioOverErrors() []float64 {
+	out := make([]float64, len(cv.Algorithms))
+	for a := range cv.Algorithms {
+		var w stats.Welford
+		for e := range cv.Errors {
+			if !math.IsNaN(cv.Ratio[a][e]) {
+				w.Add(cv.Ratio[a][e])
+			}
+		}
+		out[a] = w.Mean()
+	}
+	return out
+}

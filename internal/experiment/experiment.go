@@ -1,0 +1,356 @@
+// Package experiment reproduces the evaluation methodology of §5: it sweeps
+// the parameter grid of Table 1, runs every scheduler on every
+// (configuration, error, repetition) triple, and aggregates the results
+// into the paper's tables (win percentages per error bucket) and figures
+// (mean makespan normalised to RUMR versus error).
+//
+// The sweep is embarrassingly parallel; Runner fans configurations out to
+// a pool of goroutines (one per CPU by default). Reproducibility is exact:
+// the error streams are seeded from (base seed, configuration, error
+// index, repetition), independent of scheduling order, and the same
+// streams are shared by all algorithms at a given triple (common random
+// numbers).
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"rumr/internal/engine"
+	"rumr/internal/perferr"
+	"rumr/internal/platform"
+	"rumr/internal/rng"
+	"rumr/internal/sched"
+	"rumr/internal/sched/factoring"
+	"rumr/internal/sched/fsc"
+	"rumr/internal/sched/mi"
+	"rumr/internal/sched/rumr"
+	"rumr/internal/sched/umr"
+)
+
+// Config is one platform point of the grid: N homogeneous workers with
+// S = 1, B = R·N, and the two latencies.
+type Config struct {
+	N          int
+	R          float64
+	CLat, NLat float64
+}
+
+// Platform instantiates the configuration.
+func (c Config) Platform() *platform.Platform {
+	return platform.Homogeneous(c.N, 1, c.R*float64(c.N), c.CLat, c.NLat)
+}
+
+// String labels the configuration in reports.
+func (c Config) String() string {
+	return fmt.Sprintf("N=%d r=%.1f cLat=%.1f nLat=%.1f", c.N, c.R, c.CLat, c.NLat)
+}
+
+// Grid is a full sweep description.
+type Grid struct {
+	Ns     []int
+	Rs     []float64
+	CLats  []float64
+	NLats  []float64
+	Errors []float64
+	// Reps is the number of repetitions per (config, error) — the paper
+	// uses 40.
+	Reps int
+	// Total is W_total (the paper uses 1000).
+	Total float64
+	// BaseSeed makes the whole sweep reproducible.
+	BaseSeed uint64
+}
+
+// Configs expands the grid into its configuration list.
+func (g Grid) Configs() []Config {
+	var out []Config
+	for _, n := range g.Ns {
+		for _, r := range g.Rs {
+			for _, cl := range g.CLats {
+				for _, nl := range g.NLats {
+					out = append(out, Config{N: n, R: r, CLat: cl, NLat: nl})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Runs returns the total number of simulations the grid implies for k
+// algorithms.
+func (g Grid) Runs(k int) int {
+	return len(g.Configs()) * len(g.Errors) * g.Reps * k
+}
+
+// seq returns {from, from+step, ..., to} inclusive (within fp tolerance).
+func seq(from, to, step float64) []float64 {
+	var out []float64
+	for x := from; x <= to+1e-9; x += step {
+		out = append(out, math.Round(x*1e9)/1e9)
+	}
+	return out
+}
+
+// PaperGrid is the full Table 1 grid with the paper's 40 repetitions and
+// error swept 0..0.48 in steps of 0.02 (five values per bucket of
+// Tables 2-3). It implies ~69M simulations for the 7 standard algorithms —
+// run it only on a machine with time to spare.
+func PaperGrid() Grid {
+	return Grid{
+		Ns:       []int{10, 15, 20, 25, 30, 35, 40, 45, 50},
+		Rs:       seq(1.2, 2.0, 0.1),
+		CLats:    seq(0, 1, 0.1),
+		NLats:    seq(0, 1, 0.1),
+		Errors:   seq(0, 0.48, 0.02),
+		Reps:     40,
+		Total:    1000,
+		BaseSeed: 2003,
+	}
+}
+
+// ReducedGrid subsamples the paper grid so the whole study runs in minutes
+// on a laptop while preserving the coverage of every parameter dimension.
+// EXPERIMENTS.md records which grid produced each reported number.
+func ReducedGrid() Grid {
+	return Grid{
+		Ns:       []int{10, 20, 30, 40, 50},
+		Rs:       []float64{1.2, 1.6, 2.0},
+		CLats:    []float64{0, 0.3, 0.6, 0.9},
+		NLats:    []float64{0, 0.3, 0.6, 0.9},
+		Errors:   seq(0, 0.48, 0.04),
+		Reps:     10,
+		Total:    1000,
+		BaseSeed: 2003,
+	}
+}
+
+// SmokeGrid is a minimal grid for tests and -short benchmarks.
+func SmokeGrid() Grid {
+	return Grid{
+		Ns:       []int{10, 20},
+		Rs:       []float64{1.5},
+		CLats:    []float64{0.1, 0.5},
+		NLats:    []float64{0.1, 0.5},
+		Errors:   []float64{0, 0.1, 0.2, 0.3, 0.4},
+		Reps:     5,
+		Total:    1000,
+		BaseSeed: 2003,
+	}
+}
+
+// Fig5Grid is the single configuration of Fig. 5: cLat=0.3, nLat=0.9,
+// N=20, B=36 (r=1.8), with the paper's fine error sweep and repetitions.
+func Fig5Grid() Grid {
+	return Grid{
+		Ns:       []int{20},
+		Rs:       []float64{1.8},
+		CLats:    []float64{0.3},
+		NLats:    []float64{0.9},
+		Errors:   seq(0, 0.48, 0.02),
+		Reps:     40,
+		Total:    1000,
+		BaseSeed: 2003,
+	}
+}
+
+// StandardAlgorithms returns the seven schedulers of §5.1: RUMR first (the
+// normalisation baseline), then UMR, MI-1..4 and Factoring.
+func StandardAlgorithms() []sched.Scheduler {
+	return []sched.Scheduler{
+		rumr.Scheduler{},
+		umr.Scheduler{},
+		mi.Scheduler{Installments: 1},
+		mi.Scheduler{Installments: 2},
+		mi.Scheduler{Installments: 3},
+		mi.Scheduler{Installments: 4},
+		factoring.Scheduler{},
+	}
+}
+
+// WithFSC appends the FSC baseline (§5.1 evaluates it but omits it from
+// the plots; our FSC-claim bench includes it).
+func WithFSC(algos []sched.Scheduler) []sched.Scheduler {
+	return append(algos, fsc.Scheduler{})
+}
+
+// Fig6Algorithms returns original RUMR plus the fixed-split variants of
+// §5.2.1 (50%..90% of the workload in phase 1).
+func Fig6Algorithms() []sched.Scheduler {
+	out := []sched.Scheduler{rumr.Scheduler{}}
+	for _, f := range []float64{0.5, 0.6, 0.7, 0.8, 0.9} {
+		out = append(out, rumr.Scheduler{FixedPhase1Fraction: f})
+	}
+	return out
+}
+
+// Fig7Algorithms returns original RUMR plus the plain-phase-1 variant of
+// §5.2.2.
+func Fig7Algorithms() []sched.Scheduler {
+	return []sched.Scheduler{rumr.Scheduler{}, rumr.Scheduler{PlainPhase1: true}}
+}
+
+// ErrorModelKind selects the distribution of the prediction-error ratio.
+type ErrorModelKind int
+
+const (
+	// NormalError is the paper's truncated normal model.
+	NormalError ErrorModelKind = iota
+	// UniformError is the alternative the paper reports as "essentially
+	// similar".
+	UniformError
+)
+
+// Results holds the mean makespans of a sweep, indexed
+// [config][error][algorithm].
+type Results struct {
+	Grid       Grid
+	Configs    []Config
+	Algorithms []string
+	// Mean[c][e][a] is the mean makespan over repetitions; NaN marks an
+	// algorithm that failed on the configuration.
+	Mean [][][]float64
+}
+
+// Runner executes sweeps.
+type Runner struct {
+	// Algorithms to compare; index 0 is the normalisation baseline.
+	Algorithms []sched.Scheduler
+	// Workers is the pool size; 0 means GOMAXPROCS.
+	Workers int
+	// ErrorModel selects the ratio distribution (default: NormalError).
+	ErrorModel ErrorModelKind
+	// KnownError feeds the true error magnitude to the schedulers (the
+	// paper's "error is known" scenario). When false, schedulers see
+	// KnownError = -1 (unknown) and fall back to their fixed defaults.
+	UnknownError bool
+	// Progress, when non-nil, receives the number of finished
+	// configurations out of the total.
+	Progress func(done, total int)
+}
+
+func (r *Runner) model(errMag float64, src *rng.Source) perferr.Model {
+	if errMag <= 0 {
+		return perferr.Perfect{}
+	}
+	if r.ErrorModel == UniformError {
+		return perferr.NewUniform(errMag, src)
+	}
+	return perferr.NewTruncNormal(errMag, src)
+}
+
+// Sweep runs the grid and returns per-(config, error, algorithm) mean
+// makespans.
+func (r *Runner) Sweep(g Grid) (*Results, error) {
+	if len(r.Algorithms) == 0 {
+		return nil, fmt.Errorf("experiment: no algorithms")
+	}
+	configs := g.Configs()
+	if len(configs) == 0 || len(g.Errors) == 0 || g.Reps <= 0 || g.Total <= 0 {
+		return nil, fmt.Errorf("experiment: empty grid")
+	}
+	res := &Results{
+		Grid:       g,
+		Configs:    configs,
+		Algorithms: make([]string, len(r.Algorithms)),
+		Mean:       make([][][]float64, len(configs)),
+	}
+	for i, a := range r.Algorithms {
+		res.Algorithms[i] = a.Name()
+	}
+
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var done atomic.Int64
+	var firstErr atomic.Value
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ci := range jobs {
+				if err := r.runConfig(g, configs[ci], ci, res); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+				}
+				if r.Progress != nil {
+					r.Progress(int(done.Add(1)), len(configs))
+				}
+			}
+		}()
+	}
+	for ci := range configs {
+		jobs <- ci
+	}
+	close(jobs)
+	wg.Wait()
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// runConfig simulates every (error, rep, algorithm) cell of one
+// configuration. Each cell's error streams are derived from
+// (BaseSeed, config index, error index, rep) so that all algorithms face
+// the same random environment (common random numbers) and results do not
+// depend on goroutine scheduling.
+func (r *Runner) runConfig(g Grid, cfg Config, ci int, res *Results) error {
+	p := cfg.Platform()
+	cell := make([][]float64, len(g.Errors))
+	for ei := range g.Errors {
+		cell[ei] = make([]float64, len(r.Algorithms))
+	}
+	for ei, errMag := range g.Errors {
+		sums := make([]float64, len(r.Algorithms))
+		fails := make([]bool, len(r.Algorithms))
+		for rep := 0; rep < g.Reps; rep++ {
+			for ai, algo := range r.Algorithms {
+				known := errMag
+				if r.UnknownError {
+					known = -1
+				}
+				pr := &sched.Problem{
+					Platform:   p,
+					Total:      g.Total,
+					KnownError: known,
+					MinUnit:    1,
+				}
+				d, err := algo.NewDispatcher(pr)
+				if err != nil {
+					fails[ai] = true
+					continue
+				}
+				src := rng.NewFrom(g.BaseSeed, uint64(ci), uint64(ei), uint64(rep))
+				opts := engine.Options{
+					CommModel: r.model(errMag, src.Split()),
+					CompModel: r.model(errMag, src.Split()),
+				}
+				out, err := engine.Run(p, d, opts)
+				if err != nil {
+					return fmt.Errorf("experiment: %s on %s: %w", algo.Name(), cfg, err)
+				}
+				if math.Abs(out.DispatchedWork-g.Total) > 1e-6*g.Total {
+					return fmt.Errorf("experiment: %s on %s dispatched %g of %g",
+						algo.Name(), cfg, out.DispatchedWork, g.Total)
+				}
+				sums[ai] += out.Makespan
+			}
+		}
+		for ai := range r.Algorithms {
+			if fails[ai] {
+				cell[ei][ai] = math.NaN()
+			} else {
+				cell[ei][ai] = sums[ai] / float64(g.Reps)
+			}
+		}
+	}
+	res.Mean[ci] = cell
+	return nil
+}

@@ -1,0 +1,264 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+
+	"rumr/internal/sched"
+	"rumr/internal/sched/rumr"
+	"rumr/internal/sched/umr"
+)
+
+func TestGridConfigs(t *testing.T) {
+	g := Grid{
+		Ns: []int{10, 20}, Rs: []float64{1.5},
+		CLats: []float64{0, 0.5}, NLats: []float64{0.3},
+		Errors: []float64{0, 0.2}, Reps: 3, Total: 1000,
+	}
+	cfgs := g.Configs()
+	if len(cfgs) != 4 {
+		t.Fatalf("configs = %d, want 4", len(cfgs))
+	}
+	if g.Runs(7) != 4*2*3*7 {
+		t.Fatalf("runs = %d", g.Runs(7))
+	}
+}
+
+func TestPaperGridShape(t *testing.T) {
+	g := PaperGrid()
+	if len(g.Ns) != 9 || len(g.Rs) != 9 || len(g.CLats) != 11 || len(g.NLats) != 11 {
+		t.Fatalf("paper grid dims: %d %d %d %d", len(g.Ns), len(g.Rs), len(g.CLats), len(g.NLats))
+	}
+	if len(g.Configs()) != 9*9*11*11 {
+		t.Fatalf("paper grid size = %d", len(g.Configs()))
+	}
+	if len(g.Errors) != 25 || g.Errors[1] != 0.02 || g.Errors[24] != 0.48 {
+		t.Fatalf("errors = %v", g.Errors)
+	}
+	if g.Reps != 40 || g.Total != 1000 {
+		t.Fatalf("reps/total = %d/%v", g.Reps, g.Total)
+	}
+}
+
+func TestSeq(t *testing.T) {
+	s := seq(0, 1, 0.1)
+	if len(s) != 11 || s[0] != 0 || s[10] != 1 {
+		t.Fatalf("seq = %v", s)
+	}
+	s = seq(1.2, 2.0, 0.1)
+	if len(s) != 9 || s[8] != 2.0 {
+		t.Fatalf("seq = %v", s)
+	}
+}
+
+func smokeRunner(algos []sched.Scheduler) *Runner {
+	return &Runner{Algorithms: algos, Workers: 4}
+}
+
+func TestSweepSmoke(t *testing.T) {
+	g := SmokeGrid()
+	r := smokeRunner(StandardAlgorithms())
+	res, err := r.Sweep(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Configs) != 8 || len(res.Mean) != 8 {
+		t.Fatalf("results shape: %d configs", len(res.Configs))
+	}
+	for ci := range res.Mean {
+		for ei := range res.Mean[ci] {
+			for ai, m := range res.Mean[ci][ei] {
+				if math.IsNaN(m) || m <= 0 {
+					t.Fatalf("mean[%d][%d][%d] = %v", ci, ei, ai, m)
+				}
+			}
+		}
+	}
+	if res.Algorithms[0] != "RUMR" {
+		t.Fatalf("baseline = %q", res.Algorithms[0])
+	}
+}
+
+func TestSweepDeterministic(t *testing.T) {
+	g := SmokeGrid()
+	a, err := smokeRunner([]sched.Scheduler{rumr.Scheduler{}, umr.Scheduler{}}).Sweep(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different worker count must not change results.
+	r2 := &Runner{Algorithms: []sched.Scheduler{rumr.Scheduler{}, umr.Scheduler{}}, Workers: 1}
+	b, err := r2.Sweep(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci := range a.Mean {
+		for ei := range a.Mean[ci] {
+			for ai := range a.Mean[ci][ei] {
+				if a.Mean[ci][ei][ai] != b.Mean[ci][ei][ai] {
+					t.Fatalf("sweep not deterministic at [%d][%d][%d]", ci, ei, ai)
+				}
+			}
+		}
+	}
+}
+
+func TestSweepProgress(t *testing.T) {
+	g := SmokeGrid()
+	var calls int
+	last := 0
+	r := &Runner{
+		Algorithms: []sched.Scheduler{rumr.Scheduler{}},
+		Workers:    1,
+		Progress: func(done, total int) {
+			calls++
+			last = done
+			if total != 8 {
+				t.Errorf("total = %d", total)
+			}
+		},
+	}
+	if _, err := r.Sweep(g); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 8 || last != 8 {
+		t.Fatalf("progress calls = %d, last = %d", calls, last)
+	}
+}
+
+func TestSweepRejectsEmpty(t *testing.T) {
+	if _, err := (&Runner{}).Sweep(SmokeGrid()); err == nil {
+		t.Fatal("no algorithms accepted")
+	}
+	r := smokeRunner(StandardAlgorithms())
+	if _, err := r.Sweep(Grid{}); err == nil {
+		t.Fatal("empty grid accepted")
+	}
+}
+
+func TestUniformErrorModelRuns(t *testing.T) {
+	g := Grid{
+		Ns: []int{10}, Rs: []float64{1.5}, CLats: []float64{0.3}, NLats: []float64{0.3},
+		Errors: []float64{0.3}, Reps: 3, Total: 1000, BaseSeed: 7,
+	}
+	norm := &Runner{Algorithms: []sched.Scheduler{rumr.Scheduler{}}, ErrorModel: NormalError}
+	unif := &Runner{Algorithms: []sched.Scheduler{rumr.Scheduler{}}, ErrorModel: UniformError}
+	a, err := norm.Sweep(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := unif.Sweep(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Mean[0][0][0] == b.Mean[0][0][0] {
+		t.Fatal("uniform and normal models gave identical means (suspicious)")
+	}
+}
+
+func TestBuckets(t *testing.T) {
+	bs := PaperBuckets()
+	if len(bs) != 5 {
+		t.Fatalf("buckets = %d", len(bs))
+	}
+	if !bs[0].Contains(0) || !bs[0].Contains(0.08) || bs[0].Contains(0.1) {
+		t.Fatal("bucket 0 bounds wrong")
+	}
+	if bs[1].Label() != "0.1-0.18" {
+		t.Fatalf("label = %q", bs[1].Label())
+	}
+	if !bs[4].Contains(0.48) {
+		t.Fatal("last bucket must contain 0.48")
+	}
+}
+
+func TestWinTableAndCurves(t *testing.T) {
+	g := SmokeGrid()
+	res, err := smokeRunner(StandardAlgorithms()).Sweep(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buckets := []Bucket{{0, 0.1}, {0.2, 0.48}}
+	wt := ComputeWinTable(res, 0, buckets)
+	if len(wt.Algorithms) != 6 || len(wt.Percent) != 6 {
+		t.Fatalf("win table shape: %d", len(wt.Algorithms))
+	}
+	for a := range wt.Percent {
+		for b := range wt.Percent[a] {
+			if wt.Percent[a][b] < 0 || wt.Percent[a][b] > 100 {
+				t.Fatalf("percent = %v", wt.Percent[a][b])
+			}
+		}
+	}
+	// A margin can only lower the win rate.
+	wt10 := ComputeWinTable(res, 0.10, buckets)
+	for a := range wt.Percent {
+		for b := range wt.Percent[a] {
+			if wt10.Percent[a][b] > wt.Percent[a][b]+1e-9 {
+				t.Fatalf("margin increased the win rate")
+			}
+		}
+	}
+
+	cv := ComputeCurves(res, nil)
+	if len(cv.Algorithms) != 6 || len(cv.Ratio[0]) != len(g.Errors) {
+		t.Fatal("curves shape")
+	}
+	for a := range cv.Ratio {
+		for e := range cv.Ratio[a] {
+			if math.IsNaN(cv.Ratio[a][e]) || cv.Ratio[a][e] <= 0 {
+				t.Fatalf("ratio[%d][%d] = %v", a, e, cv.Ratio[a][e])
+			}
+			if cv.N[a][e] != len(res.Configs) {
+				t.Fatalf("N[%d][%d] = %d", a, e, cv.N[a][e])
+			}
+		}
+	}
+
+	overall := OverallWinPercent(res, 0)
+	if overall < 0 || overall > 100 {
+		t.Fatalf("overall = %v", overall)
+	}
+
+	means := cv.MeanRatioOverErrors()
+	if len(means) != 6 {
+		t.Fatal("mean ratios length")
+	}
+}
+
+func TestCurvesFilter(t *testing.T) {
+	g := SmokeGrid() // cLat/nLat in {0.1, 0.5}
+	res, err := smokeRunner([]sched.Scheduler{rumr.Scheduler{}, umr.Scheduler{}}).Sweep(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv := ComputeCurves(res, LowLatencyFilter)
+	// Only the (0.1, 0.1) configs pass: one per N -> 2 configs.
+	for e := range cv.Errors {
+		if cv.N[0][e] != 2 {
+			t.Fatalf("filtered N = %d, want 2", cv.N[0][e])
+		}
+	}
+}
+
+// The headline sanity check on a small grid: at zero error UMR is at least
+// as good as RUMR on average (they coincide), and at high error RUMR's
+// normalised advantage over UMR grows.
+func TestRUMRAdvantageGrowsWithError(t *testing.T) {
+	g := Grid{
+		Ns: []int{20}, Rs: []float64{1.5},
+		CLats: []float64{0.3}, NLats: []float64{0.3},
+		Errors: []float64{0, 0.4}, Reps: 20, Total: 1000, BaseSeed: 11,
+	}
+	res, err := smokeRunner([]sched.Scheduler{rumr.Scheduler{}, umr.Scheduler{}}).Sweep(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv := ComputeCurves(res, nil)
+	atZero, atHigh := cv.Ratio[0][0], cv.Ratio[0][1]
+	if atHigh <= atZero {
+		t.Fatalf("UMR/RUMR ratio should grow with error: %v -> %v", atZero, atHigh)
+	}
+	if atHigh <= 1 {
+		t.Fatalf("RUMR should beat UMR at error 0.4, ratio = %v", atHigh)
+	}
+}

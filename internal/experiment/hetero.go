@@ -1,0 +1,141 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"rumr/internal/engine"
+	"rumr/internal/perferr"
+	"rumr/internal/platform"
+	"rumr/internal/rng"
+	"rumr/internal/sched"
+	"rumr/internal/stats"
+)
+
+// HeteroGrid describes a heterogeneity study: ensembles of random star
+// platforms whose worker speeds and link rates are drawn within
+// ±Spread/2 of their means (Spread 0 = homogeneous), swept over
+// heterogeneity levels and error magnitudes. The paper defers
+// heterogeneity to its UMR prior work [17, 13]; this harness provides the
+// equivalent study for RUMR.
+type HeteroGrid struct {
+	// N is the worker count of every platform.
+	N int
+	// MeanS and MeanR set the platform scale: worker speeds centre on
+	// MeanS, link rates on MeanR·N·MeanS (the paper's r).
+	MeanS, MeanR float64
+	// CLat and NLat are the (homogeneous) latencies.
+	CLat, NLat float64
+	// Spreads are the heterogeneity levels: a spread h draws S and B
+	// uniformly within [mean·(1-h/2), mean·(1+h/2)].
+	Spreads []float64
+	// Errors are the prediction-error magnitudes.
+	Errors []float64
+	// Platforms is the ensemble size per (spread); Reps the repetitions
+	// per (platform, error).
+	Platforms, Reps int
+	// Total is W_total.
+	Total float64
+	// BaseSeed seeds both platform generation and error streams.
+	BaseSeed uint64
+}
+
+// DefaultHeteroGrid returns the ensemble used by the heterogeneity bench:
+// 16 workers, r = 1.6, moderate latencies, spreads 0…1.2.
+func DefaultHeteroGrid() HeteroGrid {
+	return HeteroGrid{
+		N: 16, MeanS: 1, MeanR: 1.6, CLat: 0.3, NLat: 0.3,
+		Spreads:   []float64{0, 0.4, 0.8, 1.2},
+		Errors:    []float64{0, 0.2, 0.4},
+		Platforms: 20, Reps: 5, Total: 1000, BaseSeed: 4242,
+	}
+}
+
+// HeteroResults holds mean normalised makespans per (spread, error,
+// competitor): competitor makespan divided by the baseline's, averaged
+// over the platform ensemble and repetitions.
+type HeteroResults struct {
+	Grid       HeteroGrid
+	Algorithms []string // competitors (baseline excluded)
+	// Ratio[s][e][a] is the mean ratio at Spreads[s], Errors[e].
+	Ratio [][][]float64
+}
+
+// platformFor draws ensemble member pi at the given spread.
+func (g HeteroGrid) platformFor(spread float64, pi int) *platform.Platform {
+	src := rng.NewFrom(g.BaseSeed, math.Float64bits(spread), uint64(pi))
+	meanB := g.MeanR * float64(g.N) * g.MeanS
+	spec := platform.HeterogeneousSpec{
+		N:       g.N,
+		SMin:    g.MeanS * (1 - spread/2),
+		SMax:    g.MeanS * (1 + spread/2),
+		BMin:    meanB * (1 - spread/2),
+		BMax:    meanB * (1 + spread/2),
+		CLatMin: g.CLat, CLatMax: g.CLat,
+		NLatMin: g.NLat, NLatMax: g.NLat,
+	}
+	if spread == 0 {
+		return platform.Homogeneous(g.N, g.MeanS, meanB, g.CLat, g.NLat)
+	}
+	return platform.Heterogeneous(spec, src)
+}
+
+// RunHetero executes the study: algorithms[0] is the baseline. It returns
+// an error if any scheduler rejects a platform.
+func RunHetero(g HeteroGrid, algorithms []sched.Scheduler) (*HeteroResults, error) {
+	if len(algorithms) < 2 {
+		return nil, fmt.Errorf("experiment: hetero study needs a baseline and at least one competitor")
+	}
+	res := &HeteroResults{Grid: g}
+	for _, a := range algorithms[1:] {
+		res.Algorithms = append(res.Algorithms, a.Name())
+	}
+	res.Ratio = make([][][]float64, len(g.Spreads))
+	for si, spread := range g.Spreads {
+		res.Ratio[si] = make([][]float64, len(g.Errors))
+		for ei, errMag := range g.Errors {
+			acc := make([]stats.Welford, len(algorithms)-1)
+			for pi := 0; pi < g.Platforms; pi++ {
+				p := g.platformFor(spread, pi)
+				for rep := 0; rep < g.Reps; rep++ {
+					mks := make([]float64, len(algorithms))
+					for ai, algo := range algorithms {
+						pr := &sched.Problem{
+							Platform: p, Total: g.Total,
+							KnownError: errMag, MinUnit: 1,
+						}
+						d, err := algo.NewDispatcher(pr)
+						if err != nil {
+							return nil, fmt.Errorf("experiment: %s on spread %g platform %d: %w",
+								algo.Name(), spread, pi, err)
+						}
+						src := rng.NewFrom(g.BaseSeed+1, math.Float64bits(spread), uint64(pi), uint64(ei), uint64(rep))
+						var comm, comp perferr.Model = perferr.Perfect{}, perferr.Perfect{}
+						if errMag > 0 {
+							comm = perferr.NewTruncNormal(errMag, src.Split())
+							comp = perferr.NewTruncNormal(errMag, src.Split())
+						}
+						out, err := engine.Run(p, d, engine.Options{CommModel: comm, CompModel: comp})
+						if err != nil {
+							return nil, err
+						}
+						if math.Abs(out.DispatchedWork-g.Total) > 1e-6*g.Total {
+							return nil, fmt.Errorf("experiment: %s dispatched %g of %g",
+								algo.Name(), out.DispatchedWork, g.Total)
+						}
+						mks[ai] = out.Makespan
+					}
+					for ai := 1; ai < len(algorithms); ai++ {
+						acc[ai-1].Add(mks[ai] / mks[0])
+					}
+				}
+			}
+			row := make([]float64, len(acc))
+			for ai := range acc {
+				row[ai] = acc[ai].Mean()
+			}
+			res.Ratio[si][ei] = row
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,111 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+
+	"rumr/internal/sched"
+	"rumr/internal/sched/factoring"
+	"rumr/internal/sched/rumr"
+	"rumr/internal/sched/umr"
+)
+
+func smallHeteroGrid() HeteroGrid {
+	return HeteroGrid{
+		N: 8, MeanS: 1, MeanR: 1.6, CLat: 0.2, NLat: 0.2,
+		Spreads:   []float64{0, 0.8},
+		Errors:    []float64{0, 0.3},
+		Platforms: 4, Reps: 2, Total: 500, BaseSeed: 9,
+	}
+}
+
+func TestRunHeteroShape(t *testing.T) {
+	g := smallHeteroGrid()
+	algos := []sched.Scheduler{rumr.Scheduler{}, umr.Scheduler{}, factoring.Scheduler{}}
+	res, err := RunHetero(g, algos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Algorithms) != 2 || res.Algorithms[0] != "UMR" {
+		t.Fatalf("algorithms = %v", res.Algorithms)
+	}
+	if len(res.Ratio) != 2 || len(res.Ratio[0]) != 2 || len(res.Ratio[0][0]) != 2 {
+		t.Fatalf("ratio shape wrong")
+	}
+	for si := range res.Ratio {
+		for ei := range res.Ratio[si] {
+			for ai, r := range res.Ratio[si][ei] {
+				if math.IsNaN(r) || r <= 0 {
+					t.Fatalf("ratio[%d][%d][%d] = %v", si, ei, ai, r)
+				}
+			}
+		}
+	}
+}
+
+func TestRunHeteroDeterministic(t *testing.T) {
+	g := smallHeteroGrid()
+	algos := []sched.Scheduler{rumr.Scheduler{}, umr.Scheduler{}}
+	a, err := RunHetero(g, algos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunHetero(g, algos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si := range a.Ratio {
+		for ei := range a.Ratio[si] {
+			if a.Ratio[si][ei][0] != b.Ratio[si][ei][0] {
+				t.Fatal("hetero study not deterministic")
+			}
+		}
+	}
+}
+
+func TestRunHeteroZeroSpreadMatchesHomogeneous(t *testing.T) {
+	g := smallHeteroGrid()
+	p := g.platformFor(0, 3)
+	if !p.Homogeneous() {
+		t.Fatal("spread 0 must yield a homogeneous platform")
+	}
+	q := g.platformFor(0.8, 3)
+	if q.Homogeneous() {
+		t.Fatal("spread 0.8 should yield a heterogeneous platform")
+	}
+	// Ensemble members differ from each other but are reproducible.
+	q2 := g.platformFor(0.8, 3)
+	for i := range q.Workers {
+		if q.Workers[i] != q2.Workers[i] {
+			t.Fatal("platform generation not reproducible")
+		}
+	}
+	other := g.platformFor(0.8, 4)
+	same := true
+	for i := range q.Workers {
+		if q.Workers[i] != other.Workers[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("distinct ensemble members are identical")
+	}
+}
+
+func TestRunHeteroNeedsCompetitor(t *testing.T) {
+	if _, err := RunHetero(smallHeteroGrid(), []sched.Scheduler{rumr.Scheduler{}}); err == nil {
+		t.Fatal("single algorithm accepted")
+	}
+}
+
+func TestDefaultHeteroGridSane(t *testing.T) {
+	g := DefaultHeteroGrid()
+	if g.N <= 0 || g.Platforms <= 0 || g.Reps <= 0 || len(g.Spreads) == 0 || len(g.Errors) == 0 {
+		t.Fatalf("default grid incomplete: %+v", g)
+	}
+	// The widest spread must still give valid platforms.
+	p := g.platformFor(g.Spreads[len(g.Spreads)-1], 0)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,54 @@
+package experiment
+
+import "rumr/internal/report"
+
+// RenderWinTable converts a win table into a printable report.Table shaped
+// like the paper's Tables 2-3: one row per competitor, one column per
+// error bucket.
+func RenderWinTable(wt *WinTable, title string) *report.Table {
+	t := &report.Table{Title: title}
+	t.Header = append(t.Header, "Algorithm")
+	for _, b := range wt.Buckets {
+		t.Header = append(t.Header, b.Label())
+	}
+	for a, name := range wt.Algorithms {
+		cells := []string{name}
+		for bi := range wt.Buckets {
+			cells = append(cells, report.Pct(wt.Percent[a][bi]))
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// RenderCurves converts normalised-makespan curves into a report.Chart
+// shaped like the paper's Figs. 4-7: X = error, Y = makespan normalised to
+// the baseline, one series per competitor.
+func RenderCurves(cv *Curves, title string) *report.Chart {
+	ch := &report.Chart{
+		Title:  title,
+		XLabel: "error",
+		YLabel: "makespan normalised to baseline",
+		Xs:     cv.Errors,
+	}
+	for a, name := range cv.Algorithms {
+		ch.Series = append(ch.Series, report.Series{Name: name, Ys: cv.Ratio[a]})
+	}
+	return ch
+}
+
+// CurvesTable renders the same curves as a numeric table (one row per
+// error value), which is easier to diff against the paper than ASCII art.
+func CurvesTable(cv *Curves, title string) *report.Table {
+	t := &report.Table{Title: title}
+	t.Header = append(t.Header, "error")
+	t.Header = append(t.Header, cv.Algorithms...)
+	for ei, e := range cv.Errors {
+		cells := []string{report.Ratio(e)}
+		for a := range cv.Algorithms {
+			cells = append(cells, report.Ratio(cv.Ratio[a][ei]))
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}

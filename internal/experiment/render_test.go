@@ -1,0 +1,86 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleWinTable() *WinTable {
+	return &WinTable{
+		Margin:     0,
+		Buckets:    PaperBuckets(),
+		Algorithms: []string{"UMR", "Factoring"},
+		Percent: [][]float64{
+			{54.96, 56.60, 73.45, 81.99, 86.48},
+			{98.21, 94.06, 93.84, 90.16, 84.74},
+		},
+	}
+}
+
+func sampleCurves() *Curves {
+	return &Curves{
+		Errors:     []float64{0, 0.1, 0.2},
+		Algorithms: []string{"UMR", "MI-1"},
+		Ratio: [][]float64{
+			{1.0, 1.05, 1.12},
+			{1.2, math.NaN(), 1.4},
+		},
+		N: [][]int{{3, 3, 3}, {3, 0, 3}},
+	}
+}
+
+func TestRenderWinTable(t *testing.T) {
+	tab := RenderWinTable(sampleWinTable(), "Table 2")
+	var b strings.Builder
+	if err := tab.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Table 2", "UMR", "Factoring", "0-0.08", "0.4-0.48", "54.96", "84.74"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderCurvesChart(t *testing.T) {
+	ch := RenderCurves(sampleCurves(), "Fig 4(a)")
+	if len(ch.Series) != 2 || ch.Series[0].Name != "UMR" {
+		t.Fatalf("series = %+v", ch.Series)
+	}
+	if len(ch.Xs) != 3 {
+		t.Fatalf("xs = %v", ch.Xs)
+	}
+	var b strings.Builder
+	if err := ch.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Fig 4(a)") {
+		t.Fatal("title missing")
+	}
+}
+
+func TestCurvesTable(t *testing.T) {
+	tab := CurvesTable(sampleCurves(), "data")
+	var b strings.Builder
+	if err := tab.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// NaN renders as a dash, not "NaN".
+	if strings.Contains(out, "NaN") {
+		t.Fatalf("NaN leaked:\n%s", out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Fatal("missing placeholder for the NaN cell")
+	}
+	if !strings.Contains(out, "1.120") {
+		t.Fatalf("ratio values missing:\n%s", out)
+	}
+	// One row per error value plus header/separator.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 1+2+3 {
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+}

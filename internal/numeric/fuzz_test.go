@@ -1,0 +1,44 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzBisect checks that whenever a cubic brackets a root, Bisect finds a
+// point where the function is (numerically) zero-crossing.
+func FuzzBisect(f *testing.F) {
+	f.Add(1.0, 0.0, -2.0, 0.0, -3.0, 3.0)
+	f.Add(0.5, -1.0, 0.25, 2.0, -10.0, 10.0)
+	f.Fuzz(func(t *testing.T, a3, a2, a1, a0, lo, hi float64) {
+		for _, v := range []float64{a3, a2, a1, a0, lo, hi} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+				t.Skip()
+			}
+		}
+		if hi <= lo {
+			t.Skip()
+		}
+		fn := func(x float64) float64 {
+			return ((a3*x+a2)*x+a1)*x + a0
+		}
+		fl, fh := fn(lo), fn(hi)
+		if math.Signbit(fl) == math.Signbit(fh) || fl == 0 || fh == 0 {
+			t.Skip() // not a strict bracket
+		}
+		root, err := Bisect(fn, lo, hi, 1e-12)
+		if err != nil {
+			t.Fatalf("bracketed root not found: %v", err)
+		}
+		if root < lo || root > hi {
+			t.Fatalf("root %v outside [%v, %v]", root, lo, hi)
+		}
+		// The function must change sign within a small neighbourhood.
+		eps := math.Max(1e-9, 1e-9*math.Abs(root))
+		fa, fb := fn(root-eps), fn(root+eps)
+		if fa != 0 && fb != 0 && math.Signbit(fa) == math.Signbit(fb) &&
+			math.Abs(fn(root)) > 1e-6*(1+math.Abs(a3)+math.Abs(a2)+math.Abs(a1)+math.Abs(a0)) {
+			t.Fatalf("no sign change near root %v (f=%v)", root, fn(root))
+		}
+	})
+}

@@ -1,0 +1,244 @@
+// Package numeric collects the small numerical kernels the schedulers need:
+// root finding (bisection and Brent's method) for the UMR round-count
+// optimisation, and dense linear solving (Gaussian elimination with partial
+// pivoting) for the Multi-Installment chunk system.
+//
+// Everything here is plain float64; the systems involved are tiny (at most
+// a few hundred unknowns), so numerical sophistication beyond partial
+// pivoting would be wasted.
+package numeric
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoBracket is returned by the root finders when f(a) and f(b) have the
+// same sign.
+var ErrNoBracket = errors.New("numeric: root is not bracketed")
+
+// ErrSingular is returned by SolveLinear when the matrix is (numerically)
+// singular.
+var ErrSingular = errors.New("numeric: singular matrix")
+
+// ErrNoConverge is returned when an iteration limit is reached.
+var ErrNoConverge = errors.New("numeric: iteration did not converge")
+
+// Bisect finds a root of f in [a, b] to within tol using plain bisection.
+// f(a) and f(b) must have opposite signs.
+func Bisect(f func(float64) float64, a, b, tol float64) (float64, error) {
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if math.Signbit(fa) == math.Signbit(fb) {
+		return 0, fmt.Errorf("%w: f(%g)=%g, f(%g)=%g", ErrNoBracket, a, fa, b, fb)
+	}
+	for i := 0; i < 200; i++ {
+		m := a + (b-a)/2
+		fm := f(m)
+		if fm == 0 || (b-a)/2 < tol {
+			return m, nil
+		}
+		if math.Signbit(fm) == math.Signbit(fa) {
+			a, fa = m, fm
+		} else {
+			b = m
+		}
+	}
+	return a + (b-a)/2, nil
+}
+
+// Brent finds a root of f in [a, b] using Brent's method (inverse quadratic
+// interpolation with bisection fallback). It converges much faster than
+// Bisect on smooth functions and is used for the Lagrange condition in UMR.
+func Brent(f func(float64) float64, a, b, tol float64) (float64, error) {
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if math.Signbit(fa) == math.Signbit(fb) {
+		return 0, fmt.Errorf("%w: f(%g)=%g, f(%g)=%g", ErrNoBracket, a, fa, b, fb)
+	}
+	if math.Abs(fa) < math.Abs(fb) {
+		a, b = b, a
+		fa, fb = fb, fa
+	}
+	c, fc := a, fa
+	mflag := true
+	var d float64
+	for i := 0; i < 200; i++ {
+		if fb == 0 || math.Abs(b-a) < tol {
+			return b, nil
+		}
+		var s float64
+		if fa != fc && fb != fc {
+			// Inverse quadratic interpolation.
+			s = a*fb*fc/((fa-fb)*(fa-fc)) +
+				b*fa*fc/((fb-fa)*(fb-fc)) +
+				c*fa*fb/((fc-fa)*(fc-fb))
+		} else {
+			// Secant.
+			s = b - fb*(b-a)/(fb-fa)
+		}
+		lo, hi := (3*a+b)/4, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		cond := s < lo || s > hi ||
+			(mflag && math.Abs(s-b) >= math.Abs(b-c)/2) ||
+			(!mflag && math.Abs(s-b) >= math.Abs(c-d)/2) ||
+			(mflag && math.Abs(b-c) < tol) ||
+			(!mflag && math.Abs(c-d) < tol)
+		if cond {
+			s = (a + b) / 2
+			mflag = true
+		} else {
+			mflag = false
+		}
+		fs := f(s)
+		d = c
+		c, fc = b, fb
+		if math.Signbit(fa) != math.Signbit(fs) {
+			b, fb = s, fs
+		} else {
+			a, fa = s, fs
+		}
+		if math.Abs(fa) < math.Abs(fb) {
+			a, b = b, a
+			fa, fb = fb, fa
+		}
+	}
+	return b, ErrNoConverge
+}
+
+// SolveLinear solves A x = rhs in place using Gaussian elimination with
+// partial pivoting. A is row-major, n x n, and is destroyed; rhs is
+// overwritten with the solution, which is also returned.
+func SolveLinear(a [][]float64, rhs []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 {
+		return rhs, nil
+	}
+	if len(rhs) != n {
+		return nil, fmt.Errorf("numeric: matrix is %dx%d but rhs has %d entries", n, len(a[0]), len(rhs))
+	}
+	for _, row := range a {
+		if len(row) != n {
+			return nil, fmt.Errorf("numeric: non-square matrix (row length %d, n=%d)", len(row), n)
+		}
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		p := col
+		best := math.Abs(a[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a[r][col]); v > best {
+				best, p = v, r
+			}
+		}
+		if best < 1e-13 {
+			return nil, ErrSingular
+		}
+		if p != col {
+			a[p], a[col] = a[col], a[p]
+			rhs[p], rhs[col] = rhs[col], rhs[p]
+		}
+		pivot := a[col][col]
+		for r := col + 1; r < n; r++ {
+			factor := a[r][col] / pivot
+			if factor == 0 {
+				continue
+			}
+			a[r][col] = 0
+			for c := col + 1; c < n; c++ {
+				a[r][c] -= factor * a[col][c]
+			}
+			rhs[r] -= factor * rhs[col]
+		}
+	}
+	// Back substitution.
+	for row := n - 1; row >= 0; row-- {
+		sum := rhs[row]
+		for c := row + 1; c < n; c++ {
+			sum -= a[row][c] * rhs[c]
+		}
+		rhs[row] = sum / a[row][row]
+	}
+	return rhs, nil
+}
+
+// MinimizeUnimodalInt finds the integer m in [lo, hi] minimising f, assuming
+// f is unimodal (decreases then increases). It scans forward from lo and
+// stops after the objective has risen for `patience` consecutive steps,
+// which tolerates small non-convex ripples from floating-point noise.
+// It returns the best m and f(m). Arguments with lo > hi panic.
+func MinimizeUnimodalInt(f func(int) float64, lo, hi, patience int) (int, float64) {
+	if lo > hi {
+		panic("numeric: MinimizeUnimodalInt with lo > hi")
+	}
+	if patience < 1 {
+		patience = 1
+	}
+	bestM, bestV := lo, f(lo)
+	rising := 0
+	prev := bestV
+	for m := lo + 1; m <= hi; m++ {
+		v := f(m)
+		if v < bestV {
+			bestM, bestV = m, v
+		}
+		if v >= prev {
+			rising++
+			if rising >= patience {
+				break
+			}
+		} else {
+			rising = 0
+		}
+		prev = v
+	}
+	return bestM, bestV
+}
+
+// GeomSum returns 1 + q + q^2 + ... + q^(m-1), handling q == 1 exactly.
+func GeomSum(q float64, m int) float64 {
+	if m <= 0 {
+		return 0
+	}
+	if math.Abs(q-1) < 1e-12 {
+		return float64(m)
+	}
+	return (math.Pow(q, float64(m)) - 1) / (q - 1)
+}
+
+// Clamp bounds x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// AlmostEqual reports whether a and b agree to within an absolute or
+// relative tolerance of eps.
+func AlmostEqual(a, b, eps float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	if diff <= eps {
+		return true
+	}
+	return diff <= eps*math.Max(math.Abs(a), math.Abs(b))
+}

@@ -1,0 +1,173 @@
+// Package perferr implements the performance-prediction-error model of the
+// paper (§4.1) plus the extensions its future-work section sketches.
+//
+// The paper's model: the ratio of predicted to effective duration of every
+// data transfer and every computation is drawn i.i.d. from a normal
+// distribution with mean 1 and standard deviation `error`, truncated to
+// stay positive. An effective duration is therefore predicted/ratio. The
+// distribution is stationary over the run.
+//
+// Extensions provided here and exercised by the ablation benches:
+//   - Uniform: ratio ~ U(1-√3·error, 1+√3·error) (same mean and sd);
+//   - RandomWalk: a slowly drifting mean, a mild violation of stationarity;
+//   - Estimator: an online estimator of `error` from observed
+//     predicted/effective pairs (the paper's future-work hook).
+package perferr
+
+import (
+	"math"
+
+	"rumr/internal/rng"
+)
+
+// Model perturbs predicted durations into effective durations.
+// Implementations must be deterministic given their Source.
+type Model interface {
+	// Perturb maps a predicted duration (seconds) to an effective one.
+	// It must return a positive duration for positive input and zero for
+	// zero input.
+	Perturb(predicted float64) float64
+	// Error returns the nominal magnitude parameter of the model (the
+	// paper's `error`), used by schedulers that know it.
+	Error() float64
+}
+
+// Perfect is the zero-error model: effective == predicted.
+type Perfect struct{}
+
+// Perturb returns the prediction unchanged.
+func (Perfect) Perturb(predicted float64) float64 { return predicted }
+
+// Error returns 0.
+func (Perfect) Error() float64 { return 0 }
+
+// minRatio keeps pathological draws from producing absurd durations: a
+// ratio below 0.05 would make a task 20x slower than predicted, far outside
+// the regime the paper studies (error <= 0.5).
+const minRatio = 0.05
+
+// TruncNormal is the paper's model: ratio ~ N(1, error) truncated positive.
+type TruncNormal struct {
+	Err float64
+	Src *rng.Source
+}
+
+// NewTruncNormal returns the paper's error model with the given magnitude,
+// drawing from src.
+func NewTruncNormal(err float64, src *rng.Source) *TruncNormal {
+	return &TruncNormal{Err: err, Src: src}
+}
+
+// Perturb returns predicted/ratio with ratio ~ TruncNormal(1, Err).
+func (m *TruncNormal) Perturb(predicted float64) float64 {
+	if predicted == 0 || m.Err <= 0 {
+		return predicted
+	}
+	ratio := m.Src.TruncNormal(1, m.Err, minRatio)
+	return predicted / ratio
+}
+
+// Error returns the model's standard deviation parameter.
+func (m *TruncNormal) Error() float64 { return m.Err }
+
+// Uniform draws the ratio from a uniform distribution with mean 1 and the
+// same standard deviation as the normal model: U(1-√3·err, 1+√3·err),
+// truncated below at minRatio. The paper reports results under a uniform
+// model were "essentially similar"; the ablation bench checks that.
+type Uniform struct {
+	Err float64
+	Src *rng.Source
+}
+
+// NewUniform returns the uniform-ratio error model.
+func NewUniform(err float64, src *rng.Source) *Uniform {
+	return &Uniform{Err: err, Src: src}
+}
+
+// Perturb returns predicted/ratio with a uniform ratio.
+func (m *Uniform) Perturb(predicted float64) float64 {
+	if predicted == 0 || m.Err <= 0 {
+		return predicted
+	}
+	half := math.Sqrt(3) * m.Err
+	ratio := m.Src.Uniform(1-half, 1+half)
+	if ratio < minRatio {
+		ratio = minRatio
+	}
+	return predicted / ratio
+}
+
+// Error returns the model's magnitude parameter.
+func (m *Uniform) Error() float64 { return m.Err }
+
+// RandomWalk perturbs with a truncated normal whose mean drifts as a
+// bounded random walk, modelling slowly varying background load: mean_{k+1}
+// = clamp(mean_k + N(0, drift), [1-span, 1+span]). With drift = 0 it
+// reduces exactly to TruncNormal.
+type RandomWalk struct {
+	Err   float64
+	Drift float64
+	Span  float64
+	Src   *rng.Source
+	mean  float64
+}
+
+// NewRandomWalk returns a non-stationary model with per-draw standard
+// deviation err, mean step size drift, and mean clamped to [1-span, 1+span].
+func NewRandomWalk(err, drift, span float64, src *rng.Source) *RandomWalk {
+	return &RandomWalk{Err: err, Drift: drift, Span: span, Src: src, mean: 1}
+}
+
+// Perturb returns predicted/ratio and advances the drifting mean.
+func (m *RandomWalk) Perturb(predicted float64) float64 {
+	if predicted == 0 {
+		return 0
+	}
+	ratio := m.Src.TruncNormal(m.mean, m.Err, minRatio)
+	m.mean += m.Src.NormalMuSigma(0, m.Drift)
+	if m.mean < 1-m.Span {
+		m.mean = 1 - m.Span
+	}
+	if m.mean > 1+m.Span {
+		m.mean = 1 + m.Span
+	}
+	return predicted / ratio
+}
+
+// Error returns the per-draw magnitude parameter.
+func (m *RandomWalk) Error() float64 { return m.Err }
+
+// Estimator measures the error magnitude online from completed work: it
+// accumulates the sample standard deviation of observed predicted/effective
+// ratios. This is the hook the paper's conclusion proposes for feeding RUMR
+// a measured error value at run time.
+type Estimator struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Observe records one completed task's predicted and effective durations.
+// Non-positive durations are ignored.
+func (e *Estimator) Observe(predicted, effective float64) {
+	if predicted <= 0 || effective <= 0 {
+		return
+	}
+	ratio := predicted / effective
+	e.n++
+	delta := ratio - e.mean
+	e.mean += delta / float64(e.n)
+	e.m2 += delta * (ratio - e.mean)
+}
+
+// N returns the number of observations.
+func (e *Estimator) N() int { return e.n }
+
+// Estimate returns the current estimate of `error` (the sd of the ratio),
+// or 0 with fewer than two observations.
+func (e *Estimator) Estimate() float64 {
+	if e.n < 2 {
+		return 0
+	}
+	return math.Sqrt(e.m2 / float64(e.n-1))
+}

@@ -1,0 +1,183 @@
+package platform
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rumr/internal/rng"
+)
+
+func TestWorkerValidate(t *testing.T) {
+	ok := Worker{S: 1, B: 2}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid worker rejected: %v", err)
+	}
+	bad := []Worker{
+		{S: 0, B: 1},
+		{S: 1, B: 0},
+		{S: 1, B: 1, CLat: -1},
+		{S: 1, B: 1, NLat: -0.5},
+		{S: 1, B: 1, TLat: -0.1},
+	}
+	for i, w := range bad {
+		if err := w.Validate(); err == nil {
+			t.Errorf("bad worker %d accepted", i)
+		}
+	}
+}
+
+func TestPlatformValidate(t *testing.T) {
+	var empty Platform
+	if err := empty.Validate(); err == nil {
+		t.Fatal("empty platform accepted")
+	}
+	p := Homogeneous(3, 1, 6, 0.1, 0.2)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("homogeneous platform rejected: %v", err)
+	}
+	p.Workers[1].S = -1
+	if err := p.Validate(); err == nil {
+		t.Fatal("platform with bad worker accepted")
+	}
+}
+
+func TestHomogeneousBuilder(t *testing.T) {
+	p := Homogeneous(5, 1, 10, 0.3, 0.4)
+	if p.N() != 5 {
+		t.Fatalf("N = %d", p.N())
+	}
+	if !p.Homogeneous() {
+		t.Fatal("homogeneous platform not detected")
+	}
+	for _, w := range p.Workers {
+		if w.S != 1 || w.B != 10 || w.CLat != 0.3 || w.NLat != 0.4 || w.TLat != 0 {
+			t.Fatalf("worker = %+v", w)
+		}
+	}
+}
+
+func TestHomogeneousDetection(t *testing.T) {
+	p := Homogeneous(3, 1, 10, 0, 0)
+	p.Workers[2].B = 11
+	if p.Homogeneous() {
+		t.Fatal("heterogeneous platform reported homogeneous")
+	}
+	single := Homogeneous(1, 1, 1, 0, 0)
+	if !single.Homogeneous() {
+		t.Fatal("single worker must be homogeneous")
+	}
+}
+
+func TestUtilizationRatio(t *testing.T) {
+	// Paper's setup: S=1, B = r*N -> ratio = N/(r*N) = 1/r.
+	p := Homogeneous(20, 1, 1.5*20, 0, 0)
+	if math.Abs(p.UtilizationRatio()-1/1.5) > 1e-12 {
+		t.Fatalf("ratio = %v, want %v", p.UtilizationRatio(), 1/1.5)
+	}
+	if !p.FullyUtilizable() {
+		t.Fatal("r=1.5 platform should satisfy the full-utilization condition")
+	}
+	slow := Homogeneous(10, 1, 5, 0, 0) // ratio = 2
+	if slow.FullyUtilizable() {
+		t.Fatal("ratio 2 platform should fail the condition")
+	}
+}
+
+func TestTotalSpeed(t *testing.T) {
+	p := &Platform{Workers: []Worker{{S: 1, B: 1}, {S: 2.5, B: 1}}}
+	if p.TotalSpeed() != 3.5 {
+		t.Fatalf("total speed = %v", p.TotalSpeed())
+	}
+}
+
+func TestClone(t *testing.T) {
+	p := Homogeneous(2, 1, 4, 0, 0)
+	c := p.Clone()
+	c.Workers[0].S = 99
+	if p.Workers[0].S == 99 {
+		t.Fatal("clone shares backing array")
+	}
+}
+
+func TestHeterogeneousGenerator(t *testing.T) {
+	spec := HeterogeneousSpec{
+		N: 16, SMin: 0.5, SMax: 2, BMin: 10, BMax: 50,
+		CLatMin: 0, CLatMax: 1, NLatMin: 0, NLatMax: 1, TLatMin: 0, TLatMax: 0.5,
+	}
+	p := Heterogeneous(spec, rng.New(7))
+	if p.N() != 16 {
+		t.Fatalf("N = %d", p.N())
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("generated platform invalid: %v", err)
+	}
+	for i, w := range p.Workers {
+		if w.S < 0.5 || w.S >= 2 || w.B < 10 || w.B >= 50 {
+			t.Fatalf("worker %d out of spec: %+v", i, w)
+		}
+	}
+	// Deterministic from the seed.
+	q := Heterogeneous(spec, rng.New(7))
+	for i := range p.Workers {
+		if p.Workers[i] != q.Workers[i] {
+			t.Fatal("generator not deterministic")
+		}
+	}
+}
+
+func TestSelectUtilizable(t *testing.T) {
+	// Three workers: two fast links, one terrible link that breaks the
+	// condition. Selection should drop exactly the bad one.
+	p := &Platform{Workers: []Worker{
+		{S: 1, B: 10},   // 0.1
+		{S: 1, B: 1.05}, // 0.95 -> cumulative 1.06 with the other two
+		{S: 1, B: 100},  // 0.01
+	}}
+	sel := p.SelectUtilizable()
+	if sel.N() != 2 {
+		t.Fatalf("selected %d workers, want 2 (ratio=%v)", sel.N(), sel.UtilizationRatio())
+	}
+	if !sel.FullyUtilizable() {
+		t.Fatal("selected subset must satisfy the condition")
+	}
+	// Selection must keep the fastest links.
+	if sel.Workers[0].B != 100 || sel.Workers[1].B != 10 {
+		t.Fatalf("selection kept the wrong workers: %+v", sel.Workers)
+	}
+	// Receiver untouched.
+	if p.N() != 3 {
+		t.Fatal("SelectUtilizable mutated the receiver")
+	}
+}
+
+func TestSelectUtilizableAlwaysKeepsOne(t *testing.T) {
+	p := &Platform{Workers: []Worker{{S: 10, B: 1}}} // ratio 10
+	sel := p.SelectUtilizable()
+	if sel.N() != 1 {
+		t.Fatalf("selected %d, want 1", sel.N())
+	}
+}
+
+// Property: any selected subset has utilization ratio < 1 unless it is a
+// single worker, and never exceeds the source platform's size.
+func TestSelectUtilizableProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		spec := HeterogeneousSpec{
+			N: 1 + src.Intn(40), SMin: 0.1, SMax: 3, BMin: 0.2, BMax: 60,
+		}
+		p := Heterogeneous(spec, src)
+		sel := p.SelectUtilizable()
+		if sel.N() < 1 || sel.N() > p.N() {
+			return false
+		}
+		if sel.N() > 1 && !sel.FullyUtilizable() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,41 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteMarkdown renders the table as a GitHub-flavoured Markdown table —
+// the format EXPERIMENTS.md uses, so measured artifacts can be pasted
+// into the docs verbatim.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		b.WriteByte('|')
+		for _, c := range cells {
+			b.WriteByte(' ')
+			b.WriteString(mdEscape(c))
+			b.WriteString(" |")
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func mdEscape(s string) string {
+	return strings.ReplaceAll(s, "|", `\|`)
+}

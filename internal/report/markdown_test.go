@@ -1,0 +1,36 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMarkdownTable(t *testing.T) {
+	tab := &Table{
+		Title:  "Table 2",
+		Header: []string{"Algorithm", "0-0.08"},
+	}
+	tab.AddRow("UMR", "54.96")
+	tab.AddRow("has|pipe", "1")
+	var b strings.Builder
+	if err := tab.WriteMarkdown(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	want := "**Table 2**\n\n| Algorithm | 0-0.08 |\n| --- | --- |\n| UMR | 54.96 |\n| has\\|pipe | 1 |\n"
+	if out != want {
+		t.Fatalf("markdown = %q\nwant %q", out, want)
+	}
+}
+
+func TestMarkdownNoTitle(t *testing.T) {
+	tab := &Table{Header: []string{"a"}}
+	tab.AddRow("1")
+	var b strings.Builder
+	if err := tab.WriteMarkdown(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.HasPrefix(b.String(), "**") {
+		t.Fatal("unexpected title")
+	}
+}

@@ -1,0 +1,245 @@
+// Package report renders experiment results for terminals and files:
+// aligned ASCII tables (the paper's Tables 2-3), ASCII line charts (its
+// Figs. 4-7), and CSV for external plotting. Everything writes to an
+// io.Writer so the cmd tools can target stdout or files uniformly.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a generic aligned text table.
+type Table struct {
+	Title   string
+	Header  []string
+	Rows    [][]string
+	started bool
+}
+
+// AddRow appends a row; cells beyond the header width are dropped, short
+// rows are padded.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Header))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// Write renders the table with column alignment.
+func (t *Table) Write(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Series is one named line of a chart.
+type Series struct {
+	Name string
+	Ys   []float64 // aligned with the chart's Xs; NaN = missing
+}
+
+// Chart is an ASCII line chart: one row block per series would be
+// unreadable, so all series share one canvas with per-series glyphs.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Xs     []float64
+	Series []Series
+	Width  int
+	Height int
+}
+
+var glyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&', '$', '~'}
+
+// Write renders the chart.
+func (c *Chart) Write(w io.Writer) error {
+	width, height := c.Width, c.Height
+	if width < 20 {
+		width = 72
+	}
+	if height < 5 {
+		height = 20
+	}
+	if len(c.Xs) == 0 || len(c.Series) == 0 {
+		_, err := fmt.Fprintf(w, "%s\n(no data)\n", c.Title)
+		return err
+	}
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for _, y := range s.Ys {
+			if math.IsNaN(y) {
+				continue
+			}
+			yMin = math.Min(yMin, y)
+			yMax = math.Max(yMax, y)
+		}
+	}
+	if math.IsInf(yMin, 1) {
+		_, err := fmt.Fprintf(w, "%s\n(no data)\n", c.Title)
+		return err
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	pad := (yMax - yMin) * 0.05
+	yMin -= pad
+	yMax += pad
+	xMin, xMax := c.Xs[0], c.Xs[len(c.Xs)-1]
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+
+	canvas := make([][]byte, height)
+	for r := range canvas {
+		canvas[r] = []byte(strings.Repeat(" ", width))
+	}
+	plot := func(x, y float64, g byte) {
+		col := int((x - xMin) / (xMax - xMin) * float64(width-1))
+		row := height - 1 - int((y-yMin)/(yMax-yMin)*float64(height-1))
+		if col < 0 || col >= width || row < 0 || row >= height {
+			return
+		}
+		if canvas[row][col] != ' ' && canvas[row][col] != g {
+			canvas[row][col] = '?'
+			return
+		}
+		canvas[row][col] = g
+	}
+	for si, s := range c.Series {
+		g := glyphs[si%len(glyphs)]
+		for i, y := range s.Ys {
+			if i < len(c.Xs) && !math.IsNaN(y) {
+				plot(c.Xs[i], y, g)
+			}
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	for r, row := range canvas {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%8.3g", yMax)
+		case height - 1:
+			label = fmt.Sprintf("%8.3g", yMin)
+		case (height - 1) / 2:
+			label = fmt.Sprintf("%8.3g", (yMax+yMin)/2)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, row)
+	}
+	fmt.Fprintf(&b, "%8s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%8s  %-*.3g%*.3g\n", "", width/2, xMin, width-width/2, xMax)
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "          x: %s   y: %s\n", c.XLabel, c.YLabel)
+	}
+	b.WriteString("          legend: ")
+	for si, s := range c.Series {
+		if si > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%c=%s", glyphs[si%len(glyphs)], s.Name)
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV emits the chart data as CSV: a header of "x,<series...>", one
+// row per X.
+func (c *Chart) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("x")
+	for _, s := range c.Series {
+		b.WriteByte(',')
+		b.WriteString(csvEscape(s.Name))
+	}
+	b.WriteByte('\n')
+	for i, x := range c.Xs {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range c.Series {
+			b.WriteByte(',')
+			if i < len(s.Ys) && !math.IsNaN(s.Ys[i]) {
+				fmt.Fprintf(&b, "%g", s.Ys[i])
+			}
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSVTable emits a Table as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(csvEscape(c))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// Pct formats a percentage the way the paper prints them (two decimals).
+func Pct(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// Ratio formats a normalised makespan with three decimals.
+func Ratio(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", v)
+}

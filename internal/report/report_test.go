@@ -1,0 +1,163 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tab := &Table{
+		Title:  "demo",
+		Header: []string{"Algorithm", "0-0.08"},
+	}
+	tab.AddRow("UMR", "54.96")
+	tab.AddRow("Factoring", "98.21")
+	var b strings.Builder
+	if err := tab.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "demo" {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "Algorithm") {
+		t.Fatalf("header = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "---") {
+		t.Fatalf("separator = %q", lines[2])
+	}
+	// Columns align: the numeric column starts at the same offset in all
+	// data rows.
+	iu := strings.Index(lines[3], "54.96")
+	ifa := strings.Index(lines[4], "98.21")
+	if iu != ifa {
+		t.Fatalf("misaligned columns:\n%s", out)
+	}
+}
+
+func TestTableShortRowPadded(t *testing.T) {
+	tab := &Table{Header: []string{"a", "b", "c"}}
+	tab.AddRow("only")
+	var b strings.Builder
+	if err := tab.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "only") {
+		t.Fatal("row lost")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := &Table{Header: []string{"name", "value"}}
+	tab.AddRow("simple", "1")
+	tab.AddRow(`with "quote", and comma`, "2")
+	var b strings.Builder
+	if err := tab.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "name,value\nsimple,1\n\"with \"\"quote\"\", and comma\",2\n"
+	if b.String() != want {
+		t.Fatalf("csv = %q", b.String())
+	}
+}
+
+func TestChartRenders(t *testing.T) {
+	ch := &Chart{
+		Title:  "fig",
+		XLabel: "error",
+		YLabel: "ratio",
+		Xs:     []float64{0, 0.1, 0.2, 0.3},
+		Series: []Series{
+			{Name: "UMR", Ys: []float64{1.0, 1.05, 1.2, 1.4}},
+			{Name: "Factoring", Ys: []float64{1.5, 1.3, 1.2, 1.1}},
+		},
+		Width:  40,
+		Height: 10,
+	}
+	var b strings.Builder
+	if err := ch.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"fig", "legend:", "*=UMR", "o=Factoring", "error"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.ContainsAny(out, "*o") {
+		t.Fatal("no data points plotted")
+	}
+}
+
+func TestChartHandlesNaN(t *testing.T) {
+	ch := &Chart{
+		Xs:     []float64{0, 1},
+		Series: []Series{{Name: "s", Ys: []float64{math.NaN(), 2}}},
+	}
+	var b strings.Builder
+	if err := ch.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	ch := &Chart{Title: "none"}
+	var b strings.Builder
+	if err := ch.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "no data") {
+		t.Fatalf("empty chart = %q", b.String())
+	}
+	allNaN := &Chart{Xs: []float64{1}, Series: []Series{{Name: "s", Ys: []float64{math.NaN()}}}}
+	b.Reset()
+	if err := allNaN.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "no data") {
+		t.Fatal("all-NaN chart should say no data")
+	}
+}
+
+func TestChartFlatSeries(t *testing.T) {
+	ch := &Chart{
+		Xs:     []float64{0, 1},
+		Series: []Series{{Name: "flat", Ys: []float64{1, 1}}},
+	}
+	var b strings.Builder
+	if err := ch.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChartCSV(t *testing.T) {
+	ch := &Chart{
+		Xs: []float64{0, 0.1},
+		Series: []Series{
+			{Name: "a", Ys: []float64{1, 2}},
+			{Name: "b", Ys: []float64{3, math.NaN()}},
+		},
+	}
+	var b strings.Builder
+	if err := ch.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "x,a,b\n0,1,3\n0.1,2,\n"
+	if b.String() != want {
+		t.Fatalf("csv = %q", b.String())
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(54.9611) != "54.96" {
+		t.Fatalf("Pct = %q", Pct(54.9611))
+	}
+	if Ratio(1.23456) != "1.235" {
+		t.Fatalf("Ratio = %q", Ratio(1.23456))
+	}
+	if Ratio(math.NaN()) != "-" {
+		t.Fatal("NaN ratio should render as dash")
+	}
+}

@@ -1,0 +1,179 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// svgPalette holds distinguishable line colours for up to ten series.
+var svgPalette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+	"#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+}
+
+// svgMarkers vary per series so the figures stay readable in grayscale,
+// like the paper's.
+var svgMarkers = []string{"circle", "square", "diamond", "triangle", "cross"}
+
+// WriteSVG renders the chart as a standalone SVG line plot: axes with
+// ticks, one polyline + markers per series, and a legend. The layout
+// roughly matches the paper's figures (X = error, Y = normalised
+// makespan).
+func (c *Chart) WriteSVG(w io.Writer) error {
+	const (
+		width   = 720.0
+		height  = 480.0
+		left    = 70.0
+		right   = 24.0
+		top     = 40.0
+		bottom  = 80.0
+		tickLen = 6.0
+	)
+	plotW := width - left - right
+	plotH := height - top - bottom
+
+	if len(c.Xs) == 0 || len(c.Series) == 0 {
+		_, err := fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g"><text x="20" y="30">%s (no data)</text></svg>`+"\n",
+			width, height, xmlEscape(c.Title))
+		return err
+	}
+
+	xMin, xMax := c.Xs[0], c.Xs[len(c.Xs)-1]
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for _, y := range s.Ys {
+			if math.IsNaN(y) {
+				continue
+			}
+			yMin = math.Min(yMin, y)
+			yMax = math.Max(yMax, y)
+		}
+	}
+	if math.IsInf(yMin, 1) {
+		yMin, yMax = 0, 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	pad := (yMax - yMin) * 0.08
+	yMin -= pad
+	yMax += pad
+
+	px := func(x float64) float64 { return left + (x-xMin)/(xMax-xMin)*plotW }
+	py := func(y float64) float64 { return top + (1-(y-yMin)/(yMax-yMin))*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" viewBox="0 0 %g %g">`+"\n",
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%g" y="24" font-family="sans-serif" font-size="15" font-weight="bold">%s</text>`+"\n",
+		left, xmlEscape(c.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+		left, top, left, top+plotH)
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+		left, top+plotH, left+plotW, top+plotH)
+
+	// Ticks: 6 on each axis.
+	for i := 0; i <= 5; i++ {
+		fx := xMin + (xMax-xMin)*float64(i)/5
+		fy := yMin + (yMax-yMin)*float64(i)/5
+		xp, yp := px(fx), py(fy)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+			xp, top+plotH, xp, top+plotH+tickLen)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="middle">%.3g</text>`+"\n",
+			xp, top+plotH+tickLen+14, fx)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+			left-tickLen, yp, left, yp)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="end">%.3g</text>`+"\n",
+			left-tickLen-4, yp+4, fy)
+		// Light horizontal grid line.
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#dddddd"/>`+"\n",
+			left, yp, left+plotW, yp)
+	}
+	// Reference line at y = 1 when in range (the paper's figures pivot
+	// around it).
+	if yMin < 1 && yMax > 1 {
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#999999" stroke-dasharray="5,4"/>`+"\n",
+			left, py(1), left+plotW, py(1))
+	}
+
+	// Axis labels.
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="13" text-anchor="middle">%s</text>`+"\n",
+			left+plotW/2, height-38, xmlEscape(c.XLabel))
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="16" y="%g" font-family="sans-serif" font-size="13" text-anchor="middle" transform="rotate(-90 16 %g)">%s</text>`+"\n",
+			top+plotH/2, top+plotH/2, xmlEscape(c.YLabel))
+	}
+
+	// Series.
+	for si, s := range c.Series {
+		colour := svgPalette[si%len(svgPalette)]
+		var points []string
+		for i, y := range s.Ys {
+			if i >= len(c.Xs) || math.IsNaN(y) {
+				continue
+			}
+			points = append(points, fmt.Sprintf("%.2f,%.2f", px(c.Xs[i]), py(y)))
+		}
+		if len(points) > 1 {
+			fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.8" points="%s"/>`+"\n",
+				colour, strings.Join(points, " "))
+		}
+		for i, y := range s.Ys {
+			if i >= len(c.Xs) || math.IsNaN(y) {
+				continue
+			}
+			writeMarker(&b, svgMarkers[si%len(svgMarkers)], px(c.Xs[i]), py(y), colour)
+		}
+	}
+
+	// Legend, bottom strip.
+	lx := left
+	ly := height - 14.0
+	for si, s := range c.Series {
+		colour := svgPalette[si%len(svgPalette)]
+		writeMarker(&b, svgMarkers[si%len(svgMarkers)], lx, ly-4, colour)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="12">%s</text>`+"\n",
+			lx+10, ly, xmlEscape(s.Name))
+		lx += 12 + 8*float64(len(s.Name)) + 18
+	}
+
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeMarker draws one data-point marker of the given shape.
+func writeMarker(b *strings.Builder, shape string, x, y float64, colour string) {
+	const r = 3.4
+	switch shape {
+	case "square":
+		fmt.Fprintf(b, `<rect x="%g" y="%g" width="%g" height="%g" fill="%s"/>`+"\n",
+			x-r, y-r, 2*r, 2*r, colour)
+	case "diamond":
+		fmt.Fprintf(b, `<polygon points="%g,%g %g,%g %g,%g %g,%g" fill="%s"/>`+"\n",
+			x, y-r-1, x+r+1, y, x, y+r+1, x-r-1, y, colour)
+	case "triangle":
+		fmt.Fprintf(b, `<polygon points="%g,%g %g,%g %g,%g" fill="%s"/>`+"\n",
+			x, y-r-1, x+r+1, y+r, x-r-1, y+r, colour)
+	case "cross":
+		fmt.Fprintf(b, `<path d="M%g %gL%g %gM%g %gL%g %g" stroke="%s" stroke-width="2"/>`+"\n",
+			x-r, y-r, x+r, y+r, x-r, y+r, x+r, y-r, colour)
+	default: // circle
+		fmt.Fprintf(b, `<circle cx="%g" cy="%g" r="%g" fill="%s"/>`+"\n", x, y, r, colour)
+	}
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,116 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func demoChart() *Chart {
+	return &Chart{
+		Title:  "Fig 4(a)",
+		XLabel: "error",
+		YLabel: "normalised makespan",
+		Xs:     []float64{0, 0.1, 0.2, 0.3},
+		Series: []Series{
+			{Name: "UMR", Ys: []float64{1.0, 1.02, 1.08, 1.15}},
+			{Name: "Factoring", Ys: []float64{1.6, 1.5, 1.4, 1.3}},
+		},
+	}
+}
+
+func TestSVGWellFormedPieces(t *testing.T) {
+	var b strings.Builder
+	if err := demoChart().WriteSVG(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"<svg", "</svg>", "polyline", "Fig 4(a)", "UMR", "Factoring",
+		"error", "normalised makespan", "stroke-dasharray", // the y=1 reference line
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("svg missing %q", want)
+		}
+	}
+	if strings.Count(out, "<polyline") != 2 {
+		t.Fatalf("want 2 polylines, got %d", strings.Count(out, "<polyline"))
+	}
+	// Balanced tags for the simple elements we emit.
+	if strings.Count(out, "<svg") != 1 || strings.Count(out, "</svg>") != 1 {
+		t.Fatal("unbalanced svg tags")
+	}
+}
+
+func TestSVGEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := (&Chart{Title: "x"}).WriteSVG(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "no data") {
+		t.Fatal("empty chart should say no data")
+	}
+}
+
+func TestSVGNaNSkipped(t *testing.T) {
+	c := &Chart{
+		Xs: []float64{0, 1, 2},
+		Series: []Series{
+			{Name: "s", Ys: []float64{1, math.NaN(), 3}},
+		},
+	}
+	var b strings.Builder
+	if err := c.WriteSVG(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "NaN") {
+		t.Fatal("NaN leaked into SVG")
+	}
+}
+
+func TestSVGEscapesTitle(t *testing.T) {
+	c := demoChart()
+	c.Title = `a < b & "c"`
+	var b strings.Builder
+	if err := c.WriteSVG(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), `a < b &`) {
+		t.Fatal("title not escaped")
+	}
+	if !strings.Contains(b.String(), "a &lt; b &amp;") {
+		t.Fatal("escaped title missing")
+	}
+}
+
+func TestSVGFlatSeries(t *testing.T) {
+	c := &Chart{
+		Xs:     []float64{0, 1},
+		Series: []Series{{Name: "flat", Ys: []float64{2, 2}}},
+	}
+	var b strings.Builder
+	if err := c.WriteSVG(&b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSVGManySeriesMarkersCycle(t *testing.T) {
+	c := &Chart{Xs: []float64{0, 1}}
+	for i := 0; i < 7; i++ {
+		c.Series = append(c.Series, Series{
+			Name: strings.Repeat("s", i+1),
+			Ys:   []float64{float64(i), float64(i + 1)},
+		})
+	}
+	var b strings.Builder
+	if err := c.WriteSVG(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// All marker shapes appear.
+	for _, shape := range []string{"<circle", "<rect", "<polygon", "<path"} {
+		if !strings.Contains(out, shape) {
+			t.Fatalf("marker %q missing", shape)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package fsc
+
+import (
+	"math"
+	"testing"
+
+	"rumr/internal/engine"
+	"rumr/internal/perferr"
+	"rumr/internal/platform"
+	"rumr/internal/rng"
+	"rumr/internal/sched"
+)
+
+func TestChunkSizeUnknownErrorIsEvenSplit(t *testing.T) {
+	p := platform.Homogeneous(10, 1, 15, 0.3, 0.3)
+	if got := ChunkSize(p, 1000, 0, 1); got != 100 {
+		t.Fatalf("chunk = %v, want W/N = 100", got)
+	}
+}
+
+func TestChunkSizeShrinksWithError(t *testing.T) {
+	p := platform.Homogeneous(10, 1, 15, 0.3, 0.3)
+	small := ChunkSize(p, 1000, 0.1, 1)
+	large := ChunkSize(p, 1000, 0.5, 1)
+	if small >= 1000.0/10 {
+		t.Fatalf("chunk with error should shrink below the even split, got %v", small)
+	}
+	if large >= small {
+		t.Fatalf("higher error should mean smaller chunks: %v vs %v", large, small)
+	}
+	if large < 1 {
+		t.Fatalf("chunk %v below the unit floor", large)
+	}
+}
+
+func TestChunkSizeGrowsWithOverhead(t *testing.T) {
+	lo := ChunkSize(platform.Homogeneous(10, 1, 15, 0.1, 0.1), 1000, 0.3, 1)
+	hi := ChunkSize(platform.Homogeneous(10, 1, 15, 1.0, 1.0), 1000, 0.3, 1)
+	if hi <= lo {
+		t.Fatalf("more overhead should mean bigger chunks: %v vs %v", hi, lo)
+	}
+}
+
+func TestChunkSizeZeroOverhead(t *testing.T) {
+	p := platform.Homogeneous(10, 1, 15, 0, 0)
+	if got := ChunkSize(p, 1000, 0.3, 1); got != 1 {
+		t.Fatalf("zero-overhead chunk = %v, want the unit floor", got)
+	}
+}
+
+func TestSchedulerRunsToCompletion(t *testing.T) {
+	pr := &sched.Problem{
+		Platform:   platform.Homogeneous(8, 1, 12, 0.2, 0.2),
+		Total:      1000,
+		KnownError: 0.3,
+		MinUnit:    1,
+	}
+	d, err := Scheduler{}.NewDispatcher(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(4)
+	opts := engine.Options{
+		CommModel:   perferr.NewTruncNormal(0.3, src.Split()),
+		CompModel:   perferr.NewTruncNormal(0.3, src.Split()),
+		RecordTrace: true,
+	}
+	res, err := engine.Run(pr.Platform, d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.DispatchedWork-1000) > 1e-6 {
+		t.Fatalf("dispatched %v", res.DispatchedWork)
+	}
+	if err := res.Trace.Validate(pr.Platform, 1000); err != nil {
+		t.Fatal(err)
+	}
+	// All chunks share one size (except the clamped final crumbs).
+	first := res.Trace.Records[0].Size
+	for i, r := range res.Trace.Records[:len(res.Trace.Records)-1] {
+		if math.Abs(r.Size-first) > 1e-9 && i < len(res.Trace.Records)-2 {
+			t.Fatalf("chunk %d size %v differs from %v", i, r.Size, first)
+		}
+	}
+}
+
+func TestName(t *testing.T) {
+	if (Scheduler{}).Name() != "FSC" {
+		t.Fatal("name")
+	}
+}
+
+func TestInvalidProblemRejected(t *testing.T) {
+	if _, err := (Scheduler{}).NewDispatcher(&sched.Problem{}); err == nil {
+		t.Fatal("invalid problem accepted")
+	}
+}

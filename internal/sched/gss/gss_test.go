@@ -1,0 +1,77 @@
+package gss
+
+import (
+	"math"
+	"testing"
+
+	"rumr/internal/engine"
+	"rumr/internal/perferr"
+	"rumr/internal/platform"
+	"rumr/internal/rng"
+	"rumr/internal/sched"
+)
+
+func TestChunksDecayGeometrically(t *testing.T) {
+	pr := &sched.Problem{
+		Platform: platform.Homogeneous(4, 1, 16, 0.1, 0.1),
+		Total:    1024,
+		MinUnit:  1,
+	}
+	d, err := Scheduler{}.NewDispatcher(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Run(pr.Platform, d, engine.Options{RecordTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := res.Trace.Records
+	// First chunk is remaining/N = 256.
+	if math.Abs(recs[0].Size-256) > 1e-9 {
+		t.Fatalf("first chunk = %v, want 256", recs[0].Size)
+	}
+	// Non-increasing until the unit floor.
+	for i := 1; i < len(recs)-1; i++ {
+		if recs[i].Size > recs[i-1].Size+1e-9 {
+			t.Fatalf("chunk %d grew: %v after %v", i, recs[i].Size, recs[i-1].Size)
+		}
+	}
+	if math.Abs(res.DispatchedWork-1024) > 1e-6 {
+		t.Fatalf("dispatched %v", res.DispatchedWork)
+	}
+	if err := res.Trace.Validate(pr.Platform, 1024); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConservesUnderErrors(t *testing.T) {
+	pr := &sched.Problem{
+		Platform: platform.Homogeneous(8, 1, 16, 0.2, 0.2),
+		Total:    1000,
+		MinUnit:  1,
+	}
+	d, err := Scheduler{}.NewDispatcher(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(5)
+	res, err := engine.Run(pr.Platform, d, engine.Options{
+		CommModel: perferr.NewTruncNormal(0.4, src.Split()),
+		CompModel: perferr.NewTruncNormal(0.4, src.Split()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.DispatchedWork-1000) > 1e-6 {
+		t.Fatalf("dispatched %v", res.DispatchedWork)
+	}
+}
+
+func TestNameAndValidation(t *testing.T) {
+	if (Scheduler{}).Name() != "GSS" {
+		t.Fatal("name")
+	}
+	if _, err := (Scheduler{}).NewDispatcher(&sched.Problem{}); err == nil {
+		t.Fatal("invalid problem accepted")
+	}
+}

@@ -1,0 +1,225 @@
+// Package mi implements the Multi-Installment divisible-load strategy of
+// Bharadwaj, Ghose, Mani and Robertazzi ([18], chapter 10), the
+// performance-oriented competitor of the RUMR paper. MI-1 (a single
+// installment) is also the classic one-round divisible-load schedule used
+// as the baseline in [11].
+//
+// The strategy hands each worker x installments. Chunk sizes are the
+// solution of a linear system encoding the model of [18] — which, unlike
+// UMR's, has no latencies:
+//
+//   - the master sends installments back to back, worker 0..N-1 within an
+//     installment, so a chunk's arrival time is the running sum of c/B
+//     over everything sent before it;
+//   - each worker computes continuously: installment j+1 arrives exactly
+//     when installment j finishes computing;
+//   - all workers finish at the same instant;
+//   - the chunks sum to the total workload.
+//
+// That is N·x unknowns and N·(x-1) + (N-1) + 1 equations, solved by
+// Gaussian elimination. Because planning ignores latencies, MI pays the
+// full nLat/cLat cost at simulation time — the effect the RUMR paper's
+// evaluation exposes.
+//
+// When the requested installment count is infeasible (some chunk would be
+// negative — the master cannot keep workers fed), the planner retries with
+// x-1 installments; x=1 is always feasible.
+package mi
+
+import (
+	"errors"
+	"fmt"
+
+	"rumr/internal/engine"
+	"rumr/internal/numeric"
+	"rumr/internal/platform"
+	"rumr/internal/sched"
+)
+
+// Plan is a complete multi-installment schedule.
+type Plan struct {
+	// Installments is the number actually used (may be below the request
+	// after infeasibility fallback).
+	Installments int
+	// Requested is the originally requested installment count.
+	Requested int
+	// Sizes[j][i] is worker i's chunk in installment j.
+	Sizes [][]float64
+	// Predicted is the makespan under the latency-free model of [18].
+	Predicted float64
+}
+
+// Chunks flattens the plan in dispatch order.
+func (p *Plan) Chunks() []engine.Chunk {
+	var out []engine.Chunk
+	for j, row := range p.Sizes {
+		for i, size := range row {
+			if size <= 0 {
+				continue
+			}
+			out = append(out, engine.Chunk{Worker: i, Size: size, Round: j, Phase: 1})
+		}
+	}
+	return out
+}
+
+// Total returns the workload covered by the plan.
+func (p *Plan) Total() float64 {
+	total := 0.0
+	for _, row := range p.Sizes {
+		for _, s := range row {
+			total += s
+		}
+	}
+	return total
+}
+
+// negTol is the feasibility tolerance: a solution chunk below -negTol×W
+// marks the installment count as infeasible, anything in (-negTol×W, 0]
+// is clamped to zero.
+const negTol = 1e-9
+
+// solve builds and solves the linear system for exactly x installments.
+// It returns an error when the system is singular or the solution has a
+// materially negative chunk.
+func solve(p *platform.Platform, total float64, x int) (*Plan, error) {
+	n := p.N()
+	size := n * x
+	idx := func(j, i int) int { return j*n + i }
+
+	a := make([][]float64, size)
+	rhs := make([]float64, size)
+	for r := range a {
+		a[r] = make([]float64, size)
+	}
+	row := 0
+
+	// Continuity: A(j,i) - A(0,i) - Σ_{l<j} c[l][i]/S_i = 0.
+	// A(j,i) includes every chunk sent up to and including (j,i).
+	for j := 1; j < x; j++ {
+		for i := 0; i < n; i++ {
+			// + A(j,i)
+			for l := 0; l <= j; l++ {
+				limit := n - 1
+				if l == j {
+					limit = i
+				}
+				for m := 0; m <= limit; m++ {
+					a[row][idx(l, m)] += 1 / p.Workers[m].B
+				}
+			}
+			// - A(0,i)
+			for m := 0; m <= i; m++ {
+				a[row][idx(0, m)] -= 1 / p.Workers[m].B
+			}
+			// - compute time of installments 0..j-1 on worker i
+			for l := 0; l < j; l++ {
+				a[row][idx(l, i)] -= 1 / p.Workers[i].S
+			}
+			rhs[row] = 0
+			row++
+		}
+	}
+
+	// Equal finish: finish_i - finish_0 = 0 for i = 1..n-1, with
+	// finish_i = A(0,i) + Σ_l c[l][i]/S_i.
+	for i := 1; i < n; i++ {
+		for m := 0; m <= i; m++ {
+			a[row][idx(0, m)] += 1 / p.Workers[m].B
+		}
+		for l := 0; l < x; l++ {
+			a[row][idx(l, i)] += 1 / p.Workers[i].S
+		}
+		for m := 0; m <= 0; m++ {
+			a[row][idx(0, m)] -= 1 / p.Workers[m].B
+		}
+		for l := 0; l < x; l++ {
+			a[row][idx(l, 0)] -= 1 / p.Workers[0].S
+		}
+		rhs[row] = 0
+		row++
+	}
+
+	// Conservation: Σ c = W.
+	for k := 0; k < size; k++ {
+		a[row][k] = 1
+	}
+	rhs[row] = total
+	row++
+
+	if row != size {
+		return nil, fmt.Errorf("mi: internal: %d equations for %d unknowns", row, size)
+	}
+	sol, err := numeric.SolveLinear(a, rhs)
+	if err != nil {
+		return nil, fmt.Errorf("mi: %d installments: %w", x, err)
+	}
+
+	sizes := make([][]float64, x)
+	for j := range sizes {
+		sizes[j] = make([]float64, n)
+		for i := 0; i < n; i++ {
+			c := sol[idx(j, i)]
+			if c < -negTol*total {
+				return nil, fmt.Errorf("mi: %d installments infeasible (chunk %g)", x, c)
+			}
+			if c < 0 {
+				c = 0
+			}
+			sizes[j][i] = c
+		}
+	}
+
+	// Predicted makespan under the latency-free model: worker 0's finish.
+	finish := 0.0
+	for m := 0; m <= 0; m++ {
+		finish += sizes[0][m] / p.Workers[m].B
+	}
+	for l := 0; l < x; l++ {
+		finish += sizes[l][0] / p.Workers[0].S
+	}
+	return &Plan{Installments: x, Sizes: sizes, Predicted: finish}, nil
+}
+
+// Build computes an MI plan with the requested number of installments,
+// falling back to fewer when infeasible.
+func Build(pr *sched.Problem, installments int) (*Plan, error) {
+	if err := pr.Validate(); err != nil {
+		return nil, err
+	}
+	if installments < 1 {
+		return nil, fmt.Errorf("mi: installment count %d must be >= 1", installments)
+	}
+	var lastErr error
+	for x := installments; x >= 1; x-- {
+		plan, err := solve(pr.Platform, pr.Total, x)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		plan.Requested = installments
+		return plan, nil
+	}
+	if lastErr == nil {
+		lastErr = errors.New("mi: no feasible installment count")
+	}
+	return nil, lastErr
+}
+
+// Scheduler adapts MI-x to the sched.Scheduler interface.
+type Scheduler struct {
+	// Installments is the x in MI-x; the paper instantiates 1 through 4.
+	Installments int
+}
+
+// Name implements sched.Scheduler.
+func (s Scheduler) Name() string { return fmt.Sprintf("MI-%d", s.Installments) }
+
+// NewDispatcher implements sched.Scheduler.
+func (s Scheduler) NewDispatcher(pr *sched.Problem) (engine.Dispatcher, error) {
+	plan, err := Build(pr, s.Installments)
+	if err != nil {
+		return nil, err
+	}
+	return sched.NewStatic(plan.Chunks(), false), nil
+}

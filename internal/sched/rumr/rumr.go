@@ -1,0 +1,221 @@
+// Package rumr implements RUMR (Robust Uniform Multi-Round), the paper's
+// contribution: a two-phase divisible-workload scheduler that combines
+// UMR's performance with Factoring's robustness to prediction errors.
+//
+// Phase 1 precalculates a revised UMR schedule over the first part of the
+// workload: chunk sizes grow across rounds for communication/computation
+// overlap, and — the revision — a worker that finishes prematurely may be
+// served out of plan order. Phase 2 dispatches the rest demand-driven with
+// Factoring's decreasing chunk sizes, so the absolute uncertainty of the
+// final chunks stays small.
+//
+// The split (§4.2, design choice i): error × W_total units are reserved
+// for phase 2 — unless processing that much work per worker would take
+// less time than dispatching one round of empty chunks, cLat + nLat·N, in
+// which case phase 2 is skipped. error ≤ 0 degenerates to (revised) UMR;
+// error ≥ 1 degenerates to Factoring. When error is unknown a fixed split
+// is used instead (the paper recommends 80% phase 1 / 20% phase 2).
+//
+// Phase 2 chunk sizes are bounded below by (cLat + nLat·N)/error when the
+// error is known, (cLat + nLat·N) otherwise (design choice iii).
+package rumr
+
+import (
+	"fmt"
+	"math"
+
+	"rumr/internal/engine"
+	"rumr/internal/sched"
+	"rumr/internal/sched/factoring"
+	"rumr/internal/sched/umr"
+)
+
+// DefaultUnknownErrorSplit is the phase-1 fraction used when the error
+// magnitude is unknown; §5.2.1 finds 80% the best fixed choice.
+const DefaultUnknownErrorSplit = 0.8
+
+// Split is the phase division RUMR decided for an instance.
+type Split struct {
+	// Phase1 and Phase2 are the workloads (units) assigned to each phase.
+	Phase1, Phase2 float64
+	// UsedThreshold reports whether the overhead threshold suppressed an
+	// otherwise non-empty phase 2.
+	UsedThreshold bool
+}
+
+// ComputeSplit applies the paper's heuristic to divide the workload.
+// knownError < 0 means the magnitude is unknown, which selects the fixed
+// fallback fraction (fixedFrac, or DefaultUnknownErrorSplit if zero).
+// fixedFrac in (0, 1] with knownError >= 0 forces a fixed split — the
+// RUMR-p% variants of §5.2.1, which bypass the overhead threshold.
+func ComputeSplit(pr *sched.Problem, fixedFrac float64) Split {
+	total := pr.Total
+	if fixedFrac > 0 {
+		frac := math.Min(fixedFrac, 1)
+		return Split{Phase1: frac * total, Phase2: (1 - frac) * total}
+	}
+	if !pr.ErrorKnown() {
+		return Split{
+			Phase1: DefaultUnknownErrorSplit * total,
+			Phase2: (1 - DefaultUnknownErrorSplit) * total,
+		}
+	}
+	e := pr.KnownError
+	switch {
+	case e <= 0:
+		return Split{Phase1: total}
+	case e >= 1:
+		return Split{Phase2: total}
+	}
+	phase2 := e * total
+	// Threshold: the time to process phase 2's per-worker share must be at
+	// least the overhead of dispatching one round of empty chunks,
+	// cLat + nLat·N (seconds). Work is converted to time with the mean
+	// worker speed so the rule generalises beyond the paper's S = 1.
+	p := pr.Platform
+	n := float64(p.N())
+	var cLat, nLat, speed float64
+	for _, w := range p.Workers {
+		cLat += w.CLat
+		nLat += w.NLat
+		speed += w.S
+	}
+	cLat /= n
+	nLat /= n
+	speed /= n
+	if (phase2/n)/speed < cLat+nLat*n {
+		return Split{Phase1: total, UsedThreshold: true}
+	}
+	return Split{Phase1: total - phase2, Phase2: phase2}
+}
+
+// BoundMode selects how the known error magnitude scales the phase-2
+// minimum chunk size (design choice iii). The paper's text says the bound
+// is (cLat + nLat·N)/error when the error is known, but that reading is
+// inconsistent with its own evaluation: for error < sqrt((cLat+nLat·N)·N/W)
+// the bound exceeds phase 2's entire per-worker share, concentrating the
+// tail on a few workers and making RUMR lose to UMR across exactly the
+// error range where the paper reports it winning. BenchmarkPhase2Bound
+// quantifies the three readings; BoundTimesError both reproduces the
+// paper's curves and is the only reading consistent with the error → 1
+// limit (where RUMR must degenerate to Factoring, whose bound is the
+// plain overhead).
+type BoundMode int
+
+const (
+	// BoundTimesError scales the dispatch overhead by the error:
+	// (cLat + nLat·N)·error. Default.
+	BoundTimesError BoundMode = iota
+	// BoundOverError is the paper text's literal reading:
+	// (cLat + nLat·N)/error.
+	BoundOverError
+	// BoundPlain ignores the error: (cLat + nLat·N), as in the unknown
+	// case.
+	BoundPlain
+)
+
+// dispatcher chains the two phases: the static phase-1 plan first, then
+// demand-driven factoring over the phase-2 share.
+type dispatcher struct {
+	phase1 *sched.Static
+	phase2 *sched.Demand
+}
+
+// Next implements engine.Dispatcher.
+func (d *dispatcher) Next(v *engine.View) (engine.Chunk, bool) {
+	if d.phase1 != nil && d.phase1.Remaining() > 0 {
+		return d.phase1.Next(v)
+	}
+	if d.phase2 != nil {
+		return d.phase2.Next(v)
+	}
+	return engine.Chunk{}, false
+}
+
+// Scheduler adapts RUMR to the sched.Scheduler interface. The zero value
+// is the original algorithm; the fields select the paper's §5.2 ablation
+// variants.
+type Scheduler struct {
+	// FixedPhase1Fraction, when in (0, 1], schedules exactly that fraction
+	// of the workload in phase 1 regardless of the error magnitude (the
+	// RUMR-50% … RUMR-90% variants of Fig. 6), bypassing the overhead
+	// threshold.
+	FixedPhase1Fraction float64
+	// PlainPhase1 disables out-of-order dispatch in phase 1 (the Fig. 7
+	// variant).
+	PlainPhase1 bool
+	// Factor overrides the phase-2 factoring divisor; zero selects 2.
+	Factor float64
+	// Phase2Bound selects the minimum-chunk scaling of design choice
+	// (iii); see BoundMode.
+	Phase2Bound BoundMode
+}
+
+// Name implements sched.Scheduler.
+func (s Scheduler) Name() string {
+	switch {
+	case s.FixedPhase1Fraction > 0 && s.PlainPhase1:
+		return fmt.Sprintf("RUMR-fixed%.0f-plain", 100*s.FixedPhase1Fraction)
+	case s.FixedPhase1Fraction > 0:
+		return fmt.Sprintf("RUMR-fixed%.0f", 100*s.FixedPhase1Fraction)
+	case s.PlainPhase1:
+		return "RUMR-plain"
+	default:
+		return "RUMR"
+	}
+}
+
+// NewDispatcher implements sched.Scheduler.
+func (s Scheduler) NewDispatcher(pr *sched.Problem) (engine.Dispatcher, error) {
+	if err := pr.Validate(); err != nil {
+		return nil, err
+	}
+	split := ComputeSplit(pr, s.FixedPhase1Fraction)
+	d := &dispatcher{}
+
+	if split.Phase1 > 0 {
+		p1 := *pr
+		p1.Total = split.Phase1
+		plan, err := umr.Build(&p1)
+		if err != nil {
+			return nil, fmt.Errorf("rumr: phase 1: %w", err)
+		}
+		d.phase1 = sched.NewStatic(plan.Chunks(), !s.PlainPhase1)
+	}
+	if split.Phase2 > 0 {
+		min := s.minChunk(pr)
+		sizer := factoring.NewSizer(pr.Platform.N(), s.Factor)
+		d.phase2 = sched.NewDemand(split.Phase2, sizer, min, 2)
+	}
+	return d, nil
+}
+
+// minChunk applies design choice (iii): the phase-2 chunk floor is the
+// one-round dispatch overhead, scaled by the known error magnitude
+// according to Phase2Bound (unscaled when the error is unknown or
+// outside (0, 1)).
+func (s Scheduler) minChunk(pr *sched.Problem) float64 {
+	if pr.ErrorKnown() && pr.KnownError >= 1 {
+		// Degenerate to plain Factoring, whose only floor is the
+		// workload's natural unit.
+		return pr.EffectiveMinUnit()
+	}
+	base := factoring.MinChunk(pr.Platform, -1, pr.EffectiveMinUnit())
+	if !pr.ErrorKnown() || pr.KnownError <= 0 {
+		return base
+	}
+	e := pr.KnownError
+	var bound float64
+	switch s.Phase2Bound {
+	case BoundOverError:
+		bound = base / e
+	case BoundPlain:
+		bound = base
+	default: // BoundTimesError
+		bound = base * e
+	}
+	if min := pr.EffectiveMinUnit(); bound < min {
+		bound = min
+	}
+	return bound
+}

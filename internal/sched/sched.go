@@ -1,0 +1,264 @@
+// Package sched defines the common scheduler abstraction shared by all the
+// divisible-workload scheduling algorithms of the study (UMR, RUMR,
+// Multi-Installment, Factoring, FSC, self-scheduling) and the reusable
+// dispatcher building blocks: a static plan player (with optional
+// out-of-order promotion) and a demand-driven dispatcher.
+package sched
+
+import (
+	"errors"
+	"fmt"
+
+	"rumr/internal/engine"
+	"rumr/internal/platform"
+)
+
+// Problem is one scheduling instance.
+type Problem struct {
+	// Platform is the star platform to run on.
+	Platform *platform.Platform
+	// Total is W_total, the workload in units.
+	Total float64
+	// KnownError is the prediction-error magnitude the scheduler may
+	// assume (the paper's `error` when it is known). Schedulers that do
+	// not use predictions ignore it. A negative value means "unknown".
+	KnownError float64
+	// MinUnit is the minimal unit of computation in the workload (the
+	// paper's "unit", e.g. one sequence); chunk sizes are floored at this
+	// value by the demand-driven policies so runs always terminate, even
+	// on zero-latency platforms. Zero selects the default of 1 unit.
+	MinUnit float64
+}
+
+// Validate checks the instance.
+func (pr *Problem) Validate() error {
+	if pr.Platform == nil {
+		return errors.New("sched: nil platform")
+	}
+	if err := pr.Platform.Validate(); err != nil {
+		return err
+	}
+	if pr.Total <= 0 {
+		return fmt.Errorf("sched: workload %g must be positive", pr.Total)
+	}
+	if pr.MinUnit < 0 {
+		return fmt.Errorf("sched: MinUnit %g must be non-negative", pr.MinUnit)
+	}
+	return nil
+}
+
+// EffectiveMinUnit returns the minimal chunk size to use.
+func (pr *Problem) EffectiveMinUnit() float64 {
+	if pr.MinUnit > 0 {
+		return pr.MinUnit
+	}
+	return 1
+}
+
+// ErrorKnown reports whether the scheduler may rely on KnownError.
+func (pr *Problem) ErrorKnown() bool { return pr.KnownError >= 0 }
+
+// Scheduler builds a dispatcher for a problem instance. Implementations
+// are stateless; all run state lives in the returned dispatcher, so one
+// Scheduler value can serve concurrent simulations.
+type Scheduler interface {
+	// Name identifies the algorithm in reports ("RUMR", "MI-3", ...).
+	Name() string
+	// NewDispatcher returns a fresh dispatcher for the instance, or an
+	// error when the instance is infeasible for this algorithm.
+	NewDispatcher(pr *Problem) (engine.Dispatcher, error)
+}
+
+// Static plays a precalculated plan. With OutOfOrder set, the head of the
+// plan may be bypassed in favour of the earliest planned chunk whose
+// destination worker is idle — the paper's phase-1 revision of UMR
+// ("send a new chunk of data to a worker if it finishes prematurely").
+type Static struct {
+	Plan       []engine.Chunk
+	OutOfOrder bool
+	// MaxPending, when positive, throttles dispatch to just-in-time: a
+	// chunk is only sent to a worker with fewer than MaxPending chunks
+	// queued or in flight. Adaptive schedulers use it so that the tail of
+	// the plan is still withdrawable when their measurement completes;
+	// zero (the default) streams the plan as fast as the port allows.
+	MaxPending int
+	sent       []bool
+	remaining  int
+	started    bool
+}
+
+// NewStatic returns a dispatcher that plays plan in order.
+func NewStatic(plan []engine.Chunk, outOfOrder bool) *Static {
+	return &Static{
+		Plan:       plan,
+		OutOfOrder: outOfOrder,
+		sent:       make([]bool, len(plan)),
+		remaining:  len(plan),
+	}
+}
+
+// eligible reports whether the throttle admits sending to worker w now.
+func (s *Static) eligible(v *engine.View, w int) bool {
+	if s.MaxPending <= 0 {
+		return true
+	}
+	ws := v.Workers[w]
+	return ws.Queued+ws.InFlight < s.MaxPending
+}
+
+// Next implements engine.Dispatcher.
+func (s *Static) Next(v *engine.View) (engine.Chunk, bool) {
+	if s.remaining == 0 {
+		return engine.Chunk{}, false
+	}
+	head := -1
+	for i, done := range s.sent {
+		if !done && s.eligible(v, s.Plan[i].Worker) {
+			head = i
+			break
+		}
+	}
+	if head < 0 {
+		return engine.Chunk{}, false // throttled: wait for completions
+	}
+	pick := head
+	// Before anything has been computed (the initial ramp-up), the plan
+	// order is authoritative even when all workers look idle; premature
+	// finishes can only exist once execution has started.
+	if s.OutOfOrder && s.started {
+		if !v.Workers[s.Plan[head].Worker].Idle() {
+			for i := head + 1; i < len(s.Plan); i++ {
+				if s.sent[i] {
+					continue
+				}
+				if v.Workers[s.Plan[i].Worker].Idle() {
+					pick = i
+					break
+				}
+			}
+		}
+	}
+	s.sent[pick] = true
+	s.remaining--
+	s.started = true
+	return s.Plan[pick], true
+}
+
+// Remaining returns how many planned chunks have not been dispatched.
+func (s *Static) Remaining() int { return s.remaining }
+
+// RemainingWork sums the sizes of the undispatched chunks.
+func (s *Static) RemainingWork() float64 {
+	total := 0.0
+	for i, done := range s.sent {
+		if !done {
+			total += s.Plan[i].Size
+		}
+	}
+	return total
+}
+
+// TrimTail withdraws undispatched chunks from the end of the plan until
+// withdrawing another would exceed target, and returns the total amount
+// withdrawn (possibly 0). Adaptive schedulers use it to re-route the tail
+// of a precalculated plan to a different policy once the error magnitude
+// has been measured.
+func (s *Static) TrimTail(target float64) float64 {
+	removed := 0.0
+	for i := len(s.Plan) - 1; i >= 0 && s.remaining > 0; i-- {
+		if s.sent[i] {
+			continue
+		}
+		if removed+s.Plan[i].Size > target+1e-12 {
+			break
+		}
+		removed += s.Plan[i].Size
+		s.sent[i] = true
+		s.remaining--
+	}
+	return removed
+}
+
+// ChunkSizer yields successive chunk sizes for a demand-driven policy,
+// given the remaining workload. Returning the full remaining amount (or
+// more — the dispatcher clamps) ends the run in one chunk.
+type ChunkSizer interface {
+	// NextSize returns the size of the next chunk to allocate given the
+	// remaining workload (> 0).
+	NextSize(remaining float64) float64
+}
+
+// WorkerSizer is a ChunkSizer that also sees which worker will receive
+// the chunk — weighted policies size chunks by worker speed.
+type WorkerSizer interface {
+	// NextSizeFor returns the chunk size for the given worker.
+	NextSizeFor(worker int, remaining float64) float64
+}
+
+// Demand dispatches to idle workers only — the greedy, self-scheduling
+// style shared by Factoring, FSC and RUMR's phase 2. Chunk sizes come from
+// the Sizer; every chunk is clamped to the remaining work, floored at
+// MinChunk, and the final crumb is absorbed to keep totals exact.
+type Demand struct {
+	Sizer    ChunkSizer
+	MinChunk float64
+	// Round tags emitted chunks (RUMR phase 2 uses it for batch numbers).
+	Phase     int
+	remaining float64
+	total     float64
+	batch     int
+}
+
+// NewDemand returns a demand-driven dispatcher over total units.
+func NewDemand(total float64, sizer ChunkSizer, minChunk float64, phase int) *Demand {
+	return &Demand{Sizer: sizer, MinChunk: minChunk, Phase: phase, remaining: total, total: total}
+}
+
+// Remaining returns the work not yet dispatched.
+func (d *Demand) Remaining() float64 { return d.remaining }
+
+// Next implements engine.Dispatcher: serve the first idle worker.
+func (d *Demand) Next(v *engine.View) (engine.Chunk, bool) {
+	if d.remaining <= 0 {
+		return engine.Chunk{}, false
+	}
+	target := -1
+	for i := range v.Workers {
+		if v.Workers[i].Idle() {
+			target = i
+			break
+		}
+	}
+	if target < 0 {
+		return engine.Chunk{}, false
+	}
+	var size float64
+	if ws, ok := d.Sizer.(WorkerSizer); ok {
+		size = ws.NextSizeFor(target, d.remaining)
+	} else {
+		size = d.Sizer.NextSize(d.remaining)
+	}
+	if size < d.MinChunk {
+		size = d.MinChunk
+	}
+	if size > d.remaining {
+		size = d.remaining
+	}
+	// Absorb a final crumb that would be smaller than half the minimum
+	// chunk (or floating-point dust) into this chunk.
+	if left := d.remaining - size; left < d.MinChunk/2 || left < 1e-9*d.total {
+		size = d.remaining
+	}
+	d.remaining -= size
+	d.batch++
+	return engine.Chunk{Worker: target, Size: size, Round: d.batch - 1, Phase: d.Phase}, true
+}
+
+// PlanTotal sums the sizes in a plan.
+func PlanTotal(plan []engine.Chunk) float64 {
+	total := 0.0
+	for _, c := range plan {
+		total += c.Size
+	}
+	return total
+}

@@ -1,0 +1,71 @@
+// Package tss implements Trapezoid Self-Scheduling (Tzen and Ni, 1993):
+// chunk sizes decrease *linearly* from a first size F to a last size L
+// over the run, a compromise between GSS's aggressive geometric decay and
+// fixed-size chunking. The canonical parameters are F = W/(2N) and
+// L = 1 (here: the workload's minimal unit), giving
+// K = ceil(2W/(F+L)) chunks with common difference (F-L)/(K-1).
+//
+// Like GSS it predates the RUMR paper's evaluation but belongs to the
+// same self-scheduling family; the extended-baselines benchmark places it
+// between Factoring and FSC.
+package tss
+
+import (
+	"math"
+
+	"rumr/internal/engine"
+	"rumr/internal/sched"
+)
+
+// sizer walks the arithmetic sequence from first to last.
+type sizer struct {
+	next float64
+	step float64
+	last float64
+}
+
+// NextSize implements sched.ChunkSizer.
+func (s *sizer) NextSize(remaining float64) float64 {
+	size := s.next
+	if size < s.last {
+		size = s.last
+	}
+	s.next -= s.step
+	return size
+}
+
+// Scheduler adapts TSS to the sched.Scheduler interface.
+type Scheduler struct {
+	// First overrides the initial chunk size; zero selects W/(2N).
+	First float64
+	// Last overrides the final chunk size; zero selects the minimal unit.
+	Last float64
+}
+
+// Name implements sched.Scheduler.
+func (Scheduler) Name() string { return "TSS" }
+
+// NewDispatcher implements sched.Scheduler.
+func (s Scheduler) NewDispatcher(pr *sched.Problem) (engine.Dispatcher, error) {
+	if err := pr.Validate(); err != nil {
+		return nil, err
+	}
+	first := s.First
+	if first <= 0 {
+		first = pr.Total / (2 * float64(pr.Platform.N()))
+	}
+	last := s.Last
+	if last <= 0 {
+		last = pr.EffectiveMinUnit()
+	}
+	if first < last {
+		first = last
+	}
+	k := math.Ceil(2 * pr.Total / (first + last))
+	step := 0.0
+	if k > 1 {
+		step = (first - last) / (k - 1)
+	}
+	return sched.NewDemand(pr.Total, &sizer{next: first, step: step, last: last},
+		pr.EffectiveMinUnit(), 0), nil
+}

@@ -1,0 +1,49 @@
+package umr
+
+import (
+	"math"
+	"testing"
+
+	"rumr/internal/engine"
+	"rumr/internal/rng"
+	"rumr/internal/sched"
+)
+
+// TestNearFixedPointConditioning is a regression test: for plans that sit
+// near the round recursion's fixed point with many rounds (here theta = 2,
+// M = 50), building round times by iterating the recursion forward
+// amplifies one ulp of R_0 by theta^M and used to leave a ~1.25-unit
+// residual that broke the makespan prediction. The closed-form
+// construction keeps the prediction exact.
+func TestNearFixedPointConditioning(t *testing.T) {
+	seed := uint64(0x81969e75ab0f750d) // n=10 r=2 cLat=0 nLat=0.1
+	src := rng.New(seed)
+	n := 10 + 5*src.Intn(9)
+	r := 1.2 + 0.1*float64(src.Intn(9))
+	cLat := 0.1 * float64(src.Intn(11))
+	nLat := 0.1 * float64(src.Intn(11))
+	t.Logf("n=%d r=%v cLat=%v nLat=%v", n, r, cLat, nLat)
+	pr := paperProblem(n, r, cLat, nLat)
+	plan, err := Build(pr)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	t.Logf("rounds=%d total=%v predicted=%v", plan.Rounds, plan.Total(), plan.Predicted)
+	if math.Abs(plan.Total()-pr.Total) > 1e-6 {
+		t.Fatalf("total %v", plan.Total())
+	}
+	for j, round := range plan.Sizes {
+		for k, c := range round {
+			if c <= 0 {
+				t.Fatalf("chunk [%d][%d] = %v", j, k, c)
+			}
+		}
+	}
+	res, err := engine.Run(pr.Platform, sched.NewStatic(plan.Chunks(), false), engine.Options{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if math.Abs(res.Makespan-plan.Predicted) > 1e-9*plan.Predicted {
+		t.Fatalf("simulated %v vs predicted %v", res.Makespan, plan.Predicted)
+	}
+}

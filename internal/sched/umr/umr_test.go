@@ -1,0 +1,479 @@
+package umr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rumr/internal/engine"
+	"rumr/internal/platform"
+	"rumr/internal/rng"
+	"rumr/internal/sched"
+)
+
+// paperProblem builds a homogeneous instance from the paper's Table 1
+// parameterisation: S=1, B = r*N.
+func paperProblem(n int, r, cLat, nLat float64) *sched.Problem {
+	return &sched.Problem{
+		Platform: platform.Homogeneous(n, 1, r*float64(n), cLat, nLat),
+		Total:    1000,
+		MinUnit:  1,
+	}
+}
+
+func TestBuildConservesWorkload(t *testing.T) {
+	pr := paperProblem(20, 1.5, 0.3, 0.3)
+	plan, err := Build(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plan.Total()-1000) > 1e-6 {
+		t.Fatalf("plan total = %v, want 1000", plan.Total())
+	}
+	if plan.Rounds < 1 {
+		t.Fatalf("rounds = %d", plan.Rounds)
+	}
+}
+
+func TestChunksIncreaseAcrossRounds(t *testing.T) {
+	pr := paperProblem(10, 1.5, 0.3, 0.3)
+	plan, err := Build(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Rounds < 2 {
+		t.Skipf("optimum used %d round(s); nothing to compare", plan.Rounds)
+	}
+	for j := 1; j < plan.Rounds; j++ {
+		// Last round absorbs the fp residual; compare strictly only up to
+		// a tolerance.
+		if plan.Sizes[j][0] < plan.Sizes[j-1][0]-1e-6 {
+			t.Fatalf("round %d chunk %v smaller than round %d chunk %v",
+				j, plan.Sizes[j][0], j-1, plan.Sizes[j-1][0])
+		}
+	}
+}
+
+func TestHomogeneousInductionRelation(t *testing.T) {
+	// chunk_{j+1} = theta*chunk_j + eta with theta = B/(N S) and
+	// eta = B(cLat - N nLat)/N — the closed form of [17] — must hold for
+	// the plan produced by the general (heterogeneous) recursion.
+	n, r, cLat, nLat := 10, 1.6, 0.4, 0.2
+	pr := paperProblem(n, r, cLat, nLat)
+	plan, err := Build(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Rounds < 2 {
+		t.Skipf("optimum used %d round(s)", plan.Rounds)
+	}
+	b := r * float64(n)
+	theta := b / float64(n)
+	eta := b * (cLat - float64(n)*nLat) / float64(n)
+	for j := 0; j+1 < plan.Rounds-1; j++ { // skip the residual-adjusted last round
+		want := theta*plan.Sizes[j][0] + eta
+		if math.Abs(plan.Sizes[j+1][0]-want) > 1e-6 {
+			t.Fatalf("induction violated at round %d: got %v, want %v",
+				j+1, plan.Sizes[j+1][0], want)
+		}
+	}
+}
+
+func TestRoundTimesFollowRecursion(t *testing.T) {
+	pr := paperProblem(15, 1.4, 0.5, 0.1)
+	plan, err := Build(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := pr.Platform.Workers[0]
+	n := float64(pr.Platform.N())
+	beta := n * w.S / w.B
+	delta := n*w.NLat - n*w.S*w.CLat/w.B
+	for j := 0; j+1 < plan.Rounds; j++ {
+		want := (plan.RoundTimes[j] - delta) / beta
+		if math.Abs(plan.RoundTimes[j+1]-want) > 1e-9 {
+			t.Fatalf("round time recursion broken at %d", j)
+		}
+	}
+	// Round time = cLat + chunk/S for every worker.
+	for j := 0; j < plan.Rounds-1; j++ {
+		want := w.CLat + plan.Sizes[j][0]/w.S
+		if math.Abs(plan.RoundTimes[j]-want) > 1e-9 {
+			t.Fatalf("round %d time %v != cLat + chunk/S = %v", j, plan.RoundTimes[j], want)
+		}
+	}
+}
+
+func TestSimulatedMakespanMatchesPrediction(t *testing.T) {
+	// Under perfect predictions the simulated makespan must equal the
+	// plan's predicted makespan (the prediction is exact for homogeneous
+	// platforms).
+	for _, tc := range []struct {
+		n         int
+		r, cl, nl float64
+	}{
+		{10, 1.5, 0.3, 0.3},
+		{20, 1.8, 0.0, 0.5},
+		{50, 1.2, 1.0, 1.0},
+		{30, 2.0, 0.1, 0.0},
+	} {
+		pr := paperProblem(tc.n, tc.r, tc.cl, tc.nl)
+		plan, err := Build(pr)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		res, err := engine.Run(pr.Platform, sched.NewStatic(plan.Chunks(), false),
+			engine.Options{RecordTrace: true})
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		if math.Abs(res.Makespan-plan.Predicted) > 1e-6*plan.Predicted {
+			t.Fatalf("%+v: simulated %v vs predicted %v", tc, res.Makespan, plan.Predicted)
+		}
+		if err := res.Trace.Validate(pr.Platform, pr.Total); err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+	}
+}
+
+func TestNoIdleGapsUnderPerfectPredictions(t *testing.T) {
+	// When chunk sizes increase across rounds (the low-latency regime the
+	// paper's Fig. 3 depicts), the UMR induction guarantees every worker's
+	// next round arrives before it finishes the current one: workers never
+	// sit idle between their first arrival and their last completion.
+	// (With large latencies the optimizer may pick plans whose rounds
+	// shrink; then only the last-served worker is gap-free — that weaker
+	// invariant is checked by TestLastWorkerNeverGaps.)
+	pr := paperProblem(20, 1.5, 0.05, 0.05)
+	plan, err := Build(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 1; j < plan.Rounds; j++ {
+		if plan.Sizes[j][0] < plan.Sizes[j-1][0]-1e-6 {
+			t.Fatalf("config expected to produce increasing chunks; round %d: %v < %v",
+				j, plan.Sizes[j][0], plan.Sizes[j-1][0])
+		}
+	}
+	res, err := engine.Run(pr.Platform, sched.NewStatic(plan.Chunks(), false),
+		engine.Options{RecordTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idle := res.Trace.WorkerIdle(pr.Platform.N())
+	// Workers finishing before the overall makespan accrue tail idle; only
+	// the *gaps* matter here, so re-derive them: idle minus tail.
+	for w, rs := 0, res.Trace.Records; w < pr.Platform.N(); w++ {
+		lastEnd := 0.0
+		for _, rec := range rs {
+			if rec.Worker == w && rec.CompEnd > lastEnd {
+				lastEnd = rec.CompEnd
+			}
+		}
+		tail := res.Makespan - lastEnd
+		gap := idle[w] - tail
+		if gap > 1e-6 {
+			t.Fatalf("worker %d has %v of mid-run idle gaps", w, gap)
+		}
+	}
+}
+
+func TestLastWorkerNeverGaps(t *testing.T) {
+	// Whatever the round-size trend, the induction makes the last-served
+	// worker compute continuously from its first arrival to the makespan —
+	// that is what makes the plan's predicted makespan exact.
+	for _, tc := range []struct {
+		n         int
+		r, cl, nl float64
+	}{
+		{20, 1.5, 0.3, 0.3}, // decreasing-round regime
+		{20, 1.5, 0.05, 0.05},
+		{50, 1.2, 1.0, 1.0},
+	} {
+		pr := paperProblem(tc.n, tc.r, tc.cl, tc.nl)
+		plan, err := Build(pr)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		res, err := engine.Run(pr.Platform, sched.NewStatic(plan.Chunks(), false),
+			engine.Options{RecordTrace: true})
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		last := plan.Workers[len(plan.Workers)-1]
+		idle := res.Trace.WorkerIdle(pr.Platform.N())
+		if idle[last] > 1e-6 {
+			t.Fatalf("%+v: last worker idles %v mid-run", tc, idle[last])
+		}
+	}
+}
+
+func TestContinuousMatchesDiscrete(t *testing.T) {
+	for _, tc := range []struct {
+		n         int
+		r, cl, nl float64
+	}{
+		{10, 1.5, 0.3, 0.3},
+		{20, 1.3, 0.5, 0.2},
+		{40, 1.8, 0.8, 0.6},
+		{50, 2.0, 0.2, 1.0},
+	} {
+		pr := paperProblem(tc.n, tc.r, tc.cl, tc.nl)
+		plan, err := Build(pr)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		mCont, err := ContinuousRounds(pr)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		if mCont > 1 && float64(plan.Rounds) < mCont-1.5 ||
+			float64(plan.Rounds) > mCont+1.5 {
+			t.Fatalf("%+v: discrete M=%d vs continuous M=%.3f", tc, plan.Rounds, mCont)
+		}
+	}
+}
+
+func TestContinuousRoundsRejectsHeterogeneous(t *testing.T) {
+	p := platform.Homogeneous(4, 1, 10, 0.1, 0.1)
+	p.Workers[0].S = 2
+	pr := &sched.Problem{Platform: p, Total: 100}
+	if _, err := ContinuousRounds(pr); err == nil {
+		t.Fatal("heterogeneous platform accepted")
+	}
+}
+
+func TestZeroLatencyUsesManyRoundsButTerminates(t *testing.T) {
+	pr := paperProblem(10, 1.5, 0, 0)
+	plan, err := Build(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Rounds < 2 {
+		t.Fatalf("zero-latency optimum should use several rounds, got %d", plan.Rounds)
+	}
+	if plan.Rounds > MaxRounds {
+		t.Fatalf("rounds = %d beyond cap", plan.Rounds)
+	}
+	// The chunk floor (1 unit) must hold.
+	if plan.Sizes[0][0] < 1-1e-9 {
+		t.Fatalf("first chunk %v below the unit floor", plan.Sizes[0][0])
+	}
+}
+
+func TestMoreLatencyFewerRounds(t *testing.T) {
+	low, err := Build(paperProblem(20, 1.5, 0.05, 0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := Build(paperProblem(20, 1.5, 1.0, 1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.Rounds > low.Rounds {
+		t.Fatalf("rounds should not grow with latency: low=%d high=%d", low.Rounds, high.Rounds)
+	}
+}
+
+func TestSelectionDropsSlowLinks(t *testing.T) {
+	p := &platform.Platform{Workers: []platform.Worker{
+		{S: 1, B: 10},
+		{S: 1, B: 1.01}, // utilization hog
+		{S: 1, B: 50},
+	}}
+	pr := &sched.Problem{Platform: p, Total: 100}
+	plan, err := Build(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range plan.Workers {
+		if w == 1 {
+			t.Fatal("selection kept the slow-link worker")
+		}
+	}
+	if math.Abs(plan.Total()-100) > 1e-6 {
+		t.Fatalf("selected plan total = %v", plan.Total())
+	}
+}
+
+func TestHeterogeneousRoundsEqualizeComputeTime(t *testing.T) {
+	p := &platform.Platform{Workers: []platform.Worker{
+		{S: 1, B: 40, CLat: 0.2, NLat: 0.1},
+		{S: 2, B: 60, CLat: 0.4, NLat: 0.2},
+		{S: 0.5, B: 30, CLat: 0.1, NLat: 0.05},
+	}}
+	pr := &sched.Problem{Platform: p, Total: 500, MinUnit: 1}
+	plan, err := Build(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < plan.Rounds-1; j++ { // last round absorbs residual
+		for k, orig := range plan.Workers {
+			w := p.Workers[orig]
+			rt := w.CLat + plan.Sizes[j][k]/w.S
+			if math.Abs(rt-plan.RoundTimes[j]) > 1e-9 {
+				t.Fatalf("round %d worker %d compute time %v != round time %v",
+					j, orig, rt, plan.RoundTimes[j])
+			}
+		}
+	}
+}
+
+func TestSchedulerInterface(t *testing.T) {
+	var s sched.Scheduler = Scheduler{}
+	if s.Name() != "UMR" {
+		t.Fatalf("name = %q", s.Name())
+	}
+	pr := paperProblem(10, 1.5, 0.3, 0.3)
+	d, err := s.NewDispatcher(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Run(pr.Platform, d, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.DispatchedWork-1000) > 1e-6 {
+		t.Fatalf("dispatched %v", res.DispatchedWork)
+	}
+}
+
+func TestBuildRejectsInvalidProblem(t *testing.T) {
+	if _, err := Build(&sched.Problem{}); err == nil {
+		t.Fatal("nil platform accepted")
+	}
+	pr := paperProblem(10, 1.5, 0.3, 0.3)
+	pr.Total = -1
+	if _, err := Build(pr); err == nil {
+		t.Fatal("negative workload accepted")
+	}
+}
+
+func TestTinyWorkloadFallsBack(t *testing.T) {
+	pr := &sched.Problem{
+		Platform: platform.Homogeneous(10, 1, 15, 0.3, 0.3),
+		Total:    0.5, // below one unit per worker
+		MinUnit:  1,
+	}
+	plan, err := Build(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plan.Total()-0.5) > 1e-9 {
+		t.Fatalf("fallback total = %v", plan.Total())
+	}
+}
+
+// Property: across the paper's whole parameter grid the plan conserves the
+// workload, has positive chunk sizes everywhere, and simulates to within a
+// whisker of its prediction under perfect predictions.
+func TestPaperGridProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		n := 10 + 5*src.Intn(9)             // 10..50
+		r := 1.2 + 0.1*float64(src.Intn(9)) // 1.2..2.0
+		cLat := 0.1 * float64(src.Intn(11)) // 0..1
+		nLat := 0.1 * float64(src.Intn(11)) // 0..1
+		pr := paperProblem(n, r, cLat, nLat)
+		plan, err := Build(pr)
+		if err != nil {
+			return false
+		}
+		if math.Abs(plan.Total()-pr.Total) > 1e-6 {
+			return false
+		}
+		for _, round := range plan.Sizes {
+			for _, c := range round {
+				if c <= 0 {
+					return false
+				}
+			}
+		}
+		res, err := engine.Run(pr.Platform, sched.NewStatic(plan.Chunks(), false), engine.Options{})
+		if err != nil {
+			return false
+		}
+		return math.Abs(res.Makespan-plan.Predicted) < 1e-6*plan.Predicted
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	pr := paperProblem(20, 1.5, 0.3, 0.3)
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(pr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestUtilizationViolatingPlatformStillSchedules(t *testing.T) {
+	// B below N*S (r < 1): the full-utilization condition fails, so
+	// selection must drop workers, and the plan still conserves the
+	// workload.
+	pr := &sched.Problem{
+		Platform: platform.Homogeneous(10, 1, 8, 0.2, 0.2),
+		Total:    1000,
+		MinUnit:  1,
+	}
+	plan, err := Build(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Workers) >= 10 {
+		t.Fatalf("selection kept all %d workers despite ratio 1", len(plan.Workers))
+	}
+	if math.Abs(plan.Total()-1000) > 1e-6 {
+		t.Fatalf("total = %v", plan.Total())
+	}
+	res, err := engine.Run(pr.Platform, sched.NewStatic(plan.Chunks(), false), engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.DispatchedWork-1000) > 1e-6 {
+		t.Fatalf("dispatched %v", res.DispatchedWork)
+	}
+}
+
+func TestContinuousRoundsThetaOne(t *testing.T) {
+	// theta = B/(N*S) == 1 exercises the arithmetic-progression branch.
+	pr := &sched.Problem{
+		Platform: platform.Homogeneous(10, 1, 10, 0.3, 0.0),
+		Total:    1000,
+		MinUnit:  1,
+	}
+	m, err := ContinuousRounds(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m < 1 || m > float64(MaxRounds) {
+		t.Fatalf("m = %v", m)
+	}
+	// With eta = B*cLat/N > 0, multiple rounds are feasible.
+	neg := &sched.Problem{
+		Platform: platform.Homogeneous(10, 1, 10, 0.0, 0.3),
+		Total:    1000,
+		MinUnit:  1,
+	}
+	m, err = ContinuousRounds(neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 1 {
+		t.Fatalf("eta < 0 at theta = 1 must force a single round, got %v", m)
+	}
+}
+
+func TestPlanChunksSkipEmptyRows(t *testing.T) {
+	plan := &Plan{
+		Workers: []int{0, 1},
+		Rounds:  1,
+		Sizes:   [][]float64{{5, 0}},
+	}
+	chunks := plan.Chunks()
+	if len(chunks) != 1 || chunks[0].Worker != 0 {
+		t.Fatalf("chunks = %+v", chunks)
+	}
+}

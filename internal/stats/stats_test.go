@@ -1,0 +1,218 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rumr/internal/rng"
+)
+
+func TestWelfordBasics(t *testing.T) {
+	var w Welford
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range xs {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Fatalf("n = %d", w.N())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Fatalf("mean = %v, want 5", w.Mean())
+	}
+	// Population variance of this classic set is 4; unbiased = 32/7.
+	if math.Abs(w.Variance()-32.0/7.0) > 1e-12 {
+		t.Fatalf("variance = %v, want %v", w.Variance(), 32.0/7.0)
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", w.Min(), w.Max())
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.StdDev() != 0 || w.StdErr() != 0 {
+		t.Fatal("empty accumulator should be all zeros")
+	}
+}
+
+func TestWelfordSingle(t *testing.T) {
+	var w Welford
+	w.Add(3.5)
+	if w.Mean() != 3.5 || w.Variance() != 0 {
+		t.Fatalf("single sample: mean=%v var=%v", w.Mean(), w.Variance())
+	}
+}
+
+// Property: merging two accumulators equals accumulating the concatenation.
+func TestWelfordMergeEquivalence(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		n1, n2 := src.Intn(50), src.Intn(50)
+		var a, b, all Welford
+		for i := 0; i < n1; i++ {
+			x := src.Uniform(-100, 100)
+			a.Add(x)
+			all.Add(x)
+		}
+		for i := 0; i < n2; i++ {
+			x := src.Uniform(-100, 100)
+			b.Add(x)
+			all.Add(x)
+		}
+		a.Merge(b)
+		if a.N() != all.N() {
+			return false
+		}
+		if all.N() == 0 {
+			return true
+		}
+		return math.Abs(a.Mean()-all.Mean()) < 1e-9 &&
+			math.Abs(a.Variance()-all.Variance()) < 1e-7 &&
+			a.Min() == all.Min() && a.Max() == all.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelfordMergeIntoEmpty(t *testing.T) {
+	var a, b Welford
+	b.Add(1)
+	b.Add(3)
+	a.Merge(b)
+	if a.N() != 2 || a.Mean() != 2 {
+		t.Fatalf("merge into empty: %v", a.String())
+	}
+	var c Welford
+	a.Merge(c) // merging empty is a no-op
+	if a.N() != 2 {
+		t.Fatal("merging empty changed the accumulator")
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if Mean(xs) != 2.5 {
+		t.Fatalf("mean = %v", Mean(xs))
+	}
+	want := math.Sqrt(5.0 / 3.0)
+	if math.Abs(StdDev(xs)-want) > 1e-12 {
+		t.Fatalf("sd = %v, want %v", StdDev(xs), want)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 || StdDev([]float64{1}) != 0 {
+		t.Fatal("edge cases should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	cases := []struct {
+		p, want float64
+	}{
+		{0, 1}, {100, 5}, {50, 3}, {25, 2}, {75, 4}, {-10, 1}, {110, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Interpolation between ranks.
+	if got := Percentile([]float64{1, 2}, 50); got != 1.5 {
+		t.Errorf("P50 of {1,2} = %v, want 1.5", got)
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+	// The input must not be reordered.
+	if xs[0] != 5 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if Median([]float64{9, 1, 5}) != 5 {
+		t.Fatal("median wrong")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i))
+	}
+	for i := 0; i < 5; i++ {
+		if h.Counts[i] != 2 {
+			t.Fatalf("bin %d = %d, want 2", i, h.Counts[i])
+		}
+		if math.Abs(h.Fraction(i)-0.2) > 1e-12 {
+			t.Fatalf("fraction %d = %v", i, h.Fraction(i))
+		}
+	}
+	if h.Total() != 10 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	// Out-of-range samples clamp to edge bins.
+	h.Add(-100)
+	h.Add(+100)
+	if h.Counts[0] != 3 || h.Counts[4] != 3 {
+		t.Fatal("clamping failed")
+	}
+	if got := h.BinCenter(0); got != 1 {
+		t.Fatalf("bin center = %v, want 1", got)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewHistogram(0, 1, 0) },
+		func() { NewHistogram(1, 1, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestWinRate(t *testing.T) {
+	var wr WinRate
+	wr.Record(1.0, 1.2, 0)    // win
+	wr.Record(1.0, 0.9, 0)    // loss
+	wr.Record(1.0, 1.05, 0.1) // within margin: not a win
+	wr.Record(1.0, 1.2, 0.1)  // win by >10%
+	if wr.Total != 4 || wr.Wins != 2 {
+		t.Fatalf("wins/total = %d/%d", wr.Wins, wr.Total)
+	}
+	if wr.Percent() != 50 {
+		t.Fatalf("percent = %v", wr.Percent())
+	}
+	var other WinRate
+	other.Record(1, 2, 0)
+	wr.Merge(other)
+	if wr.Total != 5 || wr.Wins != 3 {
+		t.Fatal("merge failed")
+	}
+	var empty WinRate
+	if empty.Percent() != 0 {
+		t.Fatal("empty percent should be 0")
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	src := rng.New(99)
+	var small, large Welford
+	for i := 0; i < 10; i++ {
+		small.Add(src.Normal())
+	}
+	for i := 0; i < 1000; i++ {
+		large.Add(src.Normal())
+	}
+	if small.CI95() <= large.CI95() {
+		t.Fatalf("CI95 should shrink with n: small=%v large=%v", small.CI95(), large.CI95())
+	}
+}

@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteCSV emits the trace as CSV, one row per chunk in record order.
+func (tr *Trace) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "worker,size,round,phase,send_start,send_end,arrive,comp_start,comp_end"); err != nil {
+		return err
+	}
+	for _, r := range tr.Records {
+		if _, err := fmt.Fprintf(w, "%d,%g,%d,%d,%g,%g,%g,%g,%g\n",
+			r.Worker, r.Size, r.Round, r.Phase,
+			r.SendStart, r.SendEnd, r.Arrive, r.CompStart, r.CompEnd); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON emits the trace as indented JSON.
+func (tr *Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tr)
+}
+
+// ReadJSON parses a trace previously written with WriteJSON.
+func ReadJSON(r io.Reader) (*Trace, error) {
+	var tr Trace
+	if err := json.NewDecoder(r).Decode(&tr); err != nil {
+		return nil, fmt.Errorf("trace: decoding JSON: %w", err)
+	}
+	return &tr, nil
+}
+
+// Stats summarises a trace for reporting: how well the schedule used the
+// platform.
+type Stats struct {
+	// Makespan is copied from the trace.
+	Makespan float64
+	// Chunks is the number of dispatched chunks.
+	Chunks int
+	// PortBusy is the total time the master spent sending (summed over
+	// slots when transfers overlap).
+	PortBusy float64
+	// PortUtilization is PortBusy relative to the makespan (can exceed 1
+	// with parallel sends).
+	PortUtilization float64
+	// MeanWorkerUtilization is the mean fraction of the makespan each
+	// worker spent computing.
+	MeanWorkerUtilization float64
+	// MeanIdleGap is the mean per-worker idle time between first arrival
+	// and last completion (ramp-up excluded) — the "gaps" RUMR's design
+	// choice (ii) minimises.
+	MeanIdleGap float64
+	// PhaseWork maps phase tags to dispatched work (RUMR: 1 and 2).
+	PhaseWork map[int]float64
+	// ChunkSizeMin/Max bound the dispatched chunk sizes.
+	ChunkSizeMin, ChunkSizeMax float64
+}
+
+// ComputeStats derives schedule statistics for a platform of n workers.
+func (tr *Trace) ComputeStats(n int) Stats {
+	st := Stats{
+		Makespan:  tr.Makespan,
+		Chunks:    len(tr.Records),
+		PhaseWork: make(map[int]float64),
+	}
+	if len(tr.Records) == 0 {
+		return st
+	}
+	st.ChunkSizeMin = tr.Records[0].Size
+	lastEnd := make([]float64, n)
+	for _, r := range tr.Records {
+		st.PortBusy += r.SendEnd - r.SendStart
+		st.PhaseWork[r.Phase] += r.Size
+		if r.Size < st.ChunkSizeMin {
+			st.ChunkSizeMin = r.Size
+		}
+		if r.Size > st.ChunkSizeMax {
+			st.ChunkSizeMax = r.Size
+		}
+		if r.Worker >= 0 && r.Worker < n && r.CompEnd > lastEnd[r.Worker] {
+			lastEnd[r.Worker] = r.CompEnd
+		}
+	}
+	if tr.Makespan > 0 {
+		st.PortUtilization = st.PortBusy / tr.Makespan
+		busy := tr.WorkerBusy(n)
+		sum := 0.0
+		for _, b := range busy {
+			sum += b / tr.Makespan
+		}
+		st.MeanWorkerUtilization = sum / float64(n)
+	}
+	idle := tr.WorkerIdle(n)
+	gapSum := 0.0
+	for w := 0; w < n; w++ {
+		tail := tr.Makespan - lastEnd[w]
+		gap := idle[w] - tail
+		if gap > 0 {
+			gapSum += gap
+		}
+	}
+	st.MeanIdleGap = gapSum / float64(n)
+	return st
+}
+
+// PhaseTimeline returns, per phase tag (sorted), the time span
+// [first send start, last completion] of that phase's chunks — useful to
+// see when RUMR's phase 2 took over.
+func (tr *Trace) PhaseTimeline() map[int][2]float64 {
+	out := make(map[int][2]float64)
+	for _, r := range tr.Records {
+		span, ok := out[r.Phase]
+		if !ok {
+			span = [2]float64{r.SendStart, r.CompEnd}
+		} else {
+			if r.SendStart < span[0] {
+				span[0] = r.SendStart
+			}
+			if r.CompEnd > span[1] {
+				span[1] = r.CompEnd
+			}
+		}
+		out[r.Phase] = span
+	}
+	return out
+}
+
+// Phases returns the phase tags present in the trace, sorted.
+func (tr *Trace) Phases() []int {
+	seen := make(map[int]bool)
+	for _, r := range tr.Records {
+		seen[r.Phase] = true
+	}
+	var out []int
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundHeader(t *testing.T) {
+	tr := validTrace()
+	var b bytes.Buffer
+	if err := tr.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "worker,size") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "0,5,") {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := validTrace()
+	tr.ParallelSends = 3
+	var b bytes.Buffer
+	if err := tr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Makespan != tr.Makespan || got.ParallelSends != 3 || len(got.Records) != len(tr.Records) {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	for i := range tr.Records {
+		if got.Records[i] != tr.Records[i] {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	tr := validTrace() // two workers, 5 units each, makespan 6.3
+	st := tr.ComputeStats(2)
+	if st.Chunks != 2 || st.Makespan != 6.3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if math.Abs(st.PortBusy-1.2) > 1e-9 {
+		t.Fatalf("port busy = %v", st.PortBusy)
+	}
+	if math.Abs(st.PortUtilization-1.2/6.3) > 1e-9 {
+		t.Fatalf("port utilization = %v", st.PortUtilization)
+	}
+	// Each worker computes 5.1 of 6.3.
+	if math.Abs(st.MeanWorkerUtilization-5.1/6.3) > 1e-9 {
+		t.Fatalf("worker utilization = %v", st.MeanWorkerUtilization)
+	}
+	if st.MeanIdleGap > 1e-9 {
+		t.Fatalf("idle gap = %v", st.MeanIdleGap)
+	}
+	if st.ChunkSizeMin != 5 || st.ChunkSizeMax != 5 {
+		t.Fatalf("chunk bounds = %v/%v", st.ChunkSizeMin, st.ChunkSizeMax)
+	}
+	if st.PhaseWork[0] != 10 {
+		t.Fatalf("phase work = %v", st.PhaseWork)
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	var tr Trace
+	st := tr.ComputeStats(4)
+	if st.Chunks != 0 || st.PortBusy != 0 {
+		t.Fatalf("empty stats = %+v", st)
+	}
+}
+
+func TestPhaseTimelineAndPhases(t *testing.T) {
+	tr := &Trace{
+		Records: []ChunkRecord{
+			{Worker: 0, Size: 1, Phase: 1, SendStart: 0, SendEnd: 1, Arrive: 1, CompStart: 1, CompEnd: 3},
+			{Worker: 0, Size: 1, Phase: 1, SendStart: 1, SendEnd: 2, Arrive: 2, CompStart: 3, CompEnd: 5},
+			{Worker: 0, Size: 1, Phase: 2, SendStart: 4, SendEnd: 5, Arrive: 5, CompStart: 5, CompEnd: 7},
+		},
+		Makespan: 7,
+	}
+	ph := tr.Phases()
+	if len(ph) != 2 || ph[0] != 1 || ph[1] != 2 {
+		t.Fatalf("phases = %v", ph)
+	}
+	tl := tr.PhaseTimeline()
+	if tl[1] != [2]float64{0, 5} {
+		t.Fatalf("phase 1 span = %v", tl[1])
+	}
+	if tl[2] != [2]float64{4, 7} {
+		t.Fatalf("phase 2 span = %v", tl[2])
+	}
+}

@@ -1,0 +1,229 @@
+// Package trace records what happened during a simulated master/worker
+// execution — one record per chunk with its send, arrival and compute
+// times — and can independently re-check that the recorded schedule obeys
+// the platform model: the master port never overlaps two sends, workers
+// never compute two chunks at once, computation never starts before the
+// data arrives, and the dispatched chunk sizes conserve the workload.
+//
+// The validator is deliberately independent of the engine's logic so that
+// engine bugs cannot hide: it knows only the model's rules, not how the
+// engine schedules events.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rumr/internal/platform"
+)
+
+// ChunkRecord is the life cycle of one dispatched chunk.
+type ChunkRecord struct {
+	// Worker is the destination worker index.
+	Worker int
+	// Size is the chunk size in workload units.
+	Size float64
+	// Round is a scheduler-defined tag (UMR round, factoring batch, ...).
+	Round int
+	// Phase is a scheduler-defined tag (RUMR: 1 or 2; others: 0 or 1).
+	Phase int
+	// SendStart is when the master began the transfer (port busy from
+	// SendStart to SendEnd).
+	SendStart float64
+	// SendEnd is when the master's port became free again.
+	SendEnd float64
+	// Arrive is when the worker held the last byte (SendEnd + tLat).
+	Arrive float64
+	// CompStart and CompEnd delimit the worker's computation of the chunk.
+	CompStart float64
+	CompEnd   float64
+}
+
+// Trace is the complete record of one simulated run.
+type Trace struct {
+	Records  []ChunkRecord
+	Makespan float64
+	// ParallelSends is the number of concurrent transfers the master was
+	// allowed (0 or 1 = the paper's serialised port); the validator
+	// enforces it.
+	ParallelSends int
+}
+
+const eps = 1e-9
+
+// Validate checks the trace against the platform model and the expected
+// total workload. A nil error means the schedule is feasible.
+func (tr *Trace) Validate(p *platform.Platform, wantTotal float64) error {
+	if len(tr.Records) == 0 {
+		if wantTotal > 0 {
+			return fmt.Errorf("trace: empty trace but %g units expected", wantTotal)
+		}
+		return nil
+	}
+	n := p.N()
+	total := 0.0
+	maxEnd := 0.0
+	for i, r := range tr.Records {
+		if r.Worker < 0 || r.Worker >= n {
+			return fmt.Errorf("trace: record %d targets worker %d of %d", i, r.Worker, n)
+		}
+		if r.Size <= 0 {
+			return fmt.Errorf("trace: record %d has non-positive size %g", i, r.Size)
+		}
+		if r.SendStart < -eps || r.SendEnd < r.SendStart-eps || r.Arrive < r.SendEnd-eps ||
+			r.CompStart < r.Arrive-eps || r.CompEnd < r.CompStart-eps {
+			return fmt.Errorf("trace: record %d has inconsistent times %+v", i, r)
+		}
+		total += r.Size
+		if r.CompEnd > maxEnd {
+			maxEnd = r.CompEnd
+		}
+	}
+	if diff := total - wantTotal; diff > eps*wantTotal+eps || diff < -eps*wantTotal-eps {
+		return fmt.Errorf("trace: dispatched %g units, want %g", total, wantTotal)
+	}
+	if tr.Makespan < maxEnd-eps {
+		return fmt.Errorf("trace: makespan %g below last completion %g", tr.Makespan, maxEnd)
+	}
+
+	// Master port capacity: at most ParallelSends transfers may overlap
+	// (1 — the paper's fully serialised port — when unset). The check
+	// sweeps send start/end events in time order and tracks concurrency.
+	capacity := tr.ParallelSends
+	if capacity < 1 {
+		capacity = 1
+	}
+	type portEvent struct {
+		t     float64
+		delta int
+	}
+	events := make([]portEvent, 0, 2*len(tr.Records))
+	for _, r := range tr.Records {
+		events = append(events,
+			portEvent{r.SendStart, +1},
+			portEvent{r.SendEnd - eps, -1})
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].t != events[j].t {
+			return events[i].t < events[j].t
+		}
+		return events[i].delta < events[j].delta // close before open on ties
+	})
+	active := 0
+	for _, e := range events {
+		active += e.delta
+		if active > capacity {
+			return fmt.Errorf("trace: master port overlap: %d concurrent sends at t=%g exceed capacity %d",
+				active, e.t, capacity)
+		}
+	}
+
+	// Worker compute exclusivity.
+	perWorker := make(map[int][]ChunkRecord)
+	for _, r := range tr.Records {
+		perWorker[r.Worker] = append(perWorker[r.Worker], r)
+	}
+	for w, rs := range perWorker {
+		sort.Slice(rs, func(i, j int) bool { return rs[i].CompStart < rs[j].CompStart })
+		for i := 1; i < len(rs); i++ {
+			if rs[i].CompStart < rs[i-1].CompEnd-eps {
+				return fmt.Errorf("trace: worker %d computes two chunks at once (start %g < previous end %g)",
+					w, rs[i].CompStart, rs[i-1].CompEnd)
+			}
+		}
+	}
+	return nil
+}
+
+// TotalDispatched returns the sum of chunk sizes.
+func (tr *Trace) TotalDispatched() float64 {
+	total := 0.0
+	for _, r := range tr.Records {
+		total += r.Size
+	}
+	return total
+}
+
+// WorkerBusy returns per-worker total computation time.
+func (tr *Trace) WorkerBusy(n int) []float64 {
+	busy := make([]float64, n)
+	for _, r := range tr.Records {
+		if r.Worker >= 0 && r.Worker < n {
+			busy[r.Worker] += r.CompEnd - r.CompStart
+		}
+	}
+	return busy
+}
+
+// WorkerIdle returns per-worker idle time between the worker's first
+// arrival and the makespan — the "gaps" the paper's design choice (ii)
+// worries about.
+func (tr *Trace) WorkerIdle(n int) []float64 {
+	type span struct{ start, end, arrive float64 }
+	perWorker := make([][]span, n)
+	for _, r := range tr.Records {
+		if r.Worker >= 0 && r.Worker < n {
+			perWorker[r.Worker] = append(perWorker[r.Worker], span{r.CompStart, r.CompEnd, r.Arrive})
+		}
+	}
+	idle := make([]float64, n)
+	for w, spans := range perWorker {
+		if len(spans) == 0 {
+			idle[w] = tr.Makespan
+			continue
+		}
+		sort.Slice(spans, func(i, j int) bool { return spans[i].start < spans[j].start })
+		cursor := spans[0].arrive
+		total := 0.0
+		for _, s := range spans {
+			if s.start > cursor {
+				total += s.start - cursor
+			}
+			if s.end > cursor {
+				cursor = s.end
+			}
+		}
+		if tr.Makespan > cursor {
+			total += tr.Makespan - cursor
+		}
+		idle[w] = total
+	}
+	return idle
+}
+
+// Gantt renders an ASCII Gantt chart of worker computation (one row per
+// worker, '#' marks busy cells, '.' idle) with the given width in
+// characters. It is meant for terminal inspection of small runs.
+func (tr *Trace) Gantt(n, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	if tr.Makespan <= 0 || len(tr.Records) == 0 {
+		return "(empty trace)\n"
+	}
+	scale := float64(width) / tr.Makespan
+	var b strings.Builder
+	fmt.Fprintf(&b, "time 0 %s %.4g\n", strings.Repeat("-", width-12), tr.Makespan)
+	rows := make([][]byte, n)
+	for w := range rows {
+		rows[w] = []byte(strings.Repeat(".", width))
+	}
+	for _, r := range tr.Records {
+		if r.Worker < 0 || r.Worker >= n {
+			continue
+		}
+		lo := int(r.CompStart * scale)
+		hi := int(r.CompEnd * scale)
+		if hi >= width {
+			hi = width - 1
+		}
+		for c := lo; c <= hi; c++ {
+			rows[r.Worker][c] = '#'
+		}
+	}
+	for w, row := range rows {
+		fmt.Fprintf(&b, "w%02d |%s|\n", w, row)
+	}
+	return b.String()
+}

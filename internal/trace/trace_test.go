@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"rumr/internal/platform"
+)
+
+func twoWorkerPlatform() *platform.Platform {
+	return platform.Homogeneous(2, 1, 10, 0.1, 0.1)
+}
+
+func validTrace() *Trace {
+	return &Trace{
+		Records: []ChunkRecord{
+			{Worker: 0, Size: 5, SendStart: 0, SendEnd: 0.6, Arrive: 0.6, CompStart: 0.6, CompEnd: 5.7},
+			{Worker: 1, Size: 5, SendStart: 0.6, SendEnd: 1.2, Arrive: 1.2, CompStart: 1.2, CompEnd: 6.3},
+		},
+		Makespan: 6.3,
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	if err := validTrace().Validate(twoWorkerPlatform(), 10); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+}
+
+func TestValidateEmpty(t *testing.T) {
+	var tr Trace
+	if err := tr.Validate(twoWorkerPlatform(), 0); err != nil {
+		t.Fatalf("empty trace with zero work rejected: %v", err)
+	}
+	if err := tr.Validate(twoWorkerPlatform(), 5); err == nil {
+		t.Fatal("empty trace with expected work accepted")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Trace)
+		errSub string
+	}{
+		{"bad worker", func(tr *Trace) { tr.Records[0].Worker = 7 }, "targets worker"},
+		{"negative size", func(tr *Trace) { tr.Records[0].Size = -1 }, "size"},
+		{"compute before arrival", func(tr *Trace) { tr.Records[1].CompStart = 0.5 }, "inconsistent"},
+		{"send overlap", func(tr *Trace) { tr.Records[1].SendStart = 0.3 }, "port overlap"},
+		{"wrong total", func(tr *Trace) { tr.Records[0].Size = 2 }, "dispatched"},
+		{"makespan too small", func(tr *Trace) { tr.Makespan = 1 }, "makespan"},
+		{"send end before start", func(tr *Trace) { tr.Records[0].SendEnd = -0.5 }, "inconsistent"},
+	}
+	for _, c := range cases {
+		tr := validTrace()
+		c.mutate(tr)
+		err := tr.Validate(twoWorkerPlatform(), 10)
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.errSub) {
+			t.Errorf("%s: err %q does not mention %q", c.name, err, c.errSub)
+		}
+	}
+}
+
+func TestValidateComputeOverlapSameWorker(t *testing.T) {
+	tr := &Trace{
+		Records: []ChunkRecord{
+			{Worker: 0, Size: 5, SendEnd: 0.1, Arrive: 0.1, CompStart: 0.1, CompEnd: 5},
+			{Worker: 0, Size: 5, SendStart: 0.1, SendEnd: 0.2, Arrive: 0.2, CompStart: 3, CompEnd: 8},
+		},
+		Makespan: 8,
+	}
+	err := tr.Validate(twoWorkerPlatform(), 10)
+	if err == nil || !strings.Contains(err.Error(), "two chunks at once") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTotalDispatched(t *testing.T) {
+	if got := validTrace().TotalDispatched(); got != 10 {
+		t.Fatalf("total = %v", got)
+	}
+}
+
+func TestWorkerBusy(t *testing.T) {
+	busy := validTrace().WorkerBusy(2)
+	if len(busy) != 2 {
+		t.Fatal("length")
+	}
+	for i, b := range busy {
+		if b < 5.09 || b > 5.11 {
+			t.Fatalf("busy[%d] = %v", i, b)
+		}
+	}
+}
+
+func TestWorkerIdle(t *testing.T) {
+	// Worker 0 computes 0.6..5.7, makespan 6.3: idle 0.6 at the tail.
+	idle := validTrace().WorkerIdle(2)
+	if idle[0] < 0.59 || idle[0] > 0.61 {
+		t.Fatalf("idle[0] = %v", idle[0])
+	}
+	// Worker 1 computes right up to the makespan: idle ~0.
+	if idle[1] > 1e-9 {
+		t.Fatalf("idle[1] = %v", idle[1])
+	}
+}
+
+func TestWorkerIdleWithGap(t *testing.T) {
+	tr := &Trace{
+		Records: []ChunkRecord{
+			{Worker: 0, Size: 1, Arrive: 1, CompStart: 1, CompEnd: 2},
+			{Worker: 0, Size: 1, SendStart: 2, SendEnd: 3, Arrive: 3, CompStart: 4, CompEnd: 5},
+		},
+		Makespan: 5,
+	}
+	idle := tr.WorkerIdle(1)
+	// Gap 2..4 between chunks: 2 units (ramp-up before first arrival does
+	// not count; tail is zero).
+	if idle[0] < 1.999 || idle[0] > 2.001 {
+		t.Fatalf("idle = %v, want 2", idle[0])
+	}
+}
+
+func TestWorkerIdleNoChunks(t *testing.T) {
+	tr := &Trace{Makespan: 7, Records: []ChunkRecord{{Worker: 0, Size: 1, CompEnd: 7}}}
+	idle := tr.WorkerIdle(2)
+	if idle[1] != 7 {
+		t.Fatalf("an unused worker should be idle the whole run, got %v", idle[1])
+	}
+}
+
+func TestGantt(t *testing.T) {
+	g := validTrace().Gantt(2, 40)
+	if !strings.Contains(g, "w00") || !strings.Contains(g, "w01") {
+		t.Fatalf("gantt missing worker rows:\n%s", g)
+	}
+	if !strings.Contains(g, "#") {
+		t.Fatalf("gantt has no busy cells:\n%s", g)
+	}
+	var empty Trace
+	if got := empty.Gantt(2, 40); !strings.Contains(got, "empty") {
+		t.Fatalf("empty gantt = %q", got)
+	}
+}

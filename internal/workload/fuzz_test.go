@@ -1,0 +1,47 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzTrackerTake drives the tracker with arbitrary request sequences and
+// checks its two contracts: the pieces sum exactly to the total, and no
+// call sequence can make it hand out more work than it has.
+func FuzzTrackerTake(f *testing.F) {
+	f.Add(100.0, 7.0, 3.0)
+	f.Add(1.0, 0.5, 0.25)
+	f.Add(1e9, 1e-3, 12.0)
+	f.Fuzz(func(t *testing.T, total, reqA, reqB float64) {
+		if !(total > 0) || math.IsInf(total, 0) || total > 1e12 {
+			t.Skip()
+		}
+		if math.IsNaN(reqA) || math.IsNaN(reqB) {
+			t.Skip()
+		}
+		tr := NewTracker(total)
+		sum := 0.0
+		reqs := [2]float64{reqA, reqB}
+		for i := 0; i < 10_000_000 && !tr.Done(); i++ {
+			req := reqs[i%2]
+			c, err := tr.Take(req)
+			if err != nil {
+				if req > 0 {
+					t.Fatalf("positive request %v rejected: %v", req, err)
+				}
+				// Non-positive requests are rejected without consuming.
+				continue
+			}
+			if c <= 0 {
+				t.Fatalf("non-positive chunk %v", c)
+			}
+			sum += c
+			if sum > total*(1+1e-9) {
+				t.Fatalf("handed out %v of %v", sum, total)
+			}
+		}
+		if tr.Done() && math.Abs(sum-total) > 1e-9*total {
+			t.Fatalf("sum %v != total %v", sum, total)
+		}
+	})
+}

@@ -1,0 +1,97 @@
+package rumr
+
+// Cross-scheduler invariants: every algorithm in the suite, on random
+// platforms from the paper's space, must (a) dispatch exactly the
+// workload, (b) produce a schedule the independent validator accepts, and
+// (c) never finish before the analytic divisible-load lower bound — an
+// end-to-end guard that the engine cannot quietly do impossible work.
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rumr/internal/dlt"
+	"rumr/internal/rng"
+)
+
+func suite() []Scheduler {
+	return []Scheduler{
+		RUMR(), RUMRFixedSplit(0.8), RUMRPlainPhase1(), RUMRAdaptive(),
+		UMR(), MI(1), MI(2), MI(3), MI(4),
+		Factoring(), FSC(), GSS(), TSS(), WeightedFactoring(), SelfScheduling(10),
+	}
+}
+
+func TestNoSchedulerBeatsTheLowerBound(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		n := 2 + src.Intn(30)
+		r := src.Uniform(1.2, 2.0)
+		cLat := src.Uniform(0, 1)
+		nLat := src.Uniform(0, 1)
+		p := HomogeneousPlatform(n, 1, r*float64(n), cLat, nLat)
+		const total = 1000.0
+		bound := dlt.LowerBound(p, total)
+		for _, s := range suite() {
+			res, err := Simulate(p, s, total, SimOptions{Seed: seed, RecordTrace: true})
+			if err != nil {
+				t.Logf("%s: %v", s.Name(), err)
+				return false
+			}
+			if math.Abs(res.DispatchedWork-total) > 1e-6 {
+				t.Logf("%s dispatched %v", s.Name(), res.DispatchedWork)
+				return false
+			}
+			if res.Makespan < bound-1e-9 {
+				t.Logf("%s beat the lower bound: %v < %v", s.Name(), res.Makespan, bound)
+				return false
+			}
+			if err := res.Trace.Validate(p, total); err != nil {
+				t.Logf("%s: %v", s.Name(), err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLowerBoundHoldsWithParallelSends(t *testing.T) {
+	// Concurrent transfers relax the port serialisation but the compute
+	// bound W/(N·S) still holds for any schedule.
+	p := HomogeneousPlatform(10, 1, 15, 0.1, 0.1)
+	const total = 1000.0
+	computeBound := total / p.TotalSpeed()
+	for _, k := range []int{2, 4, 8} {
+		res, err := Simulate(p, RUMR(), total, SimOptions{Seed: 3, ParallelSends: k, RecordTrace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Makespan < computeBound-1e-9 {
+			t.Fatalf("k=%d beat the compute bound: %v < %v", k, res.Makespan, computeBound)
+		}
+		if err := res.Trace.Validate(p, total); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+	}
+}
+
+func TestParallelSendsNeverHurtRampBoundedRuns(t *testing.T) {
+	// On a WAN-like platform (slow links) more send slots shorten RUMR's
+	// makespan under perfect predictions.
+	p := HomogeneousPlatform(12, 1, 14, 0.1, 0.5)
+	serial, err := Simulate(p, RUMR(), 1000, SimOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Simulate(p, RUMR(), 1000, SimOptions{Seed: 1, ParallelSends: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Makespan > serial.Makespan+1e-9 {
+		t.Fatalf("4 slots slower than 1: %v vs %v", par.Makespan, serial.Makespan)
+	}
+}

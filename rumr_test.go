@@ -1,0 +1,174 @@
+package rumr
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSimulateQuickstart(t *testing.T) {
+	p := HomogeneousPlatform(20, 1, 30, 0.3, 0.3)
+	res, err := Simulate(p, RUMR(), 1000, SimOptions{Error: 0.3, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 0 {
+		t.Fatalf("makespan = %v", res.Makespan)
+	}
+	if math.Abs(res.DispatchedWork-1000) > 1e-6 {
+		t.Fatalf("dispatched %v", res.DispatchedWork)
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	p := HomogeneousPlatform(10, 1, 15, 0.2, 0.2)
+	a, err := Simulate(p, RUMR(), 1000, SimOptions{Error: 0.3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(p, RUMR(), 1000, SimOptions{Error: 0.3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan {
+		t.Fatal("same seed, different makespans")
+	}
+	c, err := Simulate(p, RUMR(), 1000, SimOptions{Error: 0.3, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan == c.Makespan {
+		t.Fatal("different seeds, same makespan (suspicious)")
+	}
+}
+
+func TestAllSchedulersRun(t *testing.T) {
+	p := HomogeneousPlatform(10, 1, 15, 0.2, 0.2)
+	scheds := []Scheduler{
+		RUMR(), RUMRFixedSplit(0.8), RUMRPlainPhase1(),
+		UMR(), MI(1), MI(2), MI(3), MI(4),
+		Factoring(), FSC(), SelfScheduling(5),
+	}
+	for _, s := range scheds {
+		res, err := Simulate(p, s, 1000, SimOptions{Error: 0.2, Seed: 3, RecordTrace: true})
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if math.Abs(res.DispatchedWork-1000) > 1e-6 {
+			t.Fatalf("%s dispatched %v", s.Name(), res.DispatchedWork)
+		}
+		if err := res.Trace.Validate(p, 1000); err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+	}
+}
+
+func TestSchedulerErrorOverride(t *testing.T) {
+	p := HomogeneousPlatform(10, 1, 15, 0.2, 0.2)
+	unknown := -1.0
+	// Same true error, but the scheduler is blind -> it must use the fixed
+	// 80/20 split instead of the error-proportional one, changing the
+	// schedule.
+	informed, err := Simulate(p, RUMR(), 1000, SimOptions{Error: 0.4, Seed: 5, RecordTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blind, err := Simulate(p, RUMR(), 1000, SimOptions{
+		Error: 0.4, Seed: 5, SchedulerError: &unknown, RecordTrace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phase2 := func(tr *Trace) float64 {
+		var w float64
+		for _, r := range tr.Records {
+			if r.Phase == 2 {
+				w += r.Size
+			}
+		}
+		return w
+	}
+	if math.Abs(phase2(informed.Trace)-400) > 1e-6 {
+		t.Fatalf("informed phase-2 share = %v, want 400", phase2(informed.Trace))
+	}
+	if math.Abs(phase2(blind.Trace)-200) > 1e-6 {
+		t.Fatalf("blind phase-2 share = %v, want 200", phase2(blind.Trace))
+	}
+}
+
+func TestUniformModelDiffers(t *testing.T) {
+	p := HomogeneousPlatform(10, 1, 15, 0.2, 0.2)
+	a, err := Simulate(p, UMR(), 1000, SimOptions{Error: 0.3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(p, UMR(), 1000, SimOptions{Error: 0.3, Seed: 9, Model: UniformError})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan == b.Makespan {
+		t.Fatal("normal and uniform models coincided")
+	}
+}
+
+func TestSweepFacade(t *testing.T) {
+	g := Grid{
+		Ns: []int{10}, Rs: []float64{1.5},
+		CLats: []float64{0.3}, NLats: []float64{0.3},
+		Errors: []float64{0, 0.2, 0.4}, Reps: 5, Total: 1000, BaseSeed: 1,
+	}
+	res, err := Sweep(g, SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wt := ComputeWinTable(res, 0)
+	if len(wt.Algorithms) != 6 {
+		t.Fatalf("win table algorithms = %v", wt.Algorithms)
+	}
+	cv := ComputeCurves(res, nil)
+	var sb strings.Builder
+	if err := WriteWinTable(&sb, wt, "Table 2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCurvesChart(&sb, cv, "Fig 4(a)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCurvesTable(&sb, cv, "Fig 4(a) data"); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCurvesCSV(&sb, cv, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteWinTableCSV(&sb, wt, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Table 2", "UMR", "Factoring", "legend"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("facade output missing %q", want)
+		}
+	}
+	if pct := OverallWinPercent(res, 0); pct < 0 || pct > 100 {
+		t.Fatalf("overall percent = %v", pct)
+	}
+}
+
+func TestWorkloadProfiles(t *testing.T) {
+	for _, w := range []Workload{SequenceMatching(1000), ImageFeature(512), RayTracing(64)} {
+		if w.Total <= 0 || w.Name == "" {
+			t.Fatalf("profile %+v", w)
+		}
+	}
+}
+
+func TestGanttFacade(t *testing.T) {
+	p := HomogeneousPlatform(4, 1, 8, 0.1, 0.1)
+	res, err := Simulate(p, RUMR(), 200, SimOptions{Error: 0.2, Seed: 1, RecordTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Gantt(res.Trace, 4, 60)
+	if !strings.Contains(g, "#") {
+		t.Fatalf("gantt:\n%s", g)
+	}
+}
