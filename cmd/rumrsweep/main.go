@@ -10,13 +10,32 @@
 //	rumrsweep -table2 -table3    # just the tables
 //	rumrsweep -fig5              # the Fig. 5 configuration (paper-exact)
 //	rumrsweep -full -out results # paper grid, CSVs under results/
+//
+// Long runs are killable and resumable: Ctrl-C (or SIGTERM) cancels all
+// in-flight configurations promptly, and with -checkpoint every completed
+// configuration is persisted, so rerunning the same command resumes where
+// the previous run stopped — with bit-identical results:
+//
+//	rumrsweep -full -checkpoint ckpt   # kill it any time...
+//	rumrsweep -full -checkpoint ckpt   # ...and pick up where it left off
+//
+// Progress (configurations done, simulations/sec, DES events, ETA) prints
+// to stderr once per second; -metrics dumps the final counters as JSON,
+// and -cpuprofile/-memprofile write pprof profiles.
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"rumr"
@@ -25,14 +44,16 @@ import (
 
 type artifact struct {
 	name string
-	run  func(ctx *context) error
+	run  func(sc *sweepCtx) error
 }
 
-type context struct {
-	grid   rumr.Grid
-	opts   rumr.SweepOptions
-	outDir string
-	std    *rumr.SweepResults // cached standard-algorithm sweep
+type sweepCtx struct {
+	ctx     context.Context
+	grid    rumr.Grid
+	opts    rumr.SweepOptions
+	outDir  string
+	ckptDir string
+	std     *rumr.SweepResults // cached standard-algorithm sweep
 }
 
 func main() {
@@ -45,6 +66,11 @@ func main() {
 		unknown = flag.Bool("unknown-error", false, "hide the error magnitude from the schedulers")
 		reps    = flag.Int("reps", 0, "override repetitions per cell")
 		quiet   = flag.Bool("q", false, "suppress progress output")
+
+		ckptDir = flag.String("checkpoint", "", "directory for per-artifact checkpoint files; rerun the same command to resume")
+		metOut  = flag.String("metrics", "", "write final run metrics as JSON to this file")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file")
 
 		table2  = flag.Bool("table2", false, "Table 2: win percentages per error bucket")
 		table3  = flag.Bool("table3", false, "Table 3: wins by >= 10%")
@@ -73,26 +99,71 @@ func main() {
 		grid.Reps = *reps
 	}
 
-	opts := rumr.SweepOptions{Workers: *workers, UnknownError: *unknown}
-	if *uniform {
-		opts.Model = rumr.UniformError
-	}
-	if !*quiet {
-		opts.Progress = func(done, total int) {
-			fmt.Fprintf(os.Stderr, "\r%d/%d configurations", done, total)
-			if done == total {
-				fmt.Fprintln(os.Stderr)
-			}
+	// Ctrl-C / SIGTERM cancels all in-flight configurations promptly; with
+	// -checkpoint the completed ones are already on disk. After the first
+	// signal the handler is deregistered, so a second Ctrl-C force-kills
+	// even if shutdown were to wedge.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+
+	// os.Exit skips defers, so the CPU profile is stopped explicitly on
+	// every exit path below.
+	stopCPU := func() {}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		stopCPU = func() {
+			pprof.StopCPUProfile()
+			f.Close()
 		}
 	}
 
-	ctx := &context{grid: grid, opts: opts, outDir: *outDir}
-	if *outDir != "" {
-		if err := os.MkdirAll(*outDir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "rumrsweep:", err)
-			os.Exit(1)
+	met := rumr.NewMetrics()
+	opts := rumr.SweepOptions{Workers: *workers, UnknownError: *unknown, Metrics: met}
+	if *uniform {
+		opts.Model = rumr.UniformError
+	}
+
+	// Progress is rendered by a snapshot loop over the shared metrics
+	// collector rather than a per-configuration callback, so nothing in
+	// the hot path writes to stderr.
+	progressDone := make(chan struct{})
+	progressIdle := make(chan struct{})
+	if !*quiet {
+		go func() {
+			defer close(progressIdle)
+			tick := time.NewTicker(time.Second)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					fmt.Fprintf(os.Stderr, "\r\x1b[K%s", met.Snapshot())
+				case <-progressDone:
+					return
+				}
+			}
+		}()
+	} else {
+		close(progressIdle)
+	}
+
+	for _, dir := range []string{*outDir, *ckptDir} {
+		if dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fatal(err)
+			}
 		}
 	}
+	sc := &sweepCtx{ctx: ctx, grid: grid, opts: opts, outDir: *outDir, ckptDir: *ckptDir}
 
 	all := []artifact{
 		{"table2", runTable2}, {"table3", runTable3},
@@ -111,41 +182,100 @@ func main() {
 		any = any || v
 	}
 	start := time.Now()
+	exitCode := 0
 	for _, a := range all {
 		if any && !selected[a.name] {
 			continue
 		}
-		if err := a.run(ctx); err != nil {
-			fmt.Fprintf(os.Stderr, "rumrsweep: %s: %v\n", a.name, err)
-			os.Exit(1)
+		if err := a.run(sc); err != nil {
+			if !*quiet {
+				fmt.Fprintln(os.Stderr)
+			}
+			if errors.Is(err, context.Canceled) {
+				msg := "rumrsweep: interrupted"
+				if *ckptDir != "" {
+					msg += "; rerun the same command to resume from " + *ckptDir
+				} else {
+					msg += " (use -checkpoint to make runs resumable)"
+				}
+				fmt.Fprintln(os.Stderr, msg)
+				exitCode = 130
+			} else {
+				fmt.Fprintf(os.Stderr, "rumrsweep: %s: %v\n", a.name, err)
+				exitCode = 1
+			}
+			break
 		}
 	}
+	close(progressDone)
+	<-progressIdle
 	if !*quiet {
+		fmt.Fprintf(os.Stderr, "\r\x1b[K%s\n", met.Snapshot())
 		fmt.Fprintf(os.Stderr, "total %s (grid: %d configs x %d errors x %d reps)\n",
 			time.Since(start).Round(time.Millisecond),
 			len(grid.Configs()), len(grid.Errors), grid.Reps)
 	}
+
+	if *metOut != "" {
+		blob, err := json.MarshalIndent(met.Snapshot(), "", "  ")
+		if err == nil {
+			err = os.WriteFile(*metOut, append(blob, '\n'), 0o644)
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
+	stopCPU()
+	os.Exit(exitCode)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rumrsweep:", err)
+	os.Exit(1)
+}
+
+// sweepOpts returns the shared options with the per-artifact checkpoint
+// path filled in. Each distinct sweep (different grid or algorithm set)
+// checkpoints to its own file, keyed by name, because checkpoint files are
+// fingerprinted per sweep.
+func (sc *sweepCtx) sweepOpts(name string) rumr.SweepOptions {
+	opts := sc.opts
+	if sc.ckptDir != "" {
+		opts.CheckpointPath = filepath.Join(sc.ckptDir, name+".jsonl")
+	}
+	return opts
 }
 
 // standardSweep runs (or reuses) the sweep over the seven §5.1 algorithms.
-func (ctx *context) standardSweep() (*rumr.SweepResults, error) {
-	if ctx.std != nil {
-		return ctx.std, nil
+func (sc *sweepCtx) standardSweep() (*rumr.SweepResults, error) {
+	if sc.std != nil {
+		return sc.std, nil
 	}
-	res, err := rumr.Sweep(ctx.grid, ctx.opts)
+	res, err := rumr.SweepContext(sc.ctx, sc.grid, sc.sweepOpts("std"))
 	if err != nil {
 		return nil, err
 	}
-	ctx.std = res
+	sc.std = res
 	return res, nil
 }
 
 // writeCSV saves an artifact CSV when -out was given.
-func (ctx *context) writeCSV(name string, write func(f *os.File) error) error {
-	if ctx.outDir == "" {
+func (sc *sweepCtx) writeCSV(name string, write func(f *os.File) error) error {
+	if sc.outDir == "" {
 		return nil
 	}
-	f, err := os.Create(filepath.Join(ctx.outDir, name))
+	f, err := os.Create(filepath.Join(sc.outDir, name))
 	if err != nil {
 		return err
 	}
@@ -153,8 +283,8 @@ func (ctx *context) writeCSV(name string, write func(f *os.File) error) error {
 	return write(f)
 }
 
-func runTable2(ctx *context) error {
-	res, err := ctx.standardSweep()
+func runTable2(sc *sweepCtx) error {
+	res, err := sc.standardSweep()
 	if err != nil {
 		return err
 	}
@@ -164,13 +294,13 @@ func runTable2(ctx *context) error {
 	}
 	fmt.Printf("Overall: RUMR outperforms competitors in %.1f%% of experiments (paper: 79%%)\n",
 		rumr.OverallWinPercent(res, 0))
-	return ctx.writeCSV("table2.csv", func(f *os.File) error {
+	return sc.writeCSV("table2.csv", func(f *os.File) error {
 		return rumr.WriteWinTableCSV(f, wt, "")
 	})
 }
 
-func runTable3(ctx *context) error {
-	res, err := ctx.standardSweep()
+func runTable3(sc *sweepCtx) error {
+	res, err := sc.standardSweep()
 	if err != nil {
 		return err
 	}
@@ -178,13 +308,13 @@ func runTable3(ctx *context) error {
 	if err := rumr.WriteWinTable(os.Stdout, wt, "\nTable 3: % of experiments in which RUMR outperforms by >= 10%"); err != nil {
 		return err
 	}
-	return ctx.writeCSV("table3.csv", func(f *os.File) error {
+	return sc.writeCSV("table3.csv", func(f *os.File) error {
 		return rumr.WriteWinTableCSV(f, wt, "")
 	})
 }
 
-func runFig4a(ctx *context) error {
-	res, err := ctx.standardSweep()
+func runFig4a(sc *sweepCtx) error {
+	res, err := sc.standardSweep()
 	if err != nil {
 		return err
 	}
@@ -195,18 +325,18 @@ func runFig4a(ctx *context) error {
 	if err := rumr.WriteCurvesChart(os.Stdout, cv, ""); err != nil {
 		return err
 	}
-	if err := ctx.writeCSV("fig4a.csv", func(f *os.File) error {
+	if err := sc.writeCSV("fig4a.csv", func(f *os.File) error {
 		return rumr.WriteCurvesCSV(f, cv, "")
 	}); err != nil {
 		return err
 	}
-	return ctx.writeCSV("fig4a.svg", func(f *os.File) error {
+	return sc.writeCSV("fig4a.svg", func(f *os.File) error {
 		return rumr.WriteCurvesSVG(f, cv, "Fig 4(a): makespan normalised to RUMR vs error")
 	})
 }
 
-func runFig4b(ctx *context) error {
-	res, err := ctx.standardSweep()
+func runFig4b(sc *sweepCtx) error {
+	res, err := sc.standardSweep()
 	if err != nil {
 		return err
 	}
@@ -214,19 +344,19 @@ func runFig4b(ctx *context) error {
 	if err := rumr.WriteCurvesTable(os.Stdout, cv, "\nFig 4(b): makespan normalised to RUMR vs error (cLat<0.3, nLat<0.3)"); err != nil {
 		return err
 	}
-	if err := ctx.writeCSV("fig4b.csv", func(f *os.File) error {
+	if err := sc.writeCSV("fig4b.csv", func(f *os.File) error {
 		return rumr.WriteCurvesCSV(f, cv, "")
 	}); err != nil {
 		return err
 	}
-	return ctx.writeCSV("fig4b.svg", func(f *os.File) error {
+	return sc.writeCSV("fig4b.svg", func(f *os.File) error {
 		return rumr.WriteCurvesSVG(f, cv, "Fig 4(b): cLat<0.3, nLat<0.3")
 	})
 }
 
-func runFig5(ctx *context) error {
+func runFig5(sc *sweepCtx) error {
 	// Fig 5 always uses its own paper-exact grid.
-	res, err := rumr.Sweep(rumr.Fig5Grid(), ctx.opts)
+	res, err := rumr.SweepContext(sc.ctx, rumr.Fig5Grid(), sc.sweepOpts("fig5"))
 	if err != nil {
 		return err
 	}
@@ -237,20 +367,20 @@ func runFig5(ctx *context) error {
 	if err := rumr.WriteCurvesChart(os.Stdout, cv, ""); err != nil {
 		return err
 	}
-	if err := ctx.writeCSV("fig5.csv", func(f *os.File) error {
+	if err := sc.writeCSV("fig5.csv", func(f *os.File) error {
 		return rumr.WriteCurvesCSV(f, cv, "")
 	}); err != nil {
 		return err
 	}
-	return ctx.writeCSV("fig5.svg", func(f *os.File) error {
+	return sc.writeCSV("fig5.svg", func(f *os.File) error {
 		return rumr.WriteCurvesSVG(f, cv, "Fig 5: cLat=0.3, nLat=0.9, N=20, B=36")
 	})
 }
 
-func runFig6(ctx *context) error {
-	opts := ctx.opts
+func runFig6(sc *sweepCtx) error {
+	opts := sc.sweepOpts("fig6")
 	opts.Algorithms = experiment.Fig6Algorithms()
-	res, err := rumr.Sweep(ctx.grid, opts)
+	res, err := rumr.SweepContext(sc.ctx, sc.grid, opts)
 	if err != nil {
 		return err
 	}
@@ -258,20 +388,20 @@ func runFig6(ctx *context) error {
 	if err := rumr.WriteCurvesTable(os.Stdout, cv, "\nFig 6: fixed phase-1 splits normalised to original RUMR"); err != nil {
 		return err
 	}
-	if err := ctx.writeCSV("fig6.csv", func(f *os.File) error {
+	if err := sc.writeCSV("fig6.csv", func(f *os.File) error {
 		return rumr.WriteCurvesCSV(f, cv, "")
 	}); err != nil {
 		return err
 	}
-	return ctx.writeCSV("fig6.svg", func(f *os.File) error {
+	return sc.writeCSV("fig6.svg", func(f *os.File) error {
 		return rumr.WriteCurvesSVG(f, cv, "Fig 6: fixed phase-1 splits vs original RUMR")
 	})
 }
 
-func runFig7(ctx *context) error {
-	opts := ctx.opts
+func runFig7(sc *sweepCtx) error {
+	opts := sc.sweepOpts("fig7")
 	opts.Algorithms = experiment.Fig7Algorithms()
-	res, err := rumr.Sweep(ctx.grid, opts)
+	res, err := rumr.SweepContext(sc.ctx, sc.grid, opts)
 	if err != nil {
 		return err
 	}
@@ -279,20 +409,20 @@ func runFig7(ctx *context) error {
 	if err := rumr.WriteCurvesTable(os.Stdout, cv, "\nFig 7: plain (in-order) phase 1 normalised to original RUMR"); err != nil {
 		return err
 	}
-	if err := ctx.writeCSV("fig7.csv", func(f *os.File) error {
+	if err := sc.writeCSV("fig7.csv", func(f *os.File) error {
 		return rumr.WriteCurvesCSV(f, cv, "")
 	}); err != nil {
 		return err
 	}
-	return ctx.writeCSV("fig7.svg", func(f *os.File) error {
+	return sc.writeCSV("fig7.svg", func(f *os.File) error {
 		return rumr.WriteCurvesSVG(f, cv, "Fig 7: plain phase 1 vs original RUMR")
 	})
 }
 
-func runFSC(ctx *context) error {
-	opts := ctx.opts
+func runFSC(sc *sweepCtx) error {
+	opts := sc.sweepOpts("fsc")
 	opts.Algorithms = []rumr.Scheduler{rumr.Factoring(), rumr.FSC()}
-	res, err := rumr.Sweep(ctx.grid, opts)
+	res, err := rumr.SweepContext(sc.ctx, sc.grid, opts)
 	if err != nil {
 		return err
 	}
@@ -301,13 +431,13 @@ func runFSC(ctx *context) error {
 	return nil
 }
 
-func runUMRBase(ctx *context) error {
-	grid := ctx.grid
+func runUMRBase(sc *sweepCtx) error {
+	grid := sc.grid
 	grid.Errors = []float64{0}
 	grid.Reps = 1
-	opts := ctx.opts
+	opts := sc.sweepOpts("umrbase")
 	opts.Algorithms = []rumr.Scheduler{rumr.UMR(), rumr.MI(1), rumr.MI(2), rumr.MI(3), rumr.MI(4)}
-	res, err := rumr.Sweep(grid, opts)
+	res, err := rumr.SweepContext(sc.ctx, grid, opts)
 	if err != nil {
 		return err
 	}
@@ -316,7 +446,7 @@ func runUMRBase(ctx *context) error {
 	return nil
 }
 
-func runHetero(ctx *context) error {
+func runHetero(sc *sweepCtx) error {
 	g := experiment.DefaultHeteroGrid()
 	algos := []rumr.Scheduler{
 		rumr.RUMR(), rumr.UMR(), rumr.Factoring(), rumr.WeightedFactoring(),

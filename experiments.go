@@ -1,9 +1,11 @@
 package rumr
 
 import (
+	"context"
 	"io"
 
 	"rumr/internal/experiment"
+	"rumr/internal/metrics"
 )
 
 // Grid describes a parameter sweep over the paper's experimental space.
@@ -34,6 +36,18 @@ var (
 // §5.1 in the paper's order.
 func StandardAlgorithms() []Scheduler { return experiment.StandardAlgorithms() }
 
+// Metrics collects live counters of a running sweep — simulations
+// completed, DES events processed, chunks dispatched, configurations done
+// — safe to snapshot concurrently for progress display.
+type Metrics = metrics.Collector
+
+// MetricsSnapshot is a point-in-time view of a Metrics collector with
+// derived rates (runs/sec, ETA).
+type MetricsSnapshot = metrics.Snapshot
+
+// NewMetrics returns a collector whose rate clock starts now.
+func NewMetrics() *Metrics { return metrics.New() }
+
 // SweepOptions configure a parameter sweep.
 type SweepOptions struct {
 	// Algorithms to compare; index 0 is the normalisation baseline.
@@ -46,12 +60,30 @@ type SweepOptions struct {
 	// UnknownError hides the error magnitude from the schedulers.
 	UnknownError bool
 	// Progress, when non-nil, is called after each finished configuration.
+	// Calls come from the sweep's worker goroutines but are serialized —
+	// they never overlap, and done is strictly increasing.
 	Progress func(done, total int)
+	// CheckpointPath, when non-empty, enables checkpoint/resume: completed
+	// configurations are appended to this JSONL file and skipped when the
+	// same sweep is restarted. A resumed sweep is bit-identical to an
+	// uninterrupted one; a checkpoint from a different sweep is rejected.
+	CheckpointPath string
+	// Metrics, when non-nil, receives live run counters.
+	Metrics *Metrics
 }
 
 // Sweep runs every algorithm over every (configuration, error,
 // repetition) cell of the grid in parallel and returns the mean makespans.
 func Sweep(g Grid, opts SweepOptions) (*SweepResults, error) {
+	return SweepContext(context.Background(), g, opts)
+}
+
+// SweepContext is Sweep under a context: cancelling ctx (for example from
+// a signal handler) promptly stops all in-flight configurations and
+// returns ctx.Err(). Combined with SweepOptions.CheckpointPath, a
+// cancelled sweep can be resumed later without recomputing finished
+// configurations.
+func SweepContext(ctx context.Context, g Grid, opts SweepOptions) (*SweepResults, error) {
 	algos := opts.Algorithms
 	if algos == nil {
 		algos = experiment.StandardAlgorithms()
@@ -61,13 +93,15 @@ func Sweep(g Grid, opts SweepOptions) (*SweepResults, error) {
 		kind = experiment.UniformError
 	}
 	r := &experiment.Runner{
-		Algorithms:   algos,
-		Workers:      opts.Workers,
-		ErrorModel:   kind,
-		UnknownError: opts.UnknownError,
-		Progress:     opts.Progress,
+		Algorithms:     algos,
+		Workers:        opts.Workers,
+		ErrorModel:     kind,
+		UnknownError:   opts.UnknownError,
+		Progress:       opts.Progress,
+		CheckpointPath: opts.CheckpointPath,
+		Metrics:        opts.Metrics,
 	}
-	return r.Sweep(g)
+	return r.SweepContext(ctx, g)
 }
 
 // ComputeWinTable reproduces Tables 2 (margin 0) and 3 (margin 0.10): the

@@ -23,6 +23,7 @@ import (
 	"math"
 
 	"rumr/internal/des"
+	"rumr/internal/metrics"
 	"rumr/internal/perferr"
 	"rumr/internal/platform"
 	"rumr/internal/trace"
@@ -120,6 +121,10 @@ type Options struct {
 	ParallelSends int
 	// MaxChunks aborts runaway dispatchers (default 10 million).
 	MaxChunks int
+	// Metrics, when non-nil, receives one AddRun per successful Run with
+	// the dispatched chunk count and the DES events processed. The sweep
+	// runner shares one collector across its worker pool.
+	Metrics *metrics.Collector
 }
 
 // Result summarises one simulated run.
@@ -302,6 +307,9 @@ func Run(p *platform.Platform, d Dispatcher, opts Options) (Result, error) {
 	if tr != nil {
 		tr.Makespan = res.Makespan
 		res.Trace = tr
+	}
+	if opts.Metrics != nil {
+		opts.Metrics.AddRun(res.Chunks, res.Events)
 	}
 	return res, nil
 }

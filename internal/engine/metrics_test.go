@@ -1,0 +1,57 @@
+package engine
+
+import (
+	"testing"
+
+	"rumr/internal/metrics"
+	"rumr/internal/platform"
+)
+
+// planDispatcher plays a fixed chunk list for the metrics-hook test.
+type planDispatcher struct {
+	plan []Chunk
+	next int
+}
+
+func (d *planDispatcher) Next(v *View) (Chunk, bool) {
+	if d.next >= len(d.plan) {
+		return Chunk{}, false
+	}
+	c := d.plan[d.next]
+	d.next++
+	return c, true
+}
+
+func TestRunReportsMetrics(t *testing.T) {
+	p := platform.Homogeneous(2, 1, 4, 0.1, 0.1)
+	m := metrics.New()
+	d := &planDispatcher{plan: []Chunk{
+		{Worker: 0, Size: 5}, {Worker: 1, Size: 5}, {Worker: 0, Size: 2},
+	}}
+	res, err := Run(p, d, Options{Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Snapshot()
+	if s.Simulations != 1 {
+		t.Fatalf("simulations = %d", s.Simulations)
+	}
+	if s.Chunks != int64(res.Chunks) || res.Chunks != 3 {
+		t.Fatalf("chunks = %d, result %d", s.Chunks, res.Chunks)
+	}
+	if s.Events != int64(res.Events) || res.Events == 0 {
+		t.Fatalf("events = %d, result %d", s.Events, res.Events)
+	}
+}
+
+func TestRunFailureDoesNotCountAsRun(t *testing.T) {
+	p := platform.Homogeneous(2, 1, 4, 0.1, 0.1)
+	m := metrics.New()
+	d := &planDispatcher{plan: []Chunk{{Worker: 99, Size: 5}}}
+	if _, err := Run(p, d, Options{Metrics: m}); err == nil {
+		t.Fatal("out-of-range worker accepted")
+	}
+	if s := m.Snapshot(); s.Simulations != 0 {
+		t.Fatalf("failed run counted: %+v", s)
+	}
+}

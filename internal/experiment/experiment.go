@@ -13,13 +13,15 @@
 package experiment
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"rumr/internal/engine"
+	"rumr/internal/metrics"
 	"rumr/internal/perferr"
 	"rumr/internal/platform"
 	"rumr/internal/rng"
@@ -228,8 +230,26 @@ type Runner struct {
 	// KnownError = -1 (unknown) and fall back to their fixed defaults.
 	UnknownError bool
 	// Progress, when non-nil, receives the number of finished
-	// configurations out of the total.
+	// configurations out of the total after each configuration completes.
+	// Concurrency contract: Progress is invoked from the pool's worker
+	// goroutines but never concurrently — calls are serialized under a
+	// runner-internal mutex and the reported done count is strictly
+	// increasing. Configurations restored from a checkpoint are included
+	// in the first reported done value but do not trigger callbacks of
+	// their own.
 	Progress func(done, total int)
+	// CheckpointPath, when non-empty, enables checkpoint/resume: every
+	// completed configuration's mean block is appended to this JSONL file,
+	// and a sweep restarted with the same grid, algorithms and error model
+	// skips the configurations already on record. Seeding per (BaseSeed,
+	// config, error, rep) makes a resumed sweep bit-identical to an
+	// uninterrupted one. A checkpoint written by a different sweep
+	// (mismatched fingerprint) is rejected.
+	CheckpointPath string
+	// Metrics, when non-nil, collects live counters — simulations
+	// completed, DES events, chunks dispatched, configurations done — that
+	// callers can snapshot concurrently for progress display.
+	Metrics *metrics.Collector
 }
 
 func (r *Runner) model(errMag float64, src *rng.Source) perferr.Model {
@@ -243,8 +263,18 @@ func (r *Runner) model(errMag float64, src *rng.Source) perferr.Model {
 }
 
 // Sweep runs the grid and returns per-(config, error, algorithm) mean
-// makespans.
+// makespans. It is SweepContext with a background context.
 func (r *Runner) Sweep(g Grid) (*Results, error) {
+	return r.SweepContext(context.Background(), g)
+}
+
+// SweepContext runs the grid under ctx. Cancelling ctx — or the first hard
+// error from any worker — promptly stops all in-flight configurations;
+// cancellation mid-configuration is detected between repetitions. When the
+// sweep was cut short, the returned error is the cause (ctx.Err() for
+// external cancellation) and the partial Results must not be used — resume
+// via CheckpointPath instead.
+func (r *Runner) SweepContext(parent context.Context, g Grid) (*Results, error) {
 	if len(r.Algorithms) == 0 {
 		return nil, fmt.Errorf("experiment: no algorithms")
 	}
@@ -262,46 +292,131 @@ func (r *Runner) Sweep(g Grid) (*Results, error) {
 		res.Algorithms[i] = a.Name()
 	}
 
+	// Restore completed configurations from the checkpoint, if any; only
+	// the rest is (re)computed.
+	var cp *Checkpoint
+	pending := make([]int, 0, len(configs))
+	if r.CheckpointPath != "" {
+		fp := Fingerprint(g, res.Algorithms, r.ErrorModel, r.UnknownError)
+		var err error
+		cp, err = OpenCheckpoint(r.CheckpointPath, fp)
+		if err != nil {
+			return nil, err
+		}
+		defer cp.Close()
+		for ci := range configs {
+			if cell, ok := cp.Completed(ci); ok && cellShapeOK(cell, len(g.Errors), len(r.Algorithms)) {
+				res.Mean[ci] = cell
+			} else {
+				pending = append(pending, ci)
+			}
+		}
+	} else {
+		for ci := range configs {
+			pending = append(pending, ci)
+		}
+	}
+	if r.Metrics != nil {
+		r.Metrics.AddTotalConfigs(len(pending))
+	}
+
 	workers := r.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+
 	jobs := make(chan int)
 	var wg sync.WaitGroup
-	var done atomic.Int64
-	var firstErr atomic.Value
+	// mu guards firstErr and done, and serializes Progress callbacks.
+	var mu sync.Mutex
+	var firstErr error
+	done := len(configs) - len(pending)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel() // first hard error stops the whole sweep
+		}
+		mu.Unlock()
+	}
 
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for ci := range jobs {
-				if err := r.runConfig(g, configs[ci], ci, res); err != nil {
-					firstErr.CompareAndSwap(nil, err)
+				if ctx.Err() != nil {
+					continue // drain the queue without working
 				}
-				if r.Progress != nil {
-					r.Progress(int(done.Add(1)), len(configs))
+				err := r.runConfig(ctx, g, configs[ci], ci, res)
+				switch {
+				case err == nil:
+					if cp != nil {
+						if aerr := cp.Append(ci, res.Mean[ci]); aerr != nil {
+							fail(aerr)
+							continue
+						}
+					}
+					if r.Metrics != nil {
+						r.Metrics.ConfigDone()
+					}
+					mu.Lock()
+					done++
+					if r.Progress != nil {
+						r.Progress(done, len(configs))
+					}
+					mu.Unlock()
+				case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+					// Cut short, not failed; the cause is reported below.
+				default:
+					fail(err)
 				}
 			}
 		}()
 	}
-	for ci := range configs {
-		jobs <- ci
+feed:
+	for _, ci := range pending {
+		select {
+		case jobs <- ci:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(jobs)
 	wg.Wait()
-	if err, ok := firstErr.Load().(error); ok && err != nil {
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := parent.Err(); err != nil {
 		return nil, err
 	}
 	return res, nil
+}
+
+// cellShapeOK validates a checkpoint-restored mean block against the
+// sweep's dimensions (defense against a hand-edited checkpoint file).
+func cellShapeOK(cell [][]float64, errors, algos int) bool {
+	if len(cell) != errors {
+		return false
+	}
+	for _, row := range cell {
+		if len(row) != algos {
+			return false
+		}
+	}
+	return true
 }
 
 // runConfig simulates every (error, rep, algorithm) cell of one
 // configuration. Each cell's error streams are derived from
 // (BaseSeed, config index, error index, rep) so that all algorithms face
 // the same random environment (common random numbers) and results do not
-// depend on goroutine scheduling.
-func (r *Runner) runConfig(g Grid, cfg Config, ci int, res *Results) error {
+// depend on goroutine scheduling. Cancellation is checked between
+// repetitions; a cancelled configuration returns ctx.Err() and leaves no
+// partial result in res.
+func (r *Runner) runConfig(ctx context.Context, g Grid, cfg Config, ci int, res *Results) error {
 	p := cfg.Platform()
 	cell := make([][]float64, len(g.Errors))
 	for ei := range g.Errors {
@@ -311,6 +426,9 @@ func (r *Runner) runConfig(g Grid, cfg Config, ci int, res *Results) error {
 		sums := make([]float64, len(r.Algorithms))
 		fails := make([]bool, len(r.Algorithms))
 		for rep := 0; rep < g.Reps; rep++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			for ai, algo := range r.Algorithms {
 				known := errMag
 				if r.UnknownError {
@@ -331,6 +449,7 @@ func (r *Runner) runConfig(g Grid, cfg Config, ci int, res *Results) error {
 				opts := engine.Options{
 					CommModel: r.model(errMag, src.Split()),
 					CompModel: r.model(errMag, src.Split()),
+					Metrics:   r.Metrics,
 				}
 				out, err := engine.Run(p, d, opts)
 				if err != nil {

@@ -1,0 +1,241 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"math"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"rumr/internal/engine"
+	"rumr/internal/metrics"
+	"rumr/internal/sched"
+	"rumr/internal/sched/rumr"
+	"rumr/internal/sched/umr"
+)
+
+// badDispatcher forces one of the two differently-typed errors runConfig
+// can produce: an engine failure (wrapped with %w) or a dispatched-work
+// mismatch (not wrapped). Before the first-error store was mutex-guarded,
+// two concurrent failures of different concrete types made
+// atomic.Value.CompareAndSwap panic ("inconsistently typed value") and
+// crashed the whole process.
+type badDispatcher struct {
+	shortDispatch bool
+	gate          *sync.WaitGroup
+	total         float64
+	sent          bool
+}
+
+func (d *badDispatcher) Next(v *engine.View) (engine.Chunk, bool) {
+	if d.gate != nil {
+		// Rendezvous so both failing configurations hit their error
+		// concurrently.
+		d.gate.Done()
+		d.gate.Wait()
+		d.gate = nil
+	}
+	if !d.shortDispatch {
+		return engine.Chunk{Worker: -1, Size: 1}, true // engine error (%w-wrapped)
+	}
+	if d.sent {
+		return engine.Chunk{}, false // stop at half: work-mismatch error (unwrapped)
+	}
+	d.sent = true
+	return engine.Chunk{Worker: 0, Size: d.total / 2}, true
+}
+
+// mixedFailScheduler fails differently depending on the platform size, so
+// a two-configuration sweep produces both error types.
+type mixedFailScheduler struct{ gate *sync.WaitGroup }
+
+func (mixedFailScheduler) Name() string { return "mixed-fail" }
+
+func (s mixedFailScheduler) NewDispatcher(pr *sched.Problem) (engine.Dispatcher, error) {
+	return &badDispatcher{
+		shortDispatch: pr.Platform.N() == 20,
+		gate:          s.gate,
+		total:         pr.Total,
+	}, nil
+}
+
+// Regression: two concurrent worker failures with different concrete error
+// types must surface as an ordinary error, not a panic.
+func TestSweepConcurrentMixedErrorTypes(t *testing.T) {
+	gate := &sync.WaitGroup{}
+	gate.Add(2)
+	g := Grid{
+		Ns: []int{10, 20}, Rs: []float64{1.5},
+		CLats: []float64{0.1}, NLats: []float64{0.1},
+		Errors: []float64{0}, Reps: 1, Total: 1000, BaseSeed: 1,
+	}
+	r := &Runner{
+		Algorithms: []sched.Scheduler{mixedFailScheduler{gate: gate}},
+		Workers:    2,
+	}
+	res, err := r.Sweep(g)
+	if err == nil {
+		t.Fatalf("sweep with failing dispatchers succeeded: %+v", res)
+	}
+}
+
+func TestSweepContextCancelStopsEarly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	completed := 0
+	r := &Runner{
+		Algorithms: []sched.Scheduler{rumr.Scheduler{}},
+		Workers:    1,
+		Progress: func(done, total int) {
+			completed = done
+			if done == 2 {
+				cancel()
+			}
+		},
+	}
+	_, err := r.SweepContext(ctx, SmokeGrid()) // 8 configurations
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if completed >= 8 {
+		t.Fatalf("sweep ran to completion (%d configs) despite cancellation", completed)
+	}
+}
+
+func TestSweepPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := smokeRunner([]sched.Scheduler{rumr.Scheduler{}})
+	if _, err := r.SweepContext(ctx, SmokeGrid()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// The acceptance test of checkpoint/resume: a ReducedGrid sweep cancelled
+// partway and resumed from its checkpoint yields Results.Mean bit-identical
+// to an uninterrupted sweep. Common-random-number seeding per
+// (BaseSeed, config, error, rep) makes this exact, not approximate.
+func TestCheckpointResumeBitIdentical(t *testing.T) {
+	g := ReducedGrid() // 240 configurations
+	g.Reps = 2         // keep the test fast; seeding is per-rep regardless
+	algos := func() []sched.Scheduler {
+		return []sched.Scheduler{rumr.Scheduler{}, umr.Scheduler{}}
+	}
+	ckpt := filepath.Join(t.TempDir(), "sweep.jsonl")
+
+	// Phase 1: cancel after 40 configurations.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	r1 := &Runner{
+		Algorithms:     algos(),
+		CheckpointPath: ckpt,
+		Progress: func(done, total int) {
+			if done == 40 {
+				cancel()
+			}
+		},
+	}
+	if _, err := r1.SweepContext(ctx, g); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted sweep err = %v, want context.Canceled", err)
+	}
+
+	// The kill left completed configurations on disk.
+	fp := Fingerprint(g, []string{"RUMR", "UMR"}, NormalError, false)
+	cp, err := OpenCheckpoint(ckpt, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	persisted := cp.Len()
+	cp.Close()
+	if persisted < 40 || persisted >= len(g.Configs()) {
+		t.Fatalf("checkpoint holds %d configs, want partial coverage >= 40", persisted)
+	}
+
+	// Phase 2: resume from the checkpoint; only the rest is recomputed.
+	m := metrics.New()
+	r2 := &Runner{Algorithms: algos(), CheckpointPath: ckpt, Metrics: m}
+	resumed, err := r2.Sweep(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Snapshot().ConfigsTotal; got != int64(len(g.Configs())-persisted) {
+		t.Fatalf("resume recomputed %d configs, want %d", got, len(g.Configs())-persisted)
+	}
+
+	// Reference: one uninterrupted sweep, no checkpoint.
+	r3 := &Runner{Algorithms: algos()}
+	full, err := r3.Sweep(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci := range full.Mean {
+		for ei := range full.Mean[ci] {
+			for ai := range full.Mean[ci][ei] {
+				if resumed.Mean[ci][ei][ai] != full.Mean[ci][ei][ai] {
+					t.Fatalf("resumed mean[%d][%d][%d] = %v, uninterrupted = %v",
+						ci, ei, ai, resumed.Mean[ci][ei][ai], full.Mean[ci][ei][ai])
+				}
+			}
+		}
+	}
+}
+
+// failingScheduler never builds a dispatcher, producing NaN means — which
+// the checkpoint must round-trip (JSON has no NaN literal).
+type failingScheduler struct{}
+
+func (failingScheduler) Name() string { return "never" }
+func (failingScheduler) NewDispatcher(pr *sched.Problem) (engine.Dispatcher, error) {
+	return nil, errors.New("infeasible")
+}
+
+func TestCheckpointRoundTripsNaN(t *testing.T) {
+	g := SmokeGrid()
+	ckpt := filepath.Join(t.TempDir(), "nan.jsonl")
+	algos := []sched.Scheduler{rumr.Scheduler{}, failingScheduler{}}
+	a, err := (&Runner{Algorithms: algos, CheckpointPath: ckpt}).Sweep(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every configuration is checkpointed: the resumed sweep recomputes
+	// nothing and the restored NaNs survive the JSON round-trip.
+	m := metrics.New()
+	b, err := (&Runner{Algorithms: algos, CheckpointPath: ckpt, Metrics: m}).Sweep(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Snapshot().ConfigsTotal; got != 0 {
+		t.Fatalf("fully-checkpointed sweep recomputed %d configs", got)
+	}
+	for ci := range a.Mean {
+		for ei := range a.Mean[ci] {
+			if !math.IsNaN(a.Mean[ci][ei][1]) || !math.IsNaN(b.Mean[ci][ei][1]) {
+				t.Fatalf("failed algorithm mean not NaN at [%d][%d]", ci, ei)
+			}
+			if a.Mean[ci][ei][0] != b.Mean[ci][ei][0] {
+				t.Fatalf("restored mean differs at [%d][%d]", ci, ei)
+			}
+		}
+	}
+}
+
+func TestSweepMetrics(t *testing.T) {
+	g := SmokeGrid() // 8 configs x 5 errors x 5 reps
+	m := metrics.New()
+	r := &Runner{Algorithms: []sched.Scheduler{rumr.Scheduler{}}, Workers: 4, Metrics: m}
+	if _, err := r.Sweep(g); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Snapshot()
+	wantSims := int64(len(g.Configs()) * len(g.Errors) * g.Reps)
+	if s.Simulations != wantSims {
+		t.Fatalf("simulations = %d, want %d", s.Simulations, wantSims)
+	}
+	if s.ConfigsDone != int64(len(g.Configs())) || s.ConfigsTotal != s.ConfigsDone {
+		t.Fatalf("configs = %d/%d", s.ConfigsDone, s.ConfigsTotal)
+	}
+	if s.Events <= s.Simulations || s.Chunks < s.Simulations {
+		t.Fatalf("events = %d, chunks = %d for %d sims", s.Events, s.Chunks, s.Simulations)
+	}
+}

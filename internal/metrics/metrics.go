@@ -1,0 +1,117 @@
+// Package metrics provides low-overhead run counters for long sweeps: a
+// Collector of atomic counters that the simulation engine and the sweep
+// runner increment, and a consistent-enough Snapshot with derived rates
+// (runs/sec, ETA) for periodic progress lines and end-of-run dumps.
+//
+// All Collector methods are safe for concurrent use; the hot-path cost is
+// a handful of atomic adds per simulated run, so wiring a Collector into a
+// sweep does not perturb benchmarks measurably.
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Collector accumulates counters across a sweep (or several sequential
+// sweeps). The zero value is NOT ready to use — call New, which records
+// the start time that rates and ETA are computed against.
+type Collector struct {
+	start time.Time
+
+	simulations  atomic.Int64
+	events       atomic.Int64
+	chunks       atomic.Int64
+	configsDone  atomic.Int64
+	configsTotal atomic.Int64
+}
+
+// New returns a Collector whose clock starts now.
+func New() *Collector {
+	return &Collector{start: time.Now()}
+}
+
+// AddRun records one completed simulation: its dispatched chunk count and
+// the number of DES events the engine processed.
+func (c *Collector) AddRun(chunks int, events uint64) {
+	c.simulations.Add(1)
+	c.chunks.Add(int64(chunks))
+	c.events.Add(int64(events))
+}
+
+// ConfigDone records one completed sweep configuration.
+func (c *Collector) ConfigDone() {
+	c.configsDone.Add(1)
+}
+
+// AddTotalConfigs grows the expected-configuration total. Sequential
+// sweeps sharing one Collector each add their own config count, so the
+// ETA always covers the work registered so far.
+func (c *Collector) AddTotalConfigs(n int) {
+	c.configsTotal.Add(int64(n))
+}
+
+// Snapshot is a point-in-time copy of the counters with derived rates.
+// Counters are read individually (not under a lock), so a snapshot taken
+// mid-run may be off by a few in-flight runs — fine for progress display.
+type Snapshot struct {
+	Simulations  int64   `json:"simulations"`
+	Events       int64   `json:"events"`
+	Chunks       int64   `json:"chunks"`
+	ConfigsDone  int64   `json:"configs_done"`
+	ConfigsTotal int64   `json:"configs_total"`
+	ElapsedSec   float64 `json:"elapsed_seconds"`
+	RunsPerSec   float64 `json:"runs_per_sec"`
+	// ETASec estimates the remaining wall time from the configuration
+	// completion rate; it is 0 until the first configuration finishes.
+	ETASec float64 `json:"eta_seconds"`
+}
+
+// Snapshot captures the current counter values and derived rates.
+func (c *Collector) Snapshot() Snapshot {
+	s := Snapshot{
+		Simulations:  c.simulations.Load(),
+		Events:       c.events.Load(),
+		Chunks:       c.chunks.Load(),
+		ConfigsDone:  c.configsDone.Load(),
+		ConfigsTotal: c.configsTotal.Load(),
+		ElapsedSec:   time.Since(c.start).Seconds(),
+	}
+	if s.ElapsedSec > 0 {
+		s.RunsPerSec = float64(s.Simulations) / s.ElapsedSec
+	}
+	if s.ConfigsDone > 0 && s.ConfigsTotal > s.ConfigsDone {
+		perConfig := s.ElapsedSec / float64(s.ConfigsDone)
+		s.ETASec = perConfig * float64(s.ConfigsTotal-s.ConfigsDone)
+	}
+	return s
+}
+
+// String renders the snapshot as a one-line progress report.
+func (s Snapshot) String() string {
+	line := fmt.Sprintf("cfg %d/%d  sims %s (%s/s)  events %s  chunks %s  %s",
+		s.ConfigsDone, s.ConfigsTotal,
+		humanCount(s.Simulations), humanCount(int64(s.RunsPerSec)),
+		humanCount(s.Events), humanCount(s.Chunks),
+		time.Duration(s.ElapsedSec*float64(time.Second)).Round(time.Second))
+	if s.ETASec > 0 {
+		line += fmt.Sprintf("  eta %s",
+			time.Duration(s.ETASec*float64(time.Second)).Round(time.Second))
+	}
+	return line
+}
+
+// humanCount renders n compactly (1234567 -> "1.2M").
+func humanCount(n int64) string {
+	switch {
+	case n >= 1_000_000_000:
+		return fmt.Sprintf("%.1fG", float64(n)/1e9)
+	case n >= 1_000_000:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 10_000:
+		return fmt.Sprintf("%.1fk", float64(n)/1e3)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}

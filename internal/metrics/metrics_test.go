@@ -1,0 +1,102 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCollectorCounts(t *testing.T) {
+	c := New()
+	c.AddTotalConfigs(10)
+	c.AddRun(5, 100)
+	c.AddRun(7, 200)
+	c.ConfigDone()
+	s := c.Snapshot()
+	if s.Simulations != 2 || s.Chunks != 12 || s.Events != 300 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.ConfigsDone != 1 || s.ConfigsTotal != 10 {
+		t.Fatalf("configs = %d/%d", s.ConfigsDone, s.ConfigsTotal)
+	}
+	if s.ElapsedSec < 0 {
+		t.Fatalf("elapsed = %v", s.ElapsedSec)
+	}
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	c := New()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.AddRun(2, 3)
+			}
+			c.ConfigDone()
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.Simulations != workers*per || s.Chunks != 2*workers*per || s.Events != 3*workers*per {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.ConfigsDone != workers {
+		t.Fatalf("configs done = %d", s.ConfigsDone)
+	}
+}
+
+func TestSnapshotETA(t *testing.T) {
+	c := New()
+	c.start = time.Now().Add(-10 * time.Second) // pretend 10s elapsed
+	c.AddTotalConfigs(4)
+	c.ConfigDone()
+	c.ConfigDone()
+	s := c.Snapshot()
+	// 2 of 4 configs in ~10s -> ~10s to go.
+	if s.ETASec < 9 || s.ETASec > 11 {
+		t.Fatalf("eta = %v", s.ETASec)
+	}
+	// Rates follow elapsed time.
+	c.AddRun(1, 1)
+	s = c.Snapshot()
+	if s.RunsPerSec <= 0 {
+		t.Fatalf("runs/sec = %v", s.RunsPerSec)
+	}
+}
+
+func TestSnapshotNoETAWithoutProgress(t *testing.T) {
+	c := New()
+	c.AddTotalConfigs(5)
+	if eta := c.Snapshot().ETASec; eta != 0 {
+		t.Fatalf("eta before any config = %v", eta)
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	s := Snapshot{
+		Simulations: 1_234_567, Events: 20_000, Chunks: 999,
+		ConfigsDone: 3, ConfigsTotal: 8, ElapsedSec: 4, RunsPerSec: 308641, ETASec: 6.6,
+	}
+	line := s.String()
+	for _, want := range []string{"cfg 3/8", "1.2M", "20.0k", "999", "eta"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("progress line %q missing %q", line, want)
+		}
+	}
+}
+
+func TestHumanCount(t *testing.T) {
+	cases := map[int64]string{
+		0: "0", 9999: "9999", 10_000: "10.0k",
+		1_500_000: "1.5M", 2_000_000_000: "2.0G",
+	}
+	for n, want := range cases {
+		if got := humanCount(n); got != want {
+			t.Fatalf("humanCount(%d) = %q, want %q", n, got, want)
+		}
+	}
+}

@@ -85,6 +85,10 @@ type Static struct {
 	sent       []bool
 	remaining  int
 	started    bool
+	// firstUnsent is a cursor past the fully-sent prefix of the plan, so
+	// Next does not rescan dispatched entries on every call (long plans
+	// would otherwise cost O(n²) over a run).
+	firstUnsent int
 }
 
 // NewStatic returns a dispatcher that plays plan in order.
@@ -111,9 +115,14 @@ func (s *Static) Next(v *engine.View) (engine.Chunk, bool) {
 	if s.remaining == 0 {
 		return engine.Chunk{}, false
 	}
+	// Advance the cursor past the sent prefix (amortised O(1) per
+	// dispatch), then scan for the first unsent, throttle-eligible entry.
+	for s.firstUnsent < len(s.sent) && s.sent[s.firstUnsent] {
+		s.firstUnsent++
+	}
 	head := -1
-	for i, done := range s.sent {
-		if !done && s.eligible(v, s.Plan[i].Worker) {
+	for i := s.firstUnsent; i < len(s.Plan); i++ {
+		if !s.sent[i] && s.eligible(v, s.Plan[i].Worker) {
 			head = i
 			break
 		}
@@ -202,7 +211,9 @@ type WorkerSizer interface {
 type Demand struct {
 	Sizer    ChunkSizer
 	MinChunk float64
-	// Round tags emitted chunks (RUMR phase 2 uses it for batch numbers).
+	// Phase is the scheduler-defined phase number stamped on every
+	// emitted chunk (RUMR labels its demand-driven phase with 2); batch
+	// numbers go in the chunk's Round field.
 	Phase     int
 	remaining float64
 	total     float64
