@@ -19,13 +19,15 @@ import (
 
 	"rumr"
 	"rumr/internal/stats"
+	"rumr/internal/trace"
 )
 
 // traceFlags bundle the trace-output options.
 type traceFlags struct {
-	csv   string
-	json  string
-	stats bool
+	csv      string
+	json     string
+	perfetto string
+	stats    bool
 }
 
 func main() {
@@ -48,6 +50,7 @@ func main() {
 		width     = flag.Int("width", 100, "gantt width in characters")
 		traceCSV  = flag.String("trace-csv", "", "write the per-chunk trace as CSV to this file")
 		traceJSON = flag.String("trace-json", "", "write the per-chunk trace as JSON to this file")
+		perfetto  = flag.String("perfetto", "", "stream the run as Chrome trace-event JSON to this file (open in ui.perfetto.dev; single repetition only)")
 		showStats = flag.Bool("stats", false, "print schedule statistics (utilization, gaps, phases)")
 	)
 	flag.Parse()
@@ -68,7 +71,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "rumrsim:", err)
 			os.Exit(2)
 		}
-		tf := traceFlags{csv: *traceCSV, json: *traceJSON, stats: *showStats}
+		tf := traceFlags{csv: *traceCSV, json: *traceJSON, perfetto: *perfetto, stats: *showStats}
 		if err := run(p, s, *total, *errMag, *unknown, *uniform, *parallel, *seed, *reps, *gantt && *algo != "all", *width, tf); err != nil {
 			fmt.Fprintln(os.Stderr, "rumrsim:", err)
 			os.Exit(1)
@@ -125,6 +128,19 @@ func run(p *rumr.Platform, s rumr.Scheduler, total, errMag float64, unknown, uni
 		u := -1.0
 		opts.SchedulerError = &u
 	}
+	// The perfetto export streams events as the simulation runs, so it also
+	// captures dispatcher decisions and phase transitions that a recorded
+	// trace cannot reconstruct. Like the Gantt chart it covers one rep.
+	var sink *trace.PerfettoSink
+	if tf.perfetto != "" && reps == 1 {
+		f, err := os.Create(tf.perfetto)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sink = trace.NewPerfettoSink(f)
+		opts.Events = sink
+	}
 	var mks, chunks []float64
 	var last rumr.Result
 	for rep := 0; rep < reps; rep++ {
@@ -136,6 +152,11 @@ func run(p *rumr.Platform, s rumr.Scheduler, total, errMag float64, unknown, uni
 		mks = append(mks, res.Makespan)
 		chunks = append(chunks, float64(res.Chunks))
 		last = res
+	}
+	if sink != nil {
+		if err := sink.Close(); err != nil {
+			return err
+		}
 	}
 	sort.Float64s(mks)
 	fmt.Printf("%-14s makespan %.4f", s.Name(), stats.Mean(mks))
@@ -156,8 +177,9 @@ func run(p *rumr.Platform, s rumr.Scheduler, total, errMag float64, unknown, uni
 			fmt.Printf("  port utilization %.1f%%   mean worker utilization %.1f%%   mean idle gap %.3fs\n",
 				100*st.PortUtilization, 100*st.MeanWorkerUtilization, st.MeanIdleGap)
 			fmt.Printf("  chunk sizes [%.3g, %.3g]", st.ChunkSizeMin, st.ChunkSizeMax)
+			timeline := last.Trace.PhaseTimeline()
 			for _, ph := range last.Trace.Phases() {
-				span := last.Trace.PhaseTimeline()[ph]
+				span := timeline[ph]
 				fmt.Printf("   phase %d: %.3g units over t=[%.4g, %.4g]", ph, st.PhaseWork[ph], span[0], span[1])
 			}
 			fmt.Println()

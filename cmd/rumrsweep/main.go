@@ -22,6 +22,16 @@
 // Progress (configurations done, simulations/sec, DES events, ETA) prints
 // to stderr once per second; -metrics dumps the final counters as JSON,
 // and -cpuprofile/-memprofile write pprof profiles.
+//
+// Status messages go through log/slog; -log json switches them (and the
+// per-second progress) to machine-readable JSON lines. For live
+// introspection of a long sweep, -debug-addr :6060 serves /metrics
+// (counter snapshot with makespan/chunk/wall-time percentiles as JSON),
+// /debug/vars (expvar) and /debug/pprof/ on that address:
+//
+//	rumrsweep -full -debug-addr :6060 &
+//	curl localhost:6060/metrics
+//	go tool pprof localhost:6060/debug/pprof/profile
 package main
 
 import (
@@ -30,6 +40,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -40,6 +53,7 @@ import (
 
 	"rumr"
 	"rumr/internal/experiment"
+	"rumr/internal/metrics"
 )
 
 type artifact struct {
@@ -66,6 +80,9 @@ func main() {
 		unknown = flag.Bool("unknown-error", false, "hide the error magnitude from the schedulers")
 		reps    = flag.Int("reps", 0, "override repetitions per cell")
 		quiet   = flag.Bool("q", false, "suppress progress output")
+		logFmt  = flag.String("log", "text", "status log format: text or json")
+
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :6060)")
 
 		ckptDir = flag.String("checkpoint", "", "directory for per-artifact checkpoint files; rerun the same command to resume")
 		metOut  = flag.String("metrics", "", "write final run metrics as JSON to this file")
@@ -85,10 +102,20 @@ func main() {
 	)
 	flag.Parse()
 
+	switch *logFmt {
+	case "text":
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	default:
+		fmt.Fprintf(os.Stderr, "rumrsweep: unknown -log format %q (want text or json)\n", *logFmt)
+		os.Exit(2)
+	}
+	jsonLog := *logFmt == "json"
+
 	grid := experiment.ReducedGrid()
 	switch {
 	case *smoke && *full:
-		fmt.Fprintln(os.Stderr, "rumrsweep: -smoke and -full are mutually exclusive")
+		logger.Error("-smoke and -full are mutually exclusive")
 		os.Exit(2)
 	case *smoke:
 		grid = experiment.SmokeGrid()
@@ -133,9 +160,27 @@ func main() {
 		opts.Model = rumr.UniformError
 	}
 
+	// The debug server shares the sweep's metrics collector, so /metrics
+	// shows live percentiles while configurations are still running.
+	if *debugAddr != "" {
+		metrics.PublishExpvar(met)
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		logger.Info("debug server listening", "addr", ln.Addr().String(),
+			"endpoints", "/metrics /debug/vars /debug/pprof/")
+		go func() {
+			if err := http.Serve(ln, metrics.DebugHandler(met)); err != nil {
+				logger.Error("debug server stopped", "err", err)
+			}
+		}()
+	}
+
 	// Progress is rendered by a snapshot loop over the shared metrics
 	// collector rather than a per-configuration callback, so nothing in
-	// the hot path writes to stderr.
+	// the hot path writes to stderr. Text mode redraws a terminal status
+	// line; JSON mode emits one structured progress record per tick.
 	progressDone := make(chan struct{})
 	progressIdle := make(chan struct{})
 	if !*quiet {
@@ -146,7 +191,11 @@ func main() {
 			for {
 				select {
 				case <-tick.C:
-					fmt.Fprintf(os.Stderr, "\r\x1b[K%s", met.Snapshot())
+					if jsonLog {
+						logProgress(met.Snapshot())
+					} else {
+						fmt.Fprintf(os.Stderr, "\r\x1b[K%s", met.Snapshot())
+					}
 				case <-progressDone:
 					return
 				}
@@ -188,20 +237,20 @@ func main() {
 			continue
 		}
 		if err := a.run(sc); err != nil {
-			if !*quiet {
-				fmt.Fprintln(os.Stderr)
+			if !*quiet && !jsonLog {
+				fmt.Fprintln(os.Stderr) // drop the live status line
 			}
 			if errors.Is(err, context.Canceled) {
-				msg := "rumrsweep: interrupted"
 				if *ckptDir != "" {
-					msg += "; rerun the same command to resume from " + *ckptDir
+					logger.Warn("interrupted; rerun the same command to resume",
+						"artifact", a.name, "checkpoint", *ckptDir)
 				} else {
-					msg += " (use -checkpoint to make runs resumable)"
+					logger.Warn("interrupted (use -checkpoint to make runs resumable)",
+						"artifact", a.name)
 				}
-				fmt.Fprintln(os.Stderr, msg)
 				exitCode = 130
 			} else {
-				fmt.Fprintf(os.Stderr, "rumrsweep: %s: %v\n", a.name, err)
+				logger.Error("artifact failed", "artifact", a.name, "err", err)
 				exitCode = 1
 			}
 			break
@@ -210,10 +259,14 @@ func main() {
 	close(progressDone)
 	<-progressIdle
 	if !*quiet {
-		fmt.Fprintf(os.Stderr, "\r\x1b[K%s\n", met.Snapshot())
-		fmt.Fprintf(os.Stderr, "total %s (grid: %d configs x %d errors x %d reps)\n",
-			time.Since(start).Round(time.Millisecond),
-			len(grid.Configs()), len(grid.Errors), grid.Reps)
+		if jsonLog {
+			logProgress(met.Snapshot())
+		} else {
+			fmt.Fprintf(os.Stderr, "\r\x1b[K%s\n", met.Snapshot())
+		}
+		logger.Info("sweep done",
+			"elapsed", time.Since(start).Round(time.Millisecond).String(),
+			"configs", len(grid.Configs()), "errors", len(grid.Errors), "reps", grid.Reps)
 	}
 
 	if *metOut != "" {
@@ -240,9 +293,23 @@ func main() {
 	os.Exit(exitCode)
 }
 
+// logger carries all status output; -log json swaps in a JSON handler
+// right after flag parsing.
+var logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "rumrsweep:", err)
+	logger.Error("fatal", "err", err)
 	os.Exit(1)
+}
+
+// logProgress emits one structured progress record from a metrics
+// snapshot — the JSON-mode counterpart of the redrawn terminal line.
+func logProgress(s rumr.MetricsSnapshot) {
+	logger.Info("progress",
+		"configs_done", s.ConfigsDone, "configs_total", s.ConfigsTotal,
+		"simulations", s.Simulations, "runs_per_sec", s.RunsPerSec,
+		"eta_sec", s.ETASec, "makespan_p50", s.RunMakespan.P50,
+		"chunks_p50", s.ChunksPerRun.P50)
 }
 
 // sweepOpts returns the shared options with the per-artifact checkpoint

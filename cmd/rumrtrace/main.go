@@ -1,17 +1,25 @@
 // Command rumrtrace inspects a trace saved by `rumrsim -trace-json`:
 // it re-validates the schedule against a platform, prints statistics and
-// phase timelines, renders an ASCII Gantt chart, and converts to CSV.
+// phase timelines, renders an ASCII Gantt chart, and converts to CSV or
+// Chrome trace-event JSON for ui.perfetto.dev.
+//
+// Validation rebuilds the platform from the -n/-r/-s/-clat/-nlat flags
+// and therefore only checks traces from homogeneous platforms; a trace
+// recorded on a heterogeneous platform will fail validation even though
+// the schedule was feasible.
 //
 // Examples:
 //
 //	rumrsim -algo rumr -n 8 -error 0.3 -trace-json run.json -gantt=false
 //	rumrtrace -n 8 -r 1.5 -clat 0.3 -nlat 0.3 -w 1000 run.json
 //	rumrtrace -csv run.csv run.json
+//	rumrtrace -perfetto run.perfetto.json run.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"rumr/internal/platform"
@@ -20,15 +28,16 @@ import (
 
 func main() {
 	var (
-		n     = flag.Int("n", 0, "worker count for validation (0 = infer from the trace)")
-		r     = flag.Float64("r", 1.5, "bandwidth ratio B = r*N, for validation")
-		s     = flag.Float64("s", 1, "worker speed, for validation")
-		cLat  = flag.Float64("clat", 0.3, "computation latency, for validation")
-		nLat  = flag.Float64("nlat", 0.3, "transfer latency, for validation")
-		total = flag.Float64("w", 0, "expected workload (0 = accept the trace's own total)")
-		csv   = flag.String("csv", "", "convert the trace to CSV at this path")
-		gantt = flag.Bool("gantt", true, "render an ASCII Gantt chart")
-		width = flag.Int("width", 100, "gantt width in characters")
+		n        = flag.Int("n", 0, "worker count for validation (0 = infer from the trace)")
+		r        = flag.Float64("r", 1.5, "bandwidth ratio B = r*N, for validation")
+		s        = flag.Float64("s", 1, "worker speed, for validation")
+		cLat     = flag.Float64("clat", 0.3, "computation latency, for validation")
+		nLat     = flag.Float64("nlat", 0.3, "transfer latency, for validation")
+		total    = flag.Float64("w", 0, "expected workload (0 = accept the trace's own total)")
+		csv      = flag.String("csv", "", "convert the trace to CSV at this path")
+		perfetto = flag.String("perfetto", "", "convert the trace to Chrome trace-event JSON at this path (open in ui.perfetto.dev)")
+		gantt    = flag.Bool("gantt", true, "render an ASCII Gantt chart")
+		width    = flag.Int("width", 100, "gantt width in characters")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -74,8 +83,9 @@ func main() {
 	fmt.Printf("port utilization %.1f%%   mean worker utilization %.1f%%   mean idle gap %.4g s\n",
 		100*st.PortUtilization, 100*st.MeanWorkerUtilization, st.MeanIdleGap)
 	fmt.Printf("chunk sizes [%.4g, %.4g]\n", st.ChunkSizeMin, st.ChunkSizeMax)
+	timeline := tr.PhaseTimeline()
 	for _, ph := range tr.Phases() {
-		span := tr.PhaseTimeline()[ph]
+		span := timeline[ph]
 		fmt.Printf("phase %d: %.6g units over t=[%.6g, %.6g]\n",
 			ph, st.PhaseWork[ph], span[0], span[1])
 	}
@@ -84,17 +94,25 @@ func main() {
 		fmt.Print(tr.Gantt(workers, *width))
 	}
 	if *csv != "" {
-		out, err := os.Create(*csv)
-		if err != nil {
-			fatal(err)
-		}
-		if err := tr.WriteCSV(out); err != nil {
-			out.Close()
-			fatal(err)
-		}
-		if err := out.Close(); err != nil {
-			fatal(err)
-		}
+		writeFile(*csv, tr.WriteCSV)
+	}
+	if *perfetto != "" {
+		writeFile(*perfetto, func(w io.Writer) error { return tr.WritePerfetto(w, workers) })
+	}
+}
+
+// writeFile creates path and runs write on it, exiting on any error.
+func writeFile(path string, write func(io.Writer) error) {
+	out, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := write(out); err != nil {
+		out.Close()
+		fatal(err)
+	}
+	if err := out.Close(); err != nil {
+		fatal(err)
 	}
 }
 

@@ -1,0 +1,98 @@
+package rumr
+
+import (
+	"strings"
+	"testing"
+
+	"rumr/internal/obs"
+)
+
+// TestSimulateEmitsDispatcherEvents runs RUMR end-to-end with an event
+// sink and checks the dispatcher-level events arrive with reasons: the
+// phase 1 → 2 transition exactly once, and Factoring batch boundaries in
+// phase 2.
+func TestSimulateEmitsDispatcherEvents(t *testing.T) {
+	p := HomogeneousPlatform(8, 1, 12, 0.3, 0.3)
+	var transitions, batches []Event
+	_, err := Simulate(p, RUMR(), 1000, SimOptions{
+		Error: 0.3, Seed: 5,
+		Events: obs.Func(func(e Event) {
+			switch e.Kind {
+			case obs.KindPhaseTransition:
+				transitions = append(transitions, e)
+			case obs.KindDispatchDecision:
+				batches = append(batches, e)
+			}
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(transitions) != 1 {
+		t.Fatalf("got %d phase transitions, want 1: %+v", len(transitions), transitions)
+	}
+	tr := transitions[0]
+	if tr.Phase != 2 || tr.Reason == "" || tr.Size <= 0 {
+		t.Fatalf("transition = %+v", tr)
+	}
+	var sawBatch bool
+	for _, e := range batches {
+		if strings.Contains(e.Reason, "factoring") {
+			sawBatch = true
+			if e.Phase != 2 || e.Size <= 0 {
+				t.Fatalf("batch event = %+v", e)
+			}
+		}
+	}
+	if !sawBatch {
+		t.Fatalf("no factoring batch-boundary events among %d dispatch decisions", len(batches))
+	}
+}
+
+// TestSimulateEmitsOutOfOrderServes drives phase 1 into out-of-order
+// promotion: with error large enough that workers finish far from the
+// plan's predictions, the static dispatcher must serve some chunk ahead
+// of the planned head and say so.
+func TestSimulateEmitsOutOfOrderServes(t *testing.T) {
+	p := HomogeneousPlatform(10, 1, 15, 0.3, 0.3)
+	found := false
+	for seed := uint64(1); seed <= 10 && !found; seed++ {
+		var oo int
+		_, err := Simulate(p, RUMR(), 2000, SimOptions{
+			Error: 0.5, Seed: seed,
+			Events: obs.Func(func(e Event) {
+				if e.Kind == obs.KindDispatchDecision && strings.Contains(e.Reason, "out-of-order") {
+					oo++
+				}
+			}),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		found = oo > 0
+	}
+	if !found {
+		t.Fatal("no out-of-order serve events across 10 seeds at error 0.5")
+	}
+}
+
+// TestAdaptiveEmitsSplitTransition checks the adaptive variant reports
+// its measured-error split decision.
+func TestAdaptiveEmitsSplitTransition(t *testing.T) {
+	p := HomogeneousPlatform(8, 1, 12, 0.3, 0.3)
+	var reasons []string
+	_, err := Simulate(p, RUMRAdaptive(), 1000, SimOptions{
+		Error: 0.3, Seed: 2,
+		Events: obs.Func(func(e Event) {
+			if e.Kind == obs.KindPhaseTransition {
+				reasons = append(reasons, e.Reason)
+			}
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reasons) == 0 || !strings.Contains(reasons[0], "measured error") {
+		t.Fatalf("adaptive transition reasons = %q", reasons)
+	}
+}

@@ -24,6 +24,7 @@ import (
 
 	"rumr/internal/des"
 	"rumr/internal/metrics"
+	"rumr/internal/obs"
 	"rumr/internal/perferr"
 	"rumr/internal/platform"
 	"rumr/internal/trace"
@@ -122,9 +123,16 @@ type Options struct {
 	// MaxChunks aborts runaway dispatchers (default 10 million).
 	MaxChunks int
 	// Metrics, when non-nil, receives one AddRun per successful Run with
-	// the dispatched chunk count and the DES events processed. The sweep
-	// runner shares one collector across its worker pool.
+	// the dispatched chunk count, the DES events processed and the
+	// makespan. The sweep runner shares one collector across its worker
+	// pool.
 	Metrics *metrics.Collector
+	// Events, when non-nil, receives one obs.Event per state change —
+	// send start/end, arrival, compute start/end, and the run's end — and
+	// is attached to the dispatcher (if it implements obs.Emitter) so
+	// scheduling decisions are on the same stream. The nil path costs one
+	// branch per potential event; see BenchmarkEngine*.
+	Events obs.Sink
 }
 
 // Result summarises one simulated run.
@@ -151,6 +159,7 @@ type workerRuntime struct {
 type pendingChunk struct {
 	chunk  Chunk
 	record int // index into records, -1 when tracing is off
+	seq    int // dispatch index, stamped on events
 }
 
 // Run simulates dispatching on p according to d and returns the result.
@@ -188,6 +197,12 @@ func Run(p *platform.Platform, d Dispatcher, opts Options) (Result, error) {
 	}
 	sending := 0
 	var dispatchErr error
+	ev := opts.Events
+	if ev != nil {
+		if em, ok := d.(obs.Emitter); ok {
+			em.AttachEvents(ev)
+		}
+	}
 
 	syncView := func() {
 		view.Time = sim.Now()
@@ -223,6 +238,10 @@ func Run(p *platform.Platform, d Dispatcher, opts Options) (Result, error) {
 		if tr != nil && pc.record >= 0 {
 			tr.Records[pc.record].CompStart = start
 		}
+		if ev != nil {
+			ev.Emit(obs.Event{Kind: obs.KindCompStart, Time: start, Worker: wi,
+				Seq: pc.seq, Size: pc.chunk.Size, Round: pc.chunk.Round, Phase: pc.chunk.Phase})
+		}
 		sim.After(effective, func() {
 			w.state.Computing = false
 			w.state.CompletedChunks++
@@ -234,8 +253,12 @@ func Run(p *platform.Platform, d Dispatcher, opts Options) (Result, error) {
 			if tr != nil && pc.record >= 0 {
 				tr.Records[pc.record].CompEnd = end
 			}
-			if obs, ok := d.(Observer); ok {
-				obs.OnComplete(wi, pc.chunk, end, predicted, effective)
+			if ev != nil {
+				ev.Emit(obs.Event{Kind: obs.KindCompEnd, Time: end, Worker: wi,
+					Seq: pc.seq, Size: pc.chunk.Size, Round: pc.chunk.Round, Phase: pc.chunk.Phase})
+			}
+			if o, ok := d.(Observer); ok {
+				o.OnComplete(wi, pc.chunk, end, predicted, effective)
 			}
 			startCompute(wi) // pull the next queued chunk, if any
 			kick()
@@ -279,16 +302,28 @@ func Run(p *platform.Platform, d Dispatcher, opts Options) (Result, error) {
 			recIdx = len(tr.Records) - 1
 		}
 		wi := c.Worker
-		pc := pendingChunk{chunk: c, record: recIdx}
+		pc := pendingChunk{chunk: c, record: recIdx, seq: res.Chunks - 1}
+		if ev != nil {
+			ev.Emit(obs.Event{Kind: obs.KindSendStart, Time: sim.Now(), Worker: wi,
+				Seq: pc.seq, Size: c.Size, Round: c.Round, Phase: c.Phase})
+		}
 		// The send slot frees when the non-overlappable part completes...
 		sim.After(sendDur, func() {
 			sending--
+			if ev != nil {
+				ev.Emit(obs.Event{Kind: obs.KindSendEnd, Time: sim.Now(), Worker: wi,
+					Seq: pc.seq, Size: c.Size, Round: c.Round, Phase: c.Phase})
+			}
 			// ...and the worker holds the data tLat later.
 			sim.After(spec.TLat, func() {
 				w := &workers[wi]
 				w.state.InFlight--
 				w.state.Queued++
 				w.queue = append(w.queue, pc)
+				if ev != nil {
+					ev.Emit(obs.Event{Kind: obs.KindArrive, Time: sim.Now(), Worker: wi,
+						Seq: pc.seq, Size: c.Size, Round: c.Round, Phase: c.Phase})
+				}
 				startCompute(wi)
 				kick()
 			})
@@ -308,8 +343,12 @@ func Run(p *platform.Platform, d Dispatcher, opts Options) (Result, error) {
 		tr.Makespan = res.Makespan
 		res.Trace = tr
 	}
+	if ev != nil {
+		ev.Emit(obs.Event{Kind: obs.KindRunDone, Time: res.Makespan, Worker: -1,
+			Seq: res.Chunks, Size: res.DispatchedWork})
+	}
 	if opts.Metrics != nil {
-		opts.Metrics.AddRun(res.Chunks, res.Events)
+		opts.Metrics.AddRun(res.Chunks, res.Events, res.Makespan)
 	}
 	return res, nil
 }

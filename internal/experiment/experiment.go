@@ -19,6 +19,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"time"
 
 	"rumr/internal/engine"
 	"rumr/internal/metrics"
@@ -350,6 +351,7 @@ func (r *Runner) SweepContext(parent context.Context, g Grid) (*Results, error) 
 				if ctx.Err() != nil {
 					continue // drain the queue without working
 				}
+				cfgStart := time.Now()
 				err := r.runConfig(ctx, g, configs[ci], ci, res)
 				switch {
 				case err == nil:
@@ -360,7 +362,7 @@ func (r *Runner) SweepContext(parent context.Context, g Grid) (*Results, error) 
 						}
 					}
 					if r.Metrics != nil {
-						r.Metrics.ConfigDone()
+						r.Metrics.ConfigDone(time.Since(cfgStart))
 					}
 					mu.Lock()
 					done++

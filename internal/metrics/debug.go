@@ -1,0 +1,47 @@
+package metrics
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// DebugHandler exposes a collector over HTTP for live introspection of a
+// long-running sweep:
+//
+//	/metrics        the collector's Snapshot as indented JSON
+//	/debug/vars     expvar (includes the collector when PublishExpvar ran)
+//	/debug/pprof/   the standard pprof index, profiles and traces
+//
+// The handler has no state beyond the collector, so it can be mounted on
+// any server; rumrsweep serves it on -debug-addr.
+func DebugHandler(c *Collector) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(c.Snapshot()) //nolint:errcheck // best-effort response write
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+var publishOnce sync.Once
+
+// PublishExpvar publishes the collector's snapshot as the expvar "sweep",
+// so generic expvar scrapers see the same numbers as /metrics. Only the
+// first call publishes (expvar names are process-global and re-publishing
+// panics); later calls are no-ops.
+func PublishExpvar(c *Collector) {
+	publishOnce.Do(func() {
+		expvar.Publish("sweep", expvar.Func(func() any { return c.Snapshot() }))
+	})
+}

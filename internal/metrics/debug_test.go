@@ -1,0 +1,90 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func debugGet(t *testing.T, srv *httptest.Server, path string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return resp.StatusCode, body
+}
+
+func TestDebugHandlerMetrics(t *testing.T) {
+	c := New()
+	c.AddTotalConfigs(4)
+	for i := 1; i <= 50; i++ {
+		c.AddRun(10+i, 500, float64(100+i))
+	}
+	c.ConfigDone(1500 * time.Millisecond)
+
+	srv := httptest.NewServer(DebugHandler(c))
+	defer srv.Close()
+
+	code, body := debugGet(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(body, &s); err != nil {
+		t.Fatalf("/metrics not JSON: %v\n%s", err, body)
+	}
+	if s.Simulations != 50 || s.ConfigsDone != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	// The histogram percentiles must be live mid-sweep, not just at the end.
+	if s.RunMakespan.P50 <= 0 || s.RunMakespan.P99 <= 0 {
+		t.Fatalf("makespan percentiles zero: %+v", s.RunMakespan)
+	}
+	if s.ChunksPerRun.P90 <= 0 {
+		t.Fatalf("chunks percentiles zero: %+v", s.ChunksPerRun)
+	}
+	if s.ConfigWallSec.P50 != 1.5 {
+		t.Fatalf("config wall p50 = %v", s.ConfigWallSec.P50)
+	}
+}
+
+func TestDebugHandlerExpvarAndPprof(t *testing.T) {
+	c := New()
+	c.AddRun(3, 30, 7)
+	PublishExpvar(c)
+	PublishExpvar(c) // second call must not panic on the duplicate name
+
+	srv := httptest.NewServer(DebugHandler(c))
+	defer srv.Close()
+
+	code, body := debugGet(t, srv, "/debug/vars")
+	if code != http.StatusOK || !strings.Contains(string(body), `"sweep"`) {
+		t.Fatalf("/debug/vars status %d, body %.200s", code, body)
+	}
+	var vars struct {
+		Sweep Snapshot `json:"sweep"`
+	}
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	if vars.Sweep.Simulations != 1 {
+		t.Fatalf("expvar sweep = %+v", vars.Sweep)
+	}
+
+	if code, _ := debugGet(t, srv, "/debug/pprof/"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status = %d", code)
+	}
+	if code, _ := debugGet(t, srv, "/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline status = %d", code)
+	}
+}

@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// The histogram is log-bucketed: histSub buckets per power of two over
+// [2^histMinExp, 2^histMaxExp), so each bucket spans ~19% of its value —
+// accurate enough for progress percentiles across the ten orders of
+// magnitude a sweep produces (microsecond config times to 1e5-second
+// makespans) with a fixed 240-counter footprint.
+const (
+	histMinExp  = -20 // 2^-20 ≈ 1e-6
+	histMaxExp  = 40  // 2^40 ≈ 1e12
+	histSub     = 4
+	histBuckets = (histMaxExp - histMinExp) * histSub
+)
+
+// Histogram is a concurrency-safe log-bucketed histogram of non-negative
+// values. Observing costs one log2 and three atomic updates; snapshots
+// read the counters without locks, so a mid-run quantile can be off by a
+// few in-flight observations — fine for progress display. Use
+// NewHistogram (the zero value's min tracking is not initialised).
+type Histogram struct {
+	count   atomic.Int64
+	minBits atomic.Uint64 // Float64bits; non-negative floats order as uints
+	maxBits atomic.Uint64
+	buckets [histBuckets]atomic.Int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	return h
+}
+
+// bucketIndex maps a value to its bucket; values at or below zero share
+// bucket 0 and out-of-range values clamp to the edge buckets.
+func bucketIndex(v float64) int {
+	if v <= 0 {
+		return 0
+	}
+	idx := int(math.Floor(math.Log2(v)*histSub)) - histMinExp*histSub
+	if idx < 0 {
+		return 0
+	}
+	if idx >= histBuckets {
+		return histBuckets - 1
+	}
+	return idx
+}
+
+// bucketValue is the geometric midpoint of bucket i's bounds — the value
+// reported for quantiles landing in that bucket.
+func bucketValue(i int) float64 {
+	return math.Exp2((float64(i)+0.5)/histSub + histMinExp)
+}
+
+// Observe records one value. Negative values are clamped to zero.
+func (h *Histogram) Observe(v float64) {
+	if v < 0 || math.IsNaN(v) {
+		v = 0
+	}
+	// The count is bumped last so a reader that sees count > 0 also sees
+	// at least one completed min/max/bucket update.
+	h.buckets[bucketIndex(v)].Add(1)
+	bits := math.Float64bits(v)
+	for {
+		cur := h.minBits.Load()
+		if bits >= cur || h.minBits.CompareAndSwap(cur, bits) {
+			break
+		}
+	}
+	for {
+		cur := h.maxBits.Load()
+		if bits <= cur || h.maxBits.CompareAndSwap(cur, bits) {
+			break
+		}
+	}
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Quantile estimates the q-quantile from the bucket counts, clamped to
+// the observed min/max; q <= 0 and q >= 1 return the exact extremes.
+// It returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return math.Float64frombits(h.minBits.Load())
+	}
+	if q >= 1 {
+		return math.Float64frombits(h.maxBits.Load())
+	}
+	rank := int64(q * float64(total-1))
+	var seen int64
+	v := 0.0
+	for i := 0; i < histBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen > rank {
+			v = bucketValue(i)
+			break
+		}
+	}
+	if min := math.Float64frombits(h.minBits.Load()); v < min {
+		v = min
+	}
+	if max := math.Float64frombits(h.maxBits.Load()); v > max {
+		v = max
+	}
+	return v
+}
+
+// HistSummary is a snapshot of a histogram for reports: the observation
+// count, the exact extremes and estimated percentiles.
+type HistSummary struct {
+	Count int64   `json:"count"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// Summary captures the histogram's current state.
+func (h *Histogram) Summary() HistSummary {
+	count := h.count.Load()
+	if count == 0 {
+		return HistSummary{}
+	}
+	return HistSummary{
+		Count: count,
+		Min:   math.Float64frombits(h.minBits.Load()),
+		Max:   math.Float64frombits(h.maxBits.Load()),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+	}
+}

@@ -1,0 +1,108 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatalf("empty histogram: count %d, p50 %v", h.Count(), h.Quantile(0.5))
+	}
+	if s := h.Summary(); s != (HistSummary{}) {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(42)
+	s := h.Summary()
+	// With one observation every quantile clamps to the exact value.
+	if s.Count != 1 || s.Min != 42 || s.Max != 42 || s.P50 != 42 || s.P99 != 42 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	// 1..1000 uniformly: p50 ≈ 500, p90 ≈ 900, p99 ≈ 990, each within one
+	// bucket width (2^(1/4) ≈ 19%).
+	h := NewHistogram()
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i))
+	}
+	for _, c := range []struct{ q, want float64 }{
+		{0.50, 500}, {0.90, 900}, {0.99, 990},
+	} {
+		got := h.Quantile(c.q)
+		if rel := math.Abs(got-c.want) / c.want; rel > 0.19 {
+			t.Errorf("p%.0f = %v, want %v ± 19%%", 100*c.q, got, c.want)
+		}
+	}
+	if h.Quantile(0) != 1 || h.Quantile(1) != 1000 {
+		t.Errorf("extremes: p0 = %v, p100 = %v", h.Quantile(0), h.Quantile(1))
+	}
+}
+
+func TestHistogramWideRange(t *testing.T) {
+	// Values spanning twelve orders of magnitude stay ordered.
+	h := NewHistogram()
+	for _, v := range []float64{1e-6, 1e-3, 1, 1e3, 1e6} {
+		h.Observe(v)
+	}
+	prev := -1.0
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantiles not monotone: q=%v gave %v after %v", q, v, prev)
+		}
+		prev = v
+	}
+	if h.Summary().Min != 1e-6 || h.Summary().Max != 1e6 {
+		t.Fatalf("extremes = %+v", h.Summary())
+	}
+}
+
+func TestHistogramDegenerateInputs(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(0)
+	h.Observe(-5)          // clamped to 0
+	h.Observe(math.NaN())  // clamped to 0
+	h.Observe(math.Inf(1)) // clamps into the top bucket
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if min := h.Summary().Min; min != 0 {
+		t.Fatalf("min = %v", min)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(w*per + i + 1))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Summary()
+	if s.Count != workers*per || s.Min != 1 || s.Max != workers*per {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) + 0.5)
+	}
+}

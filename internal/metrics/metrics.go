@@ -1,11 +1,14 @@
 // Package metrics provides low-overhead run counters for long sweeps: a
-// Collector of atomic counters that the simulation engine and the sweep
-// runner increment, and a consistent-enough Snapshot with derived rates
-// (runs/sec, ETA) for periodic progress lines and end-of-run dumps.
+// Collector of atomic counters and log-bucketed histograms that the
+// simulation engine and the sweep runner feed, and a consistent-enough
+// Snapshot with derived rates (runs/sec, ETA) and p50/p90/p99 summaries
+// for periodic progress lines, the sweep debug endpoint and end-of-run
+// dumps.
 //
 // All Collector methods are safe for concurrent use; the hot-path cost is
-// a handful of atomic adds per simulated run, so wiring a Collector into a
-// sweep does not perturb benchmarks measurably.
+// a handful of atomic adds plus two histogram observations per simulated
+// run, so wiring a Collector into a sweep does not perturb benchmarks
+// measurably.
 package metrics
 
 import (
@@ -25,24 +28,37 @@ type Collector struct {
 	chunks       atomic.Int64
 	configsDone  atomic.Int64
 	configsTotal atomic.Int64
+
+	makespans    *Histogram // per-run makespan
+	chunksPerRun *Histogram // per-run dispatched chunk count
+	configWall   *Histogram // per-configuration wall time, seconds
 }
 
 // New returns a Collector whose clock starts now.
 func New() *Collector {
-	return &Collector{start: time.Now()}
+	return &Collector{
+		start:        time.Now(),
+		makespans:    NewHistogram(),
+		chunksPerRun: NewHistogram(),
+		configWall:   NewHistogram(),
+	}
 }
 
-// AddRun records one completed simulation: its dispatched chunk count and
-// the number of DES events the engine processed.
-func (c *Collector) AddRun(chunks int, events uint64) {
+// AddRun records one completed simulation: its dispatched chunk count,
+// the number of DES events the engine processed and its makespan.
+func (c *Collector) AddRun(chunks int, events uint64, makespan float64) {
 	c.simulations.Add(1)
 	c.chunks.Add(int64(chunks))
 	c.events.Add(int64(events))
+	c.makespans.Observe(makespan)
+	c.chunksPerRun.Observe(float64(chunks))
 }
 
-// ConfigDone records one completed sweep configuration.
-func (c *Collector) ConfigDone() {
+// ConfigDone records one completed sweep configuration and how long it
+// took in wall time.
+func (c *Collector) ConfigDone(wall time.Duration) {
 	c.configsDone.Add(1)
+	c.configWall.Observe(wall.Seconds())
 }
 
 // AddTotalConfigs grows the expected-configuration total. Sequential
@@ -66,6 +82,12 @@ type Snapshot struct {
 	// ETASec estimates the remaining wall time from the configuration
 	// completion rate; it is 0 until the first configuration finishes.
 	ETASec float64 `json:"eta_seconds"`
+	// RunMakespan, ChunksPerRun and ConfigWallSec summarise the per-run
+	// makespans, per-run chunk counts and per-configuration wall times
+	// observed so far (log-bucketed percentiles, exact extremes).
+	RunMakespan   HistSummary `json:"run_makespan"`
+	ChunksPerRun  HistSummary `json:"chunks_per_run"`
+	ConfigWallSec HistSummary `json:"config_wall_seconds"`
 }
 
 // Snapshot captures the current counter values and derived rates.
@@ -77,6 +99,10 @@ func (c *Collector) Snapshot() Snapshot {
 		ConfigsDone:  c.configsDone.Load(),
 		ConfigsTotal: c.configsTotal.Load(),
 		ElapsedSec:   time.Since(c.start).Seconds(),
+
+		RunMakespan:   c.makespans.Summary(),
+		ChunksPerRun:  c.chunksPerRun.Summary(),
+		ConfigWallSec: c.configWall.Summary(),
 	}
 	if s.ElapsedSec > 0 {
 		s.RunsPerSec = float64(s.Simulations) / s.ElapsedSec
@@ -102,15 +128,21 @@ func (s Snapshot) String() string {
 	return line
 }
 
-// humanCount renders n compactly (1234567 -> "1.2M").
+// humanCount renders n compactly (1234567 -> "1.2M"). Magnitude bands are
+// uniform — the k suffix starts at 1000, like M at 1e6 and G at 1e9 — and
+// negative values keep their sign around the same rendering.
 func humanCount(n int64) string {
+	abs, sign := n, ""
+	if n < 0 {
+		abs, sign = -n, "-"
+	}
 	switch {
-	case n >= 1_000_000_000:
-		return fmt.Sprintf("%.1fG", float64(n)/1e9)
-	case n >= 1_000_000:
-		return fmt.Sprintf("%.1fM", float64(n)/1e6)
-	case n >= 10_000:
-		return fmt.Sprintf("%.1fk", float64(n)/1e3)
+	case abs >= 1_000_000_000:
+		return fmt.Sprintf("%s%.1fG", sign, float64(abs)/1e9)
+	case abs >= 1_000_000:
+		return fmt.Sprintf("%s%.1fM", sign, float64(abs)/1e6)
+	case abs >= 1_000:
+		return fmt.Sprintf("%s%.1fk", sign, float64(abs)/1e3)
 	default:
 		return fmt.Sprintf("%d", n)
 	}

@@ -10,9 +10,9 @@ import (
 func TestCollectorCounts(t *testing.T) {
 	c := New()
 	c.AddTotalConfigs(10)
-	c.AddRun(5, 100)
-	c.AddRun(7, 200)
-	c.ConfigDone()
+	c.AddRun(5, 100, 12.5)
+	c.AddRun(7, 200, 14.5)
+	c.ConfigDone(2 * time.Second)
 	s := c.Snapshot()
 	if s.Simulations != 2 || s.Chunks != 12 || s.Events != 300 {
 		t.Fatalf("snapshot = %+v", s)
@@ -22,6 +22,15 @@ func TestCollectorCounts(t *testing.T) {
 	}
 	if s.ElapsedSec < 0 {
 		t.Fatalf("elapsed = %v", s.ElapsedSec)
+	}
+	if s.RunMakespan.Count != 2 || s.RunMakespan.Min != 12.5 || s.RunMakespan.Max != 14.5 {
+		t.Fatalf("makespan summary = %+v", s.RunMakespan)
+	}
+	if s.ChunksPerRun.Count != 2 || s.ChunksPerRun.Min != 5 || s.ChunksPerRun.Max != 7 {
+		t.Fatalf("chunks summary = %+v", s.ChunksPerRun)
+	}
+	if s.ConfigWallSec.Count != 1 || s.ConfigWallSec.P50 != 2 {
+		t.Fatalf("config wall summary = %+v", s.ConfigWallSec)
 	}
 }
 
@@ -34,9 +43,9 @@ func TestCollectorConcurrent(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < per; i++ {
-				c.AddRun(2, 3)
+				c.AddRun(2, 3, 1.5)
 			}
-			c.ConfigDone()
+			c.ConfigDone(time.Millisecond)
 		}()
 	}
 	wg.Wait()
@@ -47,21 +56,24 @@ func TestCollectorConcurrent(t *testing.T) {
 	if s.ConfigsDone != workers {
 		t.Fatalf("configs done = %d", s.ConfigsDone)
 	}
+	if s.RunMakespan.Count != workers*per || s.RunMakespan.P50 != 1.5 {
+		t.Fatalf("makespan summary = %+v", s.RunMakespan)
+	}
 }
 
 func TestSnapshotETA(t *testing.T) {
 	c := New()
 	c.start = time.Now().Add(-10 * time.Second) // pretend 10s elapsed
 	c.AddTotalConfigs(4)
-	c.ConfigDone()
-	c.ConfigDone()
+	c.ConfigDone(time.Second)
+	c.ConfigDone(time.Second)
 	s := c.Snapshot()
 	// 2 of 4 configs in ~10s -> ~10s to go.
 	if s.ETASec < 9 || s.ETASec > 11 {
 		t.Fatalf("eta = %v", s.ETASec)
 	}
 	// Rates follow elapsed time.
-	c.AddRun(1, 1)
+	c.AddRun(1, 1, 1)
 	s = c.Snapshot()
 	if s.RunsPerSec <= 0 {
 		t.Fatalf("runs/sec = %v", s.RunsPerSec)
@@ -90,13 +102,30 @@ func TestSnapshotString(t *testing.T) {
 }
 
 func TestHumanCount(t *testing.T) {
-	cases := map[int64]string{
-		0: "0", 9999: "9999", 10_000: "10.0k",
-		1_500_000: "1.5M", 2_000_000_000: "2.0G",
+	cases := []struct {
+		n    int64
+		want string
+	}{
+		{0, "0"},
+		{1, "1"},
+		{999, "999"},
+		{1_000, "1.0k"}, // the k band starts at 1000, like M at 1e6
+		{1_234, "1.2k"},
+		{9_999, "10.0k"}, // %.1f rounding artifact, not a band change
+		{10_000, "10.0k"},
+		{999_949, "999.9k"},
+		{1_000_000, "1.0M"},
+		{1_500_000, "1.5M"},
+		{2_000_000_000, "2.0G"},
+		{-1, "-1"},
+		{-999, "-999"},
+		{-1_234, "-1.2k"},
+		{-1_500_000, "-1.5M"},
+		{-2_000_000_000, "-2.0G"},
 	}
-	for n, want := range cases {
-		if got := humanCount(n); got != want {
-			t.Fatalf("humanCount(%d) = %q, want %q", n, got, want)
+	for _, c := range cases {
+		if got := humanCount(c.n); got != c.want {
+			t.Errorf("humanCount(%d) = %q, want %q", c.n, got, c.want)
 		}
 	}
 }

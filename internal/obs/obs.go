@@ -1,0 +1,200 @@
+// Package obs is the structured event stream of the simulation engine:
+// one typed Event per state change (send start/end, arrival, compute
+// start/end, dispatch decisions, phase transitions, run completion),
+// delivered synchronously to a Sink.
+//
+// The engine guards every emission with a nil check, so a run without a
+// sink pays one predictable branch per potential event and nothing else;
+// Event is a plain value struct, so emitting through a sink allocates
+// nothing either. Sinks compose: Fanout replicates a stream, Filter
+// restricts it to a kind set, and Ring keeps the last N events for
+// "what happened just before the failure" debugging.
+package obs
+
+import "sync"
+
+// Kind discriminates event types.
+type Kind uint8
+
+const (
+	// KindSendStart marks the master's port becoming busy with a chunk.
+	KindSendStart Kind = iota
+	// KindSendEnd marks the master's port becoming free again.
+	KindSendEnd
+	// KindArrive marks the worker holding the chunk's last byte.
+	KindArrive
+	// KindCompStart marks a worker beginning to compute a chunk.
+	KindCompStart
+	// KindCompEnd marks a worker finishing a chunk.
+	KindCompEnd
+	// KindDispatchDecision marks a noteworthy scheduling decision (an
+	// out-of-order serve, a new factoring batch); Reason says why.
+	KindDispatchDecision
+	// KindPhaseTransition marks a scheduler switching phases (RUMR's
+	// phase 1 -> 2 handoff); Reason says what triggered it.
+	KindPhaseTransition
+	// KindRunDone marks the end of a run; Time is the makespan, Seq the
+	// number of dispatched chunks and Size the total dispatched work.
+	KindRunDone
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"send-start", "send-end", "arrive", "comp-start", "comp-end",
+	"dispatch-decision", "phase-transition", "run-done",
+}
+
+// String returns the event kind's wire name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Event is one simulation state change. Chunk-lifecycle events carry the
+// chunk's identity (Seq is its dispatch index) and tags; decision events
+// carry a Reason so a trace explains why, not just what.
+type Event struct {
+	// Kind discriminates the event.
+	Kind Kind
+	// Time is the virtual time of the state change (the makespan for
+	// KindRunDone).
+	Time float64
+	// Worker is the destination worker index, or -1 for run-wide events.
+	Worker int
+	// Seq is the chunk's dispatch index, or -1 when the event is not tied
+	// to one chunk.
+	Seq int
+	// Size is the chunk size in workload units (the total dispatched work
+	// for KindRunDone).
+	Size float64
+	// Round and Phase mirror the chunk's scheduler tags.
+	Round, Phase int
+	// Reason explains dispatch decisions and phase transitions.
+	Reason string
+}
+
+// Sink consumes events. Emit is called synchronously from the simulation
+// loop, so implementations must be cheap; a sink used by one Run needs no
+// locking (the engine is single-goroutine), but sinks shared across
+// concurrent runs must be safe for concurrent use, as Ring is.
+type Sink interface {
+	Emit(Event)
+}
+
+// Emitter is implemented by dispatchers that emit their own events
+// (dispatch decisions, phase transitions). The engine attaches its
+// configured sink to the dispatcher before the run starts.
+type Emitter interface {
+	AttachEvents(Sink)
+}
+
+// Nop discards every event. The engine's nil-sink path is cheaper still
+// (no interface call at all); Nop exists for composition points that
+// require a non-nil Sink.
+type Nop struct{}
+
+// Emit implements Sink.
+func (Nop) Emit(Event) {}
+
+// Func adapts a function to the Sink interface.
+type Func func(Event)
+
+// Emit implements Sink.
+func (f Func) Emit(e Event) { f(e) }
+
+// Fanout replicates every event to each sink in order.
+type Fanout []Sink
+
+// Emit implements Sink.
+func (f Fanout) Emit(e Event) {
+	for _, s := range f {
+		s.Emit(e)
+	}
+}
+
+// KindMask is a bit set of event kinds.
+type KindMask uint16
+
+// MaskOf builds a mask admitting exactly the given kinds.
+func MaskOf(kinds ...Kind) KindMask {
+	var m KindMask
+	for _, k := range kinds {
+		m |= 1 << k
+	}
+	return m
+}
+
+// AllKinds admits every event kind.
+const AllKinds = KindMask(1<<numKinds) - 1
+
+// Has reports whether the mask admits k.
+func (m KindMask) Has(k Kind) bool { return m&(1<<k) != 0 }
+
+// Filter forwards only events whose kind is in Mask.
+type Filter struct {
+	Mask KindMask
+	Next Sink
+}
+
+// Emit implements Sink.
+func (f Filter) Emit(e Event) {
+	if f.Mask.Has(e.Kind) {
+		f.Next.Emit(e)
+	}
+}
+
+// Ring keeps the most recent events in a fixed-size buffer — attach one
+// to a long run and, on failure, Events returns the last N state changes
+// leading up to it. Safe for concurrent use.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	wrapd bool
+}
+
+// NewRing returns a ring buffer holding the last n events (n >= 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{buf: make([]Event, n)}
+}
+
+// Emit implements Sink.
+func (r *Ring) Emit(e Event) {
+	r.mu.Lock()
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.wrapd = true
+	}
+	r.mu.Unlock()
+}
+
+// Len returns the number of buffered events.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.wrapd {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Events returns the buffered events, oldest first.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.wrapd {
+		return append([]Event(nil), r.buf[:r.next]...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}

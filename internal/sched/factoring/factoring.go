@@ -57,10 +57,11 @@ func MinChunk(p *platform.Platform, err, minUnit float64) float64 {
 // Sizer yields factoring chunk sizes: remaining/(Factor·N) frozen per
 // batch of N allocations.
 type Sizer struct {
-	N      int
-	Factor float64
-	batch  float64 // current batch chunk size
-	left   int     // allocations left in the current batch
+	N       int
+	Factor  float64
+	batch   float64 // current batch chunk size
+	left    int     // allocations left in the current batch
+	batches int     // batches started so far
 }
 
 // NewSizer returns a factoring sizer for n workers. factor <= 1 selects
@@ -77,10 +78,15 @@ func (s *Sizer) NextSize(remaining float64) float64 {
 	if s.left == 0 {
 		s.batch = remaining / (s.Factor * float64(s.N))
 		s.left = s.N
+		s.batches++
 	}
 	s.left--
 	return s.batch
 }
+
+// Batches reports how many batches have been started; the demand
+// dispatcher uses it to emit batch-boundary events.
+func (s *Sizer) Batches() int { return s.batches }
 
 // Scheduler adapts Factoring to the sched.Scheduler interface.
 //

@@ -1,7 +1,10 @@
 package rumr
 
 import (
+	"fmt"
+
 	"rumr/internal/engine"
+	"rumr/internal/obs"
 	"rumr/internal/perferr"
 	"rumr/internal/sched"
 	"rumr/internal/sched/factoring"
@@ -70,6 +73,14 @@ type adaptiveDispatcher struct {
 	minSamples int
 	factor     float64
 	decided    bool
+	events     obs.Sink
+}
+
+// AttachEvents implements obs.Emitter: the run-time split decision is
+// emitted as a phase transition carrying the measured error magnitude.
+func (d *adaptiveDispatcher) AttachEvents(sink obs.Sink) {
+	d.events = sink
+	d.phase1.AttachEvents(sink)
 }
 
 // Next implements engine.Dispatcher.
@@ -107,6 +118,15 @@ func (d *adaptiveDispatcher) OnComplete(workerIdx int, c engine.Chunk, at, predi
 	min := (Scheduler{Factor: d.factor}).minChunk(&measured)
 	sizer := factoring.NewSizer(d.problem.Platform.N(), d.factor)
 	d.phase2 = sched.NewDemand(withdrawn, sizer, min, 2)
+	if d.events != nil {
+		d.phase2.AttachEvents(d.events)
+		d.events.Emit(obs.Event{
+			Kind: obs.KindPhaseTransition, Time: at, Worker: -1,
+			Seq: -1, Size: withdrawn, Phase: 2,
+			Reason: fmt.Sprintf("adaptive split: measured error %.3f after %d completions; withdrew %.4g units for factoring",
+				e, d.est.N(), withdrawn),
+		})
+	}
 }
 
 // Estimate exposes the measured error magnitude (0 until enough samples).

@@ -25,6 +25,7 @@ import (
 	"math"
 
 	"rumr/internal/engine"
+	"rumr/internal/obs"
 	"rumr/internal/sched"
 	"rumr/internal/sched/factoring"
 	"rumr/internal/sched/umr"
@@ -117,8 +118,23 @@ const (
 // dispatcher chains the two phases: the static phase-1 plan first, then
 // demand-driven factoring over the phase-2 share.
 type dispatcher struct {
-	phase1 *sched.Static
-	phase2 *sched.Demand
+	phase1   *sched.Static
+	phase2   *sched.Demand
+	events   obs.Sink
+	inPhase2 bool
+}
+
+// AttachEvents implements obs.Emitter: the sink is propagated to both
+// phases (out-of-order serves, factoring batches) and the 1 -> 2 handoff
+// is emitted as a phase transition.
+func (d *dispatcher) AttachEvents(sink obs.Sink) {
+	d.events = sink
+	if d.phase1 != nil {
+		d.phase1.AttachEvents(sink)
+	}
+	if d.phase2 != nil {
+		d.phase2.AttachEvents(sink)
+	}
 }
 
 // Next implements engine.Dispatcher.
@@ -127,6 +143,19 @@ func (d *dispatcher) Next(v *engine.View) (engine.Chunk, bool) {
 		return d.phase1.Next(v)
 	}
 	if d.phase2 != nil {
+		if !d.inPhase2 {
+			d.inPhase2 = true
+			if d.events != nil {
+				reason := "phase 1 plan exhausted; demand-driven factoring takes over"
+				if d.phase1 == nil {
+					reason = "no phase 1 (error >= 1); demand-driven factoring from the start"
+				}
+				d.events.Emit(obs.Event{
+					Kind: obs.KindPhaseTransition, Time: v.Time, Worker: -1,
+					Seq: -1, Size: d.phase2.Remaining(), Phase: 2, Reason: reason,
+				})
+			}
+		}
 		return d.phase2.Next(v)
 	}
 	return engine.Chunk{}, false

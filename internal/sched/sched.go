@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"rumr/internal/engine"
+	"rumr/internal/obs"
 	"rumr/internal/platform"
 )
 
@@ -89,7 +90,12 @@ type Static struct {
 	// Next does not rescan dispatched entries on every call (long plans
 	// would otherwise cost O(n²) over a run).
 	firstUnsent int
+	events      obs.Sink
 }
+
+// AttachEvents implements obs.Emitter: out-of-order serves are emitted as
+// dispatch decisions.
+func (s *Static) AttachEvents(sink obs.Sink) { s.events = sink }
 
 // NewStatic returns a dispatcher that plays plan in order.
 func NewStatic(plan []engine.Chunk, outOfOrder bool) *Static {
@@ -146,6 +152,14 @@ func (s *Static) Next(v *engine.View) (engine.Chunk, bool) {
 				}
 			}
 		}
+	}
+	if pick != head && s.events != nil {
+		c := s.Plan[pick]
+		s.events.Emit(obs.Event{
+			Kind: obs.KindDispatchDecision, Time: v.Time, Worker: c.Worker,
+			Seq: -1, Size: c.Size, Round: c.Round, Phase: c.Phase,
+			Reason: "out-of-order serve: planned head's worker busy, promoting chunk for idle worker",
+		})
 	}
 	s.sent[pick] = true
 	s.remaining--
@@ -218,7 +232,22 @@ type Demand struct {
 	remaining float64
 	total     float64
 	batch     int
+	events    obs.Sink
+	// lastBatches tracks the sizer's batch counter so batch boundaries can
+	// be emitted as dispatch decisions.
+	lastBatches int
 }
+
+// batchSizer is implemented by sizers that allocate in batches (Factoring
+// and its weighted variant); Batches reports how many batches have been
+// started so far.
+type batchSizer interface {
+	Batches() int
+}
+
+// AttachEvents implements obs.Emitter: batch boundaries of batching sizers
+// are emitted as dispatch decisions.
+func (d *Demand) AttachEvents(sink obs.Sink) { d.events = sink }
 
 // NewDemand returns a demand-driven dispatcher over total units.
 func NewDemand(total float64, sizer ChunkSizer, minChunk float64, phase int) *Demand {
@@ -259,6 +288,18 @@ func (d *Demand) Next(v *engine.View) (engine.Chunk, bool) {
 	// chunk (or floating-point dust) into this chunk.
 	if left := d.remaining - size; left < d.MinChunk/2 || left < 1e-9*d.total {
 		size = d.remaining
+	}
+	if d.events != nil {
+		if bs, ok := d.Sizer.(batchSizer); ok {
+			if nb := bs.Batches(); nb != d.lastBatches {
+				d.lastBatches = nb
+				d.events.Emit(obs.Event{
+					Kind: obs.KindDispatchDecision, Time: v.Time, Worker: target,
+					Seq: -1, Size: size, Round: nb - 1, Phase: d.Phase,
+					Reason: "factoring: new batch, chunk size halved from remaining work",
+				})
+			}
+		}
 	}
 	d.remaining -= size
 	d.batch++

@@ -25,6 +25,7 @@ type sizer struct {
 	factor  float64
 	batch   float64 // total size of the current batch
 	left    int     // allocations left in the current batch
+	batches int     // batches started so far
 }
 
 func newSizer(p *platform.Platform, factor float64) *sizer {
@@ -44,6 +45,7 @@ func (s *sizer) NextSizeFor(worker int, remaining float64) float64 {
 	if s.left == 0 {
 		s.batch = remaining / s.factor
 		s.left = len(s.weights)
+		s.batches++
 	}
 	s.left--
 	return s.batch * s.weights[worker]
@@ -55,10 +57,15 @@ func (s *sizer) NextSize(remaining float64) float64 {
 	if s.left == 0 {
 		s.batch = remaining / s.factor
 		s.left = len(s.weights)
+		s.batches++
 	}
 	s.left--
 	return s.batch / float64(len(s.weights))
 }
+
+// Batches reports how many batches have been started; the demand
+// dispatcher uses it to emit batch-boundary events.
+func (s *sizer) Batches() int { return s.batches }
 
 // Scheduler adapts Weighted Factoring to the sched.Scheduler interface.
 type Scheduler struct {

@@ -108,3 +108,29 @@ func TestPhaseTimelineAndPhases(t *testing.T) {
 		t.Fatalf("phase 2 span = %v", tl[2])
 	}
 }
+
+func TestComputeStatsMultiPhase(t *testing.T) {
+	// Two-phase schedule: 9 units of phase 1, 2 of phase 2, with a real
+	// mid-run gap on worker 1 and unfinished tails on both workers.
+	tr := &Trace{
+		Makespan: 10,
+		Records: []ChunkRecord{
+			{Worker: 0, Size: 6, Phase: 1, SendStart: 0, SendEnd: 0.5, Arrive: 0.5, CompStart: 0.5, CompEnd: 4.5},
+			{Worker: 1, Size: 3, Phase: 1, SendStart: 0.5, SendEnd: 1, Arrive: 1, CompStart: 1, CompEnd: 4},
+			{Worker: 1, Size: 2, Phase: 2, SendStart: 4, SendEnd: 4.5, Arrive: 4.5, CompStart: 6, CompEnd: 8},
+		},
+	}
+	st := tr.ComputeStats(2)
+	if st.PhaseWork[1] != 9 || st.PhaseWork[2] != 2 || len(st.PhaseWork) != 2 {
+		t.Fatalf("phase work = %v", st.PhaseWork)
+	}
+	if st.ChunkSizeMin != 2 || st.ChunkSizeMax != 6 {
+		t.Fatalf("chunk bounds = %v/%v", st.ChunkSizeMin, st.ChunkSizeMax)
+	}
+	// Idle gaps count only waiting between chunks, not the tail after the
+	// last completion: worker 0 has no gap (tail 4.5→10 excluded), worker 1
+	// waits 4→6 between its chunks (tail 8→10 excluded). Mean = 1.
+	if math.Abs(st.MeanIdleGap-1) > 1e-9 {
+		t.Fatalf("mean idle gap = %v, want 1", st.MeanIdleGap)
+	}
+}

@@ -1,0 +1,173 @@
+package trace_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rumr/internal/engine"
+	"rumr/internal/obs"
+	"rumr/internal/platform"
+	"rumr/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// multiPhaseTrace is a small hand-built two-phase schedule: two phase 1
+// chunks then a phase 2 chunk, on two workers.
+func multiPhaseTrace() *trace.Trace {
+	return &trace.Trace{
+		Makespan: 6,
+		Records: []trace.ChunkRecord{
+			{Worker: 0, Size: 4, Round: 1, Phase: 1,
+				SendStart: 0, SendEnd: 0.5, Arrive: 0.6, CompStart: 0.6, CompEnd: 4.6},
+			{Worker: 1, Size: 2, Round: 1, Phase: 1,
+				SendStart: 0.5, SendEnd: 0.75, Arrive: 0.85, CompStart: 0.85, CompEnd: 2.85},
+			{Worker: 0, Size: 1, Round: 2, Phase: 2,
+				SendStart: 4, SendEnd: 4.125, Arrive: 4.225, CompStart: 4.6, CompEnd: 5.6},
+		},
+	}
+}
+
+func TestWritePerfettoGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := multiPhaseTrace().WritePerfetto(&buf, 2); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "perfetto_golden.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("perfetto output drifted from %s (re-run with -update if intended)\ngot:\n%s", golden, buf.String())
+	}
+}
+
+func TestWritePerfettoStructure(t *testing.T) {
+	var buf bytes.Buffer
+	tr := multiPhaseTrace()
+	if err := tr.WritePerfetto(&buf, 2); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Ts   int64  `json:"ts"`
+			Pid  int    `json:"pid"`
+			Tid  int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	// metadata (process + 3 threads) + 2 slices per record + 2 phase instants.
+	want := 4 + 2*len(tr.Records) + 2
+	if len(doc.TraceEvents) != want {
+		t.Fatalf("got %d events, want %d", len(doc.TraceEvents), want)
+	}
+	slices, instants := 0, 0
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "X":
+			slices++
+			if e.Pid != 1 || e.Tid < 0 || e.Tid > 2 {
+				t.Errorf("slice %q on pid %d tid %d", e.Name, e.Pid, e.Tid)
+			}
+		case "i":
+			instants++
+		}
+	}
+	if slices != 2*len(tr.Records) || instants != 2 {
+		t.Fatalf("slices = %d, instants = %d", slices, instants)
+	}
+}
+
+// demandDispatcher mirrors the engine tests' demand-driven policy so the
+// streaming sink can be exercised against a real run.
+type demandDispatcher struct{ remaining, size float64 }
+
+func (d *demandDispatcher) Next(v *engine.View) (engine.Chunk, bool) {
+	if d.remaining <= 0 {
+		return engine.Chunk{}, false
+	}
+	for i, w := range v.Workers {
+		if w.Idle() {
+			s := d.size
+			if d.remaining < s {
+				s = d.remaining
+			}
+			d.remaining -= s
+			return engine.Chunk{Worker: i, Size: s, Phase: 1}, true
+		}
+	}
+	return engine.Chunk{}, false
+}
+
+func TestPerfettoSinkStream(t *testing.T) {
+	p := platform.Homogeneous(3, 1, 10, 0.01, 0.01)
+	var buf bytes.Buffer
+	sink := trace.NewPerfettoSink(&buf)
+	res, err := engine.Run(p, &demandDispatcher{remaining: 60, size: 5}, engine.Options{Events: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Tid  int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("streamed output not valid JSON: %v\n%s", err, buf.String())
+	}
+	begins, ends, instants := 0, 0, 0
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "B":
+			begins++
+		case "E":
+			ends++
+		case "i":
+			instants++
+		}
+	}
+	// One send B/E pair plus one compute B/E pair per chunk.
+	if begins != 2*res.Chunks || ends != begins {
+		t.Fatalf("B = %d, E = %d, chunks = %d", begins, ends, res.Chunks)
+	}
+	if instants != 1 { // run done
+		t.Fatalf("instants = %d", instants)
+	}
+}
+
+func TestPerfettoSinkDropsArrive(t *testing.T) {
+	var buf bytes.Buffer
+	sink := trace.NewPerfettoSink(&buf)
+	sink.Emit(obs.Event{Kind: obs.KindArrive, Time: 1, Worker: 0})
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != 1 { // just the process metadata
+		t.Fatalf("got %d events, want 1", len(doc.TraceEvents))
+	}
+}

@@ -1,0 +1,45 @@
+package trace_test
+
+import (
+	"math"
+	"testing"
+
+	"rumr"
+)
+
+// TestStatsOnRUMRTrace runs the real two-phase scheduler end-to-end and
+// checks ComputeStats/PhaseTimeline on the resulting multi-phase trace:
+// the phase work split conserves the workload, and phase 2 starts after
+// phase 1 and runs to the makespan.
+func TestStatsOnRUMRTrace(t *testing.T) {
+	const n, total = 4, 1000.0
+	p := rumr.HomogeneousPlatform(n, 1, 40, 0.05, 0.05)
+	known := 0.3 // scheduler plans for 30% error; the run itself is exact
+	res, err := rumr.Simulate(p, rumr.RUMR(), total, rumr.SimOptions{
+		SchedulerError: &known, RecordTrace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Trace
+	if got := tr.Phases(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("phases = %v, want [1 2]", got)
+	}
+	st := tr.ComputeStats(n)
+	if st.PhaseWork[1] <= 0 || st.PhaseWork[2] <= 0 {
+		t.Fatalf("phase work = %v, want both phases non-empty", st.PhaseWork)
+	}
+	if sum := st.PhaseWork[1] + st.PhaseWork[2]; math.Abs(sum-total) > 1e-6*total {
+		t.Fatalf("phase work sums to %v, want %v", sum, total)
+	}
+	tl := tr.PhaseTimeline()
+	if tl[2][0] <= tl[1][0] {
+		t.Fatalf("phase 2 starts at %v, not after phase 1 start %v", tl[2][0], tl[1][0])
+	}
+	if math.Abs(tl[2][1]-res.Makespan) > 1e-9 {
+		t.Fatalf("phase 2 ends at %v, makespan %v", tl[2][1], res.Makespan)
+	}
+	if st.Makespan != res.Makespan || st.Chunks != res.Chunks {
+		t.Fatalf("stats %+v disagree with result %+v", st, res)
+	}
+}

@@ -195,9 +195,11 @@ func (tr *Trace) WorkerIdle(n int) []float64 {
 // Gantt renders an ASCII Gantt chart of worker computation (one row per
 // worker, '#' marks busy cells, '.' idle) with the given width in
 // characters. It is meant for terminal inspection of small runs.
+// Widths below 12 are clamped to 12, the narrowest chart whose header
+// ("time 0 ... <makespan>") still fits.
 func (tr *Trace) Gantt(n, width int) string {
-	if width < 10 {
-		width = 10
+	if width < 12 {
+		width = 12
 	}
 	if tr.Makespan <= 0 || len(tr.Records) == 0 {
 		return "(empty trace)\n"

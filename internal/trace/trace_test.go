@@ -146,3 +146,15 @@ func TestGantt(t *testing.T) {
 		t.Fatalf("empty gantt = %q", got)
 	}
 }
+
+func TestGanttNarrowWidths(t *testing.T) {
+	// Widths 10 and 11 used to pass the old >= 10 clamp and then panic in
+	// the header's strings.Repeat("-", width-12).
+	tr := validTrace()
+	for _, w := range []int{-5, 0, 10, 11, 12} {
+		g := tr.Gantt(2, w)
+		if !strings.HasPrefix(g, "time 0") || !strings.Contains(g, "w01") {
+			t.Fatalf("width %d produced malformed chart:\n%s", w, g)
+		}
+	}
+}

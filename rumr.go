@@ -2,6 +2,7 @@ package rumr
 
 import (
 	"rumr/internal/engine"
+	"rumr/internal/obs"
 	"rumr/internal/perferr"
 	"rumr/internal/platform"
 	"rumr/internal/rng"
@@ -43,6 +44,14 @@ type Trace = trace.Trace
 
 // Workload describes a divisible application in abstract units.
 type Workload = workload.Workload
+
+// Event is one observable state change of a simulated run; EventSink
+// receives them as they happen (see internal/obs for ready-made sinks and
+// trace.NewPerfettoSink for live trace-viewer export).
+type Event = obs.Event
+
+// EventSink consumes simulation events.
+type EventSink = obs.Sink
 
 // HomogeneousPlatform builds a platform of n identical workers — the
 // paper's experimental setup (Table 1 uses S=1 and B = r·N).
@@ -134,6 +143,10 @@ type SimOptions struct {
 	// (0 or 1 = the paper's serialised port; more = the future-work WAN
 	// extension).
 	ParallelSends int
+	// Events, when non-nil, receives every state change of the run as it
+	// happens — sends, arrivals, computations, dispatcher decisions and
+	// phase transitions. A nil sink costs nothing.
+	Events EventSink
 }
 
 // Simulate runs scheduler s once on platform p with a workload of total
@@ -163,6 +176,7 @@ func Simulate(p *Platform, s Scheduler, total float64, opts SimOptions) (Result,
 		CompModel:     model(src.Split()),
 		RecordTrace:   opts.RecordTrace,
 		ParallelSends: opts.ParallelSends,
+		Events:        opts.Events,
 	})
 }
 
