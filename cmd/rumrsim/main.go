@@ -7,6 +7,14 @@
 //	rumrsim -algo rumr -n 20 -r 1.5 -clat 0.3 -nlat 0.3 -error 0.3
 //	rumrsim -algo umr -n 10 -b 30 -w 5000 -gantt=false
 //	rumrsim -algo all -n 20 -r 1.8 -clat 0.3 -nlat 0.9 -error 0.2 -reps 40
+//
+// Faults are injected either explicitly (-faults) or from a random
+// scenario (-crash-prob); by default lost chunks are re-dispatched to
+// surviving workers:
+//
+//	rumrsim -algo rumr-ft -n 8 -faults crash:2@40,rejoin:2@90
+//	rumrsim -algo rumr -n 8 -faults slow:0@10*8 -recover -timeout-factor 4
+//	rumrsim -algo all -n 20 -crash-prob 0.3 -fault-seed 7 -gantt=false
 package main
 
 import (
@@ -18,6 +26,8 @@ import (
 	"strings"
 
 	"rumr"
+	"rumr/internal/dlt"
+	"rumr/internal/rng"
 	"rumr/internal/stats"
 	"rumr/internal/trace"
 )
@@ -32,7 +42,7 @@ type traceFlags struct {
 
 func main() {
 	var (
-		algo      = flag.String("algo", "rumr", "scheduler: rumr, rumr-fixed<pct>, rumr-plain, rumr-adaptive, umr, mi<x>, factoring, wfactoring, fsc, gss, tss, selfsched, or 'all'")
+		algo      = flag.String("algo", "rumr", "scheduler: rumr, rumr-fixed<pct>, rumr-plain, rumr-adaptive, rumr-ft, umr, mi<x>, factoring, wfactoring, fsc, gss, tss, selfsched, or 'all'")
 		n         = flag.Int("n", 20, "number of workers")
 		r         = flag.Float64("r", 1.5, "bandwidth ratio: B = r*N (ignored when -b is set)")
 		b         = flag.Float64("b", 0, "link rate B in units/s (overrides -r)")
@@ -52,6 +62,15 @@ func main() {
 		traceJSON = flag.String("trace-json", "", "write the per-chunk trace as JSON to this file")
 		perfetto  = flag.String("perfetto", "", "stream the run as Chrome trace-event JSON to this file (open in ui.perfetto.dev; single repetition only)")
 		showStats = flag.Bool("stats", false, "print schedule statistics (utilization, gaps, phases)")
+
+		faultSpec = flag.String("faults", "", "inject faults: comma list of kind:worker@time with kinds crash, rejoin, linkdown, linkup, slowend, plus slow:worker@time*factor (e.g. 'crash:2@40,rejoin:2@90,slow:0@10*8')")
+		crashProb = flag.Float64("crash-prob", 0, "draw a random fault scenario with this per-worker crash probability (ignored when -faults is set)")
+		rejoin    = flag.Float64("rejoin-prob", 0.5, "rejoin probability for randomly crashed workers")
+		horizon   = flag.Float64("fault-horizon", 0, "window random faults are drawn in (0 = 3x the ideal makespan lower bound)")
+		faultSeed = flag.Uint64("fault-seed", 7, "seed for the random fault scenario")
+		doRecover = flag.Bool("recover", true, "re-dispatch chunks lost to faults onto surviving workers")
+		tFactor   = flag.Float64("timeout-factor", 4, "recovery completion timeout as a multiple of the predicted chunk time (0 = no timeouts, loss detection only)")
+		maxAtt    = flag.Int("max-attempts", 0, "dispatch attempts per chunk before giving it up as lost (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -60,6 +79,35 @@ func main() {
 		bw = *r * float64(*n)
 	}
 	p := rumr.HomogeneousPlatform(*n, *s, bw, *cLat, *nLat)
+
+	var faults *rumr.FaultSchedule
+	switch {
+	case *faultSpec != "":
+		fs, err := parseFaults(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rumrsim:", err)
+			os.Exit(2)
+		}
+		faults = fs
+	case *crashProb > 0:
+		h := *horizon
+		if h <= 0 {
+			h = 3 * dlt.LowerBound(p, *total)
+		}
+		sc := rumr.FaultScenario{
+			Horizon:        h,
+			CrashProb:      *crashProb,
+			RejoinProb:     *rejoin,
+			RejoinDelayMin: 0.1 * h,
+			RejoinDelayMax: 0.5 * h,
+		}
+		faults = sc.Generate(*n, rng.New(*faultSeed))
+	}
+	if err := faults.Validate(*n); err != nil {
+		fmt.Fprintln(os.Stderr, "rumrsim:", err)
+		os.Exit(2)
+	}
+	recovery := rumr.Recovery{Enabled: *doRecover, TimeoutFactor: *tFactor, MaxAttempts: *maxAtt}
 
 	names := []string{*algo}
 	if *algo == "all" {
@@ -72,11 +120,71 @@ func main() {
 			os.Exit(2)
 		}
 		tf := traceFlags{csv: *traceCSV, json: *traceJSON, perfetto: *perfetto, stats: *showStats}
-		if err := run(p, s, *total, *errMag, *unknown, *uniform, *parallel, *seed, *reps, *gantt && *algo != "all", *width, tf); err != nil {
+		if err := run(p, s, *total, *errMag, *unknown, *uniform, *parallel, *seed, *reps, *gantt && *algo != "all", *width, tf, faults, recovery); err != nil {
 			fmt.Fprintln(os.Stderr, "rumrsim:", err)
 			os.Exit(1)
 		}
 	}
+}
+
+// faultKinds maps the -faults spec names to fault kinds.
+var faultKinds = map[string]rumr.FaultKind{
+	"crash":    rumr.WorkerCrash,
+	"rejoin":   rumr.WorkerRejoin,
+	"linkdown": rumr.LinkDown,
+	"linkup":   rumr.LinkUp,
+	"slow":     rumr.SlowStart,
+	"slowend":  rumr.SlowEnd,
+}
+
+// parseFaults parses the -faults flag: a comma-separated list of
+// kind:worker@time elements, where slow additionally takes *factor
+// (e.g. "crash:2@40,rejoin:2@90,slow:0@10*8").
+func parseFaults(spec string) (*rumr.FaultSchedule, error) {
+	fs := &rumr.FaultSchedule{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kindStr, rest, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("bad fault %q (want kind:worker@time)", part)
+		}
+		kind, ok := faultKinds[kindStr]
+		if !ok {
+			return nil, fmt.Errorf("unknown fault kind %q in %q", kindStr, part)
+		}
+		wStr, tStr, ok := strings.Cut(rest, "@")
+		if !ok {
+			return nil, fmt.Errorf("bad fault %q (want kind:worker@time)", part)
+		}
+		worker, err := strconv.Atoi(wStr)
+		if err != nil {
+			return nil, fmt.Errorf("bad worker in fault %q: %v", part, err)
+		}
+		factor := 0.0
+		if tStr2, fStr, ok := strings.Cut(tStr, "*"); ok {
+			if kind != rumr.SlowStart {
+				return nil, fmt.Errorf("factor only applies to slow, not %q", part)
+			}
+			tStr = tStr2
+			if factor, err = strconv.ParseFloat(fStr, 64); err != nil {
+				return nil, fmt.Errorf("bad factor in fault %q: %v", part, err)
+			}
+		} else if kind == rumr.SlowStart {
+			return nil, fmt.Errorf("slow fault %q needs a *factor (e.g. slow:0@10*8)", part)
+		}
+		at, err := strconv.ParseFloat(tStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad time in fault %q: %v", part, err)
+		}
+		fs.Events = append(fs.Events, rumr.FaultEvent{Time: at, Worker: worker, Kind: kind, Factor: factor})
+	}
+	if len(fs.Events) == 0 {
+		return nil, fmt.Errorf("empty -faults spec %q", spec)
+	}
+	return fs, nil
 }
 
 // schedulerByName resolves the -algo flag.
@@ -88,6 +196,8 @@ func schedulerByName(name string) (rumr.Scheduler, error) {
 		return rumr.RUMRPlainPhase1(), nil
 	case name == "rumr-adaptive":
 		return rumr.RUMRAdaptive(), nil
+	case name == "rumr-ft":
+		return rumr.RUMRFaultTolerant(), nil
 	case strings.HasPrefix(name, "rumr-fixed"):
 		pct, err := strconv.Atoi(strings.TrimPrefix(name, "rumr-fixed"))
 		if err != nil || pct <= 0 || pct > 100 {
@@ -118,9 +228,10 @@ func schedulerByName(name string) (rumr.Scheduler, error) {
 	return nil, fmt.Errorf("unknown scheduler %q", name)
 }
 
-func run(p *rumr.Platform, s rumr.Scheduler, total, errMag float64, unknown, uniform bool, parallel int, seed uint64, reps int, gantt bool, width int, tf traceFlags) error {
+func run(p *rumr.Platform, s rumr.Scheduler, total, errMag float64, unknown, uniform bool, parallel int, seed uint64, reps int, gantt bool, width int, tf traceFlags, faults *rumr.FaultSchedule, recovery rumr.Recovery) error {
 	needTrace := (gantt || tf.csv != "" || tf.json != "" || tf.stats) && reps == 1
-	opts := rumr.SimOptions{Error: errMag, Seed: seed, RecordTrace: needTrace, ParallelSends: parallel}
+	opts := rumr.SimOptions{Error: errMag, Seed: seed, RecordTrace: needTrace, ParallelSends: parallel,
+		Faults: faults, Recovery: recovery}
 	if uniform {
 		opts.Model = rumr.UniformError
 	}
@@ -165,8 +276,19 @@ func run(p *rumr.Platform, s rumr.Scheduler, total, errMag float64, unknown, uni
 			stats.StdDev(mks), reps, mks[0], mks[len(mks)-1])
 	}
 	fmt.Printf("   chunks %.0f\n", stats.Mean(chunks))
+	if faults != nil && !faults.Empty() {
+		fmt.Printf("  faults: completed %.6g of %.6g dispatched   %d attempts lost   %d re-dispatches",
+			last.CompletedWork, last.DispatchedWork, last.LostChunks, last.Redispatches)
+		if last.LostWork > 0 {
+			fmt.Printf("   %.4g units permanently lost", last.LostWork)
+		}
+		fmt.Println()
+	}
 	if last.Trace != nil {
-		if err := last.Trace.Validate(p, total); err != nil {
+		// Under faults the dispatcher may not manage to inject the whole
+		// workload (e.g. recovery disabled and every worker dead), so the
+		// trace is checked against what actually entered the system.
+		if err := last.Trace.Validate(p, last.DispatchedWork); err != nil {
 			return fmt.Errorf("schedule failed validation: %w", err)
 		}
 		if gantt {

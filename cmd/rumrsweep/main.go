@@ -89,16 +89,17 @@ func main() {
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file")
 
-		table2  = flag.Bool("table2", false, "Table 2: win percentages per error bucket")
-		table3  = flag.Bool("table3", false, "Table 3: wins by >= 10%")
-		fig4a   = flag.Bool("fig4a", false, "Fig 4(a): normalised makespans, whole grid")
-		fig4b   = flag.Bool("fig4b", false, "Fig 4(b): normalised makespans, cLat<0.3 nLat<0.3")
-		fig5    = flag.Bool("fig5", false, "Fig 5: the high-nLat single configuration")
-		fig6    = flag.Bool("fig6", false, "Fig 6: fixed phase-1 splits vs original RUMR")
-		fig7    = flag.Bool("fig7", false, "Fig 7: plain phase-1 vs original RUMR")
-		fsc     = flag.Bool("fsc", false, "FSC-vs-Factoring claim of §5.1")
-		umrBase = flag.Bool("umrbase", false, "UMR-vs-MI baseline claim of §3.2")
-		hetero  = flag.Bool("hetero", false, "heterogeneity study (beyond the paper)")
+		table2     = flag.Bool("table2", false, "Table 2: win percentages per error bucket")
+		table3     = flag.Bool("table3", false, "Table 3: wins by >= 10%")
+		fig4a      = flag.Bool("fig4a", false, "Fig 4(a): normalised makespans, whole grid")
+		fig4b      = flag.Bool("fig4b", false, "Fig 4(b): normalised makespans, cLat<0.3 nLat<0.3")
+		fig5       = flag.Bool("fig5", false, "Fig 5: the high-nLat single configuration")
+		fig6       = flag.Bool("fig6", false, "Fig 6: fixed phase-1 splits vs original RUMR")
+		fig7       = flag.Bool("fig7", false, "Fig 7: plain phase-1 vs original RUMR")
+		fsc        = flag.Bool("fsc", false, "FSC-vs-Factoring claim of §5.1")
+		umrBase    = flag.Bool("umrbase", false, "UMR-vs-MI baseline claim of §3.2")
+		hetero     = flag.Bool("hetero", false, "heterogeneity study (beyond the paper)")
+		resilience = flag.Bool("resilience", false, "resilience study: makespan degradation vs crash rate (beyond the paper)")
 	)
 	flag.Parse()
 
@@ -219,12 +220,13 @@ func main() {
 		{"fig4a", runFig4a}, {"fig4b", runFig4b}, {"fig5", runFig5},
 		{"fig6", runFig6}, {"fig7", runFig7},
 		{"fsc", runFSC}, {"umrbase", runUMRBase}, {"hetero", runHetero},
+		{"resilience", runResilience},
 	}
 	selected := map[string]bool{
 		"table2": *table2, "table3": *table3,
 		"fig4a": *fig4a, "fig4b": *fig4b, "fig5": *fig5,
 		"fig6": *fig6, "fig7": *fig7, "fsc": *fsc, "umrbase": *umrBase,
-		"hetero": *hetero,
+		"hetero": *hetero, "resilience": *resilience,
 	}
 	any := false
 	for _, v := range selected {
@@ -511,6 +513,72 @@ func runUMRBase(sc *sweepCtx) error {
 	fmt.Printf("\nUMR baseline (§3.2): UMR beats MI-1..4 at error=0 in %.1f%% of experiments (paper: >95%%)\n",
 		rumr.OverallWinPercent(res, 0))
 	return nil
+}
+
+// runResilience stresses every scheduler (plus the fault-tolerant RUMR
+// variant) under random crash/rejoin scenarios with engine re-dispatch
+// recovery enabled, and reports mean makespan degradation relative to each
+// algorithm's own fault-free baseline.
+func runResilience(sc *sweepCtx) error {
+	g := experiment.DefaultResilienceGrid()
+	if sc.grid.Reps > 0 && sc.grid.Reps < g.Reps {
+		g.Reps = sc.grid.Reps // -smoke / -reps shrink the study too
+	}
+	r := &experiment.Runner{
+		Algorithms: append(experiment.StandardAlgorithms(), rumr.RUMRFaultTolerant()),
+		Workers:    sc.opts.Workers,
+		Metrics:    sc.opts.Metrics,
+	}
+	res, err := r.ResilienceContext(sc.ctx, g)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nResilience study (beyond the paper): mean makespan / fault-free baseline")
+	fmt.Printf("%-10s", "crash")
+	for _, a := range res.Algorithms {
+		fmt.Printf("  %12s", a)
+	}
+	fmt.Println()
+	for ri, rate := range g.CrashRates {
+		fmt.Printf("%-10.2f", rate)
+		for ai := range res.Algorithms {
+			fmt.Printf("  %12.3f", res.Degradation[ri][ai])
+		}
+		fmt.Println()
+	}
+	minComp := 1.0
+	for ri := range g.CrashRates {
+		for ai := range res.Algorithms {
+			if c := res.Completion[ri][ai]; c < minComp {
+				minComp = c
+			}
+		}
+	}
+	last := len(g.CrashRates) - 1
+	fmt.Printf("(min workload completion %.4f; mean re-sends at crash %.2f: ", minComp, g.CrashRates[last])
+	for ai, a := range res.Algorithms {
+		if ai > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Printf("%s %.1f", a, res.Redispatches[last][ai])
+	}
+	fmt.Println(")")
+	return sc.writeCSV("resilience.csv", func(f *os.File) error {
+		if _, err := fmt.Fprintln(f, "crash_rate,algorithm,mean_makespan,baseline,degradation,completion,redispatches"); err != nil {
+			return err
+		}
+		for ri, rate := range g.CrashRates {
+			for ai, a := range res.Algorithms {
+				if _, err := fmt.Fprintf(f, "%g,%s,%g,%g,%g,%g,%g\n",
+					rate, a, res.Mean[ri][ai], res.Baseline[ai],
+					res.Degradation[ri][ai], res.Completion[ri][ai],
+					res.Redispatches[ri][ai]); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
 }
 
 func runHetero(sc *sweepCtx) error {

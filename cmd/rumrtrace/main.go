@@ -80,6 +80,10 @@ func main() {
 		len(tr.Records), tr.TotalDispatched(), tr.Makespan, workers)
 
 	st := tr.ComputeStats(workers)
+	if st.LostAttempts > 0 {
+		fmt.Printf("faults: %d attempts lost and re-dispatched or abandoned — completed %.6g of %.6g dispatched\n",
+			st.LostAttempts, st.CompletedWork, tr.TotalDispatched())
+	}
 	fmt.Printf("port utilization %.1f%%   mean worker utilization %.1f%%   mean idle gap %.4g s\n",
 		100*st.PortUtilization, 100*st.MeanWorkerUtilization, st.MeanIdleGap)
 	fmt.Printf("chunk sizes [%.4g, %.4g]\n", st.ChunkSizeMin, st.ChunkSizeMax)

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"math"
 
+	"rumr/internal/fault"
 	"rumr/internal/platform"
 )
 
@@ -100,6 +101,47 @@ func LowerBound(p *platform.Platform, total float64) float64 {
 	startBound := minStartS
 
 	return math.Max(computeBound, math.Max(portBound, startBound))
+}
+
+// LowerBoundWithFaults tightens LowerBound for a run under a known fault
+// schedule: by any time T, the aggregate work the platform can possibly
+// have computed is at most Σ_w S_w·Uptime(w, T) — crashed intervals
+// contribute nothing, and communication, latencies and lost work only
+// make things worse. The makespan therefore cannot beat the least T whose
+// surviving capacity covers the workload, found by bisection (capacity is
+// non-decreasing in T). Falls back to the static bound when the schedule
+// is empty or no surviving capacity ever covers the workload.
+func LowerBoundWithFaults(p *platform.Platform, total float64, s *fault.Schedule) float64 {
+	lb := LowerBound(p, total)
+	if s == nil || s.Empty() {
+		return lb
+	}
+	capacity := func(t float64) float64 {
+		c := 0.0
+		for i, w := range p.Workers {
+			c += w.S * s.Uptime(i, t)
+		}
+		return c
+	}
+	lo := lb
+	hi := math.Max(lb, 1)
+	for capacity(hi) < total {
+		hi *= 2
+		if hi > 1e18 {
+			// Every worker dies for good before the workload fits: no
+			// finite fault-aware bound, keep the static one.
+			return lb
+		}
+	}
+	for i := 0; i < 100 && hi-lo > 1e-12*hi; i++ {
+		mid := 0.5 * (lo + hi)
+		if capacity(mid) >= total {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return math.Max(lb, hi)
 }
 
 // SpeedupBound returns the best possible speedup over a single fastest

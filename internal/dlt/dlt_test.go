@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"rumr/internal/engine"
+	"rumr/internal/fault"
 	"rumr/internal/platform"
 	"rumr/internal/rng"
 	"rumr/internal/sched"
@@ -155,5 +156,63 @@ func TestEqualFinishSimulates(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestLowerBoundWithFaults(t *testing.T) {
+	p := platform.Homogeneous(4, 1, 10, 0, 0)
+	const total = 100.0
+	static := LowerBound(p, total) // compute bound: 100/4 = 25
+
+	// Empty or nil schedules change nothing.
+	if got := LowerBoundWithFaults(p, total, nil); got != static {
+		t.Fatalf("nil schedule bound = %g, want %g", got, static)
+	}
+	if got := LowerBoundWithFaults(p, total, &fault.Schedule{}); got != static {
+		t.Fatalf("empty schedule bound = %g, want %g", got, static)
+	}
+
+	// Two of four workers dead from t=0: capacity halves, bound doubles.
+	s := &fault.Schedule{Events: []fault.Event{
+		{Time: 0, Worker: 0, Kind: fault.Crash},
+		{Time: 0, Worker: 1, Kind: fault.Crash},
+	}}
+	if got := LowerBoundWithFaults(p, total, s); math.Abs(got-50) > 1e-6 {
+		t.Fatalf("half-capacity bound = %g, want 50", got)
+	}
+
+	// A crash after the fault-free bound has passed still delays the rest:
+	// worker 0 down for good at t=10 removes its share of the tail.
+	s2 := &fault.Schedule{Events: []fault.Event{
+		{Time: 10, Worker: 0, Kind: fault.Crash},
+	}}
+	// capacity(T) = 10 + 3T for T >= 10; = total at T = 30.
+	if got := LowerBoundWithFaults(p, total, s2); math.Abs(got-30) > 1e-6 {
+		t.Fatalf("late-crash bound = %g, want 30", got)
+	}
+
+	// Crash-and-rejoin only subtracts the outage.
+	s3 := &fault.Schedule{Events: []fault.Event{
+		{Time: 10, Worker: 0, Kind: fault.Crash},
+		{Time: 20, Worker: 0, Kind: fault.Rejoin},
+	}}
+	// capacity(T) = 4T - 10 for T >= 20; = total at T = 27.5.
+	if got := LowerBoundWithFaults(p, total, s3); math.Abs(got-27.5) > 1e-6 {
+		t.Fatalf("outage bound = %g, want 27.5", got)
+	}
+
+	// Total permanent failure: no finite fault-aware bound, fall back.
+	s4 := &fault.Schedule{}
+	for w := 0; w < 4; w++ {
+		s4.Events = append(s4.Events, fault.Event{Time: 5, Worker: w, Kind: fault.Crash})
+	}
+	if got := LowerBoundWithFaults(p, total, s4); got != static {
+		t.Fatalf("total-failure bound = %g, want static %g", got, static)
+	}
+
+	// The bound never drops below the static one.
+	s5 := &fault.Schedule{Events: []fault.Event{{Time: 1e6, Worker: 0, Kind: fault.Crash}}}
+	if got := LowerBoundWithFaults(p, total, s5); got < static {
+		t.Fatalf("fault-aware bound %g below static %g", got, static)
 	}
 }

@@ -16,6 +16,17 @@
 // chunk completed, a chunk arrived). This single mechanism supports both
 // precalculated schedules (UMR, MI) and demand-driven ones (Factoring,
 // FSC, RUMR's phase 2).
+//
+// Beyond the paper's model, the engine injects faults (Options.Faults):
+// worker crashes with rejoin, link outages and compute slowdowns, replayed
+// deterministically from a fault.Schedule. Chunks on a crashed worker, or
+// arriving over a dead link, are lost; with Options.Recovery enabled the
+// engine detects losses (including stuck chunks, via per-chunk completion
+// timeouts with exponential backoff) and re-dispatches the lost work to
+// live workers, so the full workload still completes as long as capacity
+// survives. Every fault and recovery action is emitted on the event
+// stream and recorded in the trace, where Trace.Validate independently
+// checks that no unit of work is silently dropped or double-counted.
 package engine
 
 import (
@@ -23,6 +34,7 @@ import (
 	"math"
 
 	"rumr/internal/des"
+	"rumr/internal/fault"
 	"rumr/internal/metrics"
 	"rumr/internal/obs"
 	"rumr/internal/perferr"
@@ -42,10 +54,18 @@ type Chunk struct {
 	Phase int
 }
 
-// WorkerState is the dispatcher-visible state of one worker.
+// WorkerState is the dispatcher-visible state of one worker. The zero
+// value is a healthy, idle worker.
 type WorkerState struct {
 	// Computing reports whether the worker is currently executing a chunk.
 	Computing bool
+	// Down reports that the worker has crashed: it computes nothing,
+	// receives nothing, and never appears idle. A rejoin clears it.
+	Down bool
+	// LinkDown reports that the master->worker link is out: data arriving
+	// now is lost and dispatchers should not target the worker, but
+	// already-queued chunks keep computing.
+	LinkDown bool
 	// Queued is the number of chunks that have arrived and await
 	// computation.
 	Queued int
@@ -58,9 +78,11 @@ type WorkerState struct {
 
 // Idle reports whether the worker has nothing to do and nothing on the
 // way — the paper's "finished prematurely" condition for out-of-order
-// dispatch.
+// dispatch. Crashed and disconnected workers are never idle, which is how
+// faults surface to fault-oblivious dispatchers: dead workers simply
+// disappear from View.IdleWorkers.
 func (w WorkerState) Idle() bool {
-	return !w.Computing && w.Queued == 0 && w.InFlight == 0
+	return !w.Down && !w.LinkDown && !w.Computing && w.Queued == 0 && w.InFlight == 0
 }
 
 // View is the read-only snapshot a Dispatcher sees when deciding what to
@@ -83,6 +105,18 @@ func (v *View) IdleWorkers() []int {
 	return idle
 }
 
+// LiveWorkers returns the indices of workers that are up and reachable
+// (not crashed, link intact), in worker order.
+func (v *View) LiveWorkers() []int {
+	var live []int
+	for i, w := range v.Workers {
+		if !w.Down && !w.LinkDown {
+			live = append(live, i)
+		}
+	}
+	return live
+}
+
 // Dispatcher decides the next chunk to send. Implementations see the
 // engine state through the View; they are invoked only while the master's
 // port is free.
@@ -101,6 +135,17 @@ type Observer interface {
 	// predicted and effective are the chunk's predicted and actual
 	// computation durations, for online error estimation.
 	OnComplete(workerIdx int, c Chunk, at, predicted, effective float64)
+}
+
+// FaultAware is implemented by dispatchers that react to worker
+// availability changes — e.g. a scheduler that re-plans its remaining
+// rounds over the surviving workers after a crash. The callbacks run
+// synchronously at the fault's virtual time, before the next Next call.
+type FaultAware interface {
+	// OnWorkerDown is called when a worker crashes.
+	OnWorkerDown(worker int, at float64, v *View)
+	// OnWorkerUp is called when a crashed worker rejoins.
+	OnWorkerUp(worker int, at float64, v *View)
 }
 
 // Options tune a simulation run.
@@ -128,22 +173,43 @@ type Options struct {
 	// pool.
 	Metrics *metrics.Collector
 	// Events, when non-nil, receives one obs.Event per state change —
-	// send start/end, arrival, compute start/end, and the run's end — and
-	// is attached to the dispatcher (if it implements obs.Emitter) so
-	// scheduling decisions are on the same stream. The nil path costs one
-	// branch per potential event; see BenchmarkEngine*.
+	// send start/end, arrival, compute start/end, faults, losses,
+	// re-dispatches and the run's end — and is attached to the dispatcher
+	// (if it implements obs.Emitter) so scheduling decisions are on the
+	// same stream. The nil path costs one branch per potential event; see
+	// BenchmarkEngine*.
 	Events obs.Sink
+	// Faults, when non-nil, is the deterministic fault scenario replayed
+	// during the run.
+	Faults *fault.Schedule
+	// Recovery selects the loss-detection and re-dispatch policy. The
+	// zero value disables recovery: lost work stays lost and the run
+	// completes short (check Result.LostWork).
+	Recovery fault.Recovery
 }
 
 // Result summarises one simulated run.
 type Result struct {
 	// Makespan is the completion time of the last chunk.
 	Makespan float64
-	// Chunks is the number of chunks dispatched.
+	// Chunks is the number of chunks dispatched (first attempts only;
+	// fault-recovery re-sends are counted in Redispatches).
 	Chunks int
-	// DispatchedWork is the total workload sent out; callers should check
-	// it equals W_total (the engine cannot know the intended total).
+	// DispatchedWork is the total workload handed out by the dispatcher;
+	// callers should check it equals W_total (the engine cannot know the
+	// intended total). Re-dispatched work is not double-counted here.
 	DispatchedWork float64
+	// CompletedWork is the workload actually computed to completion. It
+	// equals DispatchedWork - LostWork.
+	CompletedWork float64
+	// LostChunks counts loss events (a chunk lost twice counts twice);
+	// LostWork is the workload units permanently lost (never recovered).
+	LostChunks int
+	LostWork   float64
+	// Redispatches counts fault-recovery re-sends; RedispatchedWork is
+	// their total size (the same unit may be re-sent more than once).
+	Redispatches     int
+	RedispatchedWork float64
 	// Trace is non-nil when Options.RecordTrace was set.
 	Trace *trace.Trace
 	// Events is the number of simulator events processed.
@@ -151,15 +217,31 @@ type Result struct {
 }
 
 type workerRuntime struct {
-	state   WorkerState
-	queue   []pendingChunk // arrived, not yet computed (FIFO)
-	current pendingChunk
+	state     WorkerState
+	queue     []*pendingChunk // arrived, not yet computed (FIFO)
+	current   *pendingChunk
+	compEvent *des.Event // completion of current, cancellable on faults
+	slow      float64    // compute slowdown factor (1 = nominal)
 }
 
+// chunkPhase is the engine-internal life-cycle state of a pending chunk.
+type chunkPhase uint8
+
+const (
+	chSending chunkPhase = iota // send or pipeline tail in progress
+	chQueued                    // arrived, waiting for the CPU
+	chComputing
+	chDone
+	chLost
+)
+
 type pendingChunk struct {
-	chunk  Chunk
-	record int // index into records, -1 when tracing is off
-	seq    int // dispatch index, stamped on events
+	chunk   Chunk
+	record  int // index into records for the current attempt, -1 when tracing is off
+	seq     int // dispatch index of the first attempt; stable chunk identity
+	attempt int // 0 = original send, +1 per re-dispatch
+	phase   chunkPhase
+	timeout *des.Event // completion timer, cancellable
 }
 
 // Run simulates dispatching on p according to d and returns the result.
@@ -167,6 +249,10 @@ type pendingChunk struct {
 // (out-of-range worker, non-positive size, runaway chunk count).
 func Run(p *platform.Platform, d Dispatcher, opts Options) (Result, error) {
 	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	n := p.N()
+	if err := opts.Faults.Validate(n); err != nil {
 		return Result{}, err
 	}
 	comm := opts.CommModel
@@ -185,10 +271,13 @@ func Run(p *platform.Platform, d Dispatcher, opts Options) (Result, error) {
 	if slots <= 0 {
 		slots = 1
 	}
+	rec := opts.Recovery
 
 	sim := des.New()
-	n := p.N()
 	workers := make([]workerRuntime, n)
+	for i := range workers {
+		workers[i].slow = 1
+	}
 	view := View{Workers: make([]WorkerState, n)}
 	var res Result
 	var tr *trace.Trace
@@ -196,6 +285,7 @@ func Run(p *platform.Platform, d Dispatcher, opts Options) (Result, error) {
 		tr = &trace.Trace{ParallelSends: slots}
 	}
 	sending := 0
+	var lostQueue []*pendingChunk // awaiting re-dispatch, FIFO
 	var dispatchErr error
 	ev := opts.Events
 	if ev != nil {
@@ -220,10 +310,38 @@ func Run(p *platform.Platform, d Dispatcher, opts Options) (Result, error) {
 
 	var kick func()
 	var startCompute func(int)
+	var onTimeout func(*pendingChunk)
+
+	// lose marks pc's current attempt as lost and queues it for
+	// re-dispatch (or writes its work off, past the attempt cap or with
+	// recovery disabled). Worker-state bookkeeping is the caller's job.
+	lose := func(pc *pendingChunk, at float64, reason string) {
+		pc.phase = chLost
+		if pc.timeout != nil {
+			sim.Cancel(pc.timeout)
+			pc.timeout = nil
+		}
+		if tr != nil && pc.record >= 0 {
+			r := &tr.Records[pc.record]
+			r.Lost = true
+			r.LostAt = at
+		}
+		res.LostChunks++
+		if ev != nil {
+			ev.Emit(obs.Event{Kind: obs.KindChunkLost, Time: at, Worker: pc.chunk.Worker,
+				Seq: pc.seq, Size: pc.chunk.Size, Round: pc.chunk.Round, Phase: pc.chunk.Phase,
+				Attempt: pc.attempt, Reason: reason})
+		}
+		if rec.Enabled && (rec.MaxAttempts <= 0 || pc.attempt < rec.MaxAttempts) {
+			lostQueue = append(lostQueue, pc)
+		} else {
+			res.LostWork += pc.chunk.Size
+		}
+	}
 
 	startCompute = func(wi int) {
 		w := &workers[wi]
-		if w.state.Computing || len(w.queue) == 0 {
+		if w.state.Down || w.state.Computing || len(w.queue) == 0 {
 			return
 		}
 		pc := w.queue[0]
@@ -231,21 +349,31 @@ func Run(p *platform.Platform, d Dispatcher, opts Options) (Result, error) {
 		w.state.Queued--
 		w.state.Computing = true
 		w.current = pc
+		pc.phase = chComputing
 		spec := p.Workers[wi]
 		predicted := spec.CLat + pc.chunk.Size/spec.S
-		effective := comp.Perturb(predicted)
+		effective := comp.Perturb(predicted) * w.slow
 		start := sim.Now()
 		if tr != nil && pc.record >= 0 {
 			tr.Records[pc.record].CompStart = start
 		}
 		if ev != nil {
 			ev.Emit(obs.Event{Kind: obs.KindCompStart, Time: start, Worker: wi,
-				Seq: pc.seq, Size: pc.chunk.Size, Round: pc.chunk.Round, Phase: pc.chunk.Phase})
+				Seq: pc.seq, Size: pc.chunk.Size, Round: pc.chunk.Round, Phase: pc.chunk.Phase,
+				Attempt: pc.attempt})
 		}
-		sim.After(effective, func() {
+		w.compEvent = sim.After(effective, func() {
+			w.compEvent = nil
+			w.current = nil
+			pc.phase = chDone
+			if pc.timeout != nil {
+				sim.Cancel(pc.timeout)
+				pc.timeout = nil
+			}
 			w.state.Computing = false
 			w.state.CompletedChunks++
 			w.state.CompletedWork += pc.chunk.Size
+			res.CompletedWork += pc.chunk.Size
 			end := sim.Now()
 			if end > res.Makespan {
 				res.Makespan = end
@@ -255,7 +383,8 @@ func Run(p *platform.Platform, d Dispatcher, opts Options) (Result, error) {
 			}
 			if ev != nil {
 				ev.Emit(obs.Event{Kind: obs.KindCompEnd, Time: end, Worker: wi,
-					Seq: pc.seq, Size: pc.chunk.Size, Round: pc.chunk.Round, Phase: pc.chunk.Phase})
+					Seq: pc.seq, Size: pc.chunk.Size, Round: pc.chunk.Round, Phase: pc.chunk.Phase,
+					Attempt: pc.attempt})
 			}
 			if o, ok := d.(Observer); ok {
 				o.OnComplete(wi, pc.chunk, end, predicted, effective)
@@ -265,78 +394,314 @@ func Run(p *platform.Platform, d Dispatcher, opts Options) (Result, error) {
 		})
 	}
 
-	kick = func() {
-		if sending >= slots || dispatchErr != nil {
+	// killCompute abandons the chunk a worker is computing (crash or
+	// timeout): the partial computation is recorded as busy time up to
+	// `at` and the worker's CPU is freed.
+	killCompute := func(wi int, at float64) *pendingChunk {
+		w := &workers[wi]
+		pc := w.current
+		if pc == nil {
+			return nil
+		}
+		sim.Cancel(w.compEvent)
+		w.compEvent = nil
+		w.current = nil
+		w.state.Computing = false
+		if tr != nil && pc.record >= 0 {
+			tr.Records[pc.record].CompEnd = at
+		}
+		return pc
+	}
+
+	// canReceive reports whether worker i can accept a new transfer.
+	canReceive := func(i int) bool {
+		return !workers[i].state.Down && !workers[i].state.LinkDown
+	}
+
+	// pickTarget selects the re-dispatch destination: the live, reachable
+	// worker with the least pending work, preferring any worker other
+	// than the one that just failed the chunk; ties break on the lowest
+	// index, so recovery is deterministic.
+	pickTarget := func(avoid int) int {
+		best, bestLoad := -1, 0
+		for pass := 0; pass < 2 && best < 0; pass++ {
+			for i := 0; i < n; i++ {
+				if !canReceive(i) || (pass == 0 && i == avoid) {
+					continue
+				}
+				load := workers[i].state.Queued + workers[i].state.InFlight
+				if workers[i].state.Computing {
+					load++
+				}
+				if best < 0 || load < bestLoad {
+					best, bestLoad = i, load
+				}
+			}
+		}
+		return best
+	}
+
+	// armTimeout starts pc's completion timer: the predicted time for the
+	// transfer, the destination's current backlog and the computation,
+	// scaled by the recovery policy (doubling per attempt).
+	armTimeout := func(pc *pendingChunk) {
+		if !rec.Enabled || rec.TimeoutFactor <= 0 {
 			return
 		}
-		syncView()
-		c, ok := d.Next(&view)
-		if !ok {
-			return
+		wi := pc.chunk.Worker
+		spec := p.Workers[wi]
+		w := &workers[wi]
+		backlog := 0.0
+		queued := len(w.queue)
+		for _, q := range w.queue {
+			backlog += q.chunk.Size
 		}
-		if c.Worker < 0 || c.Worker >= n {
-			fail(fmt.Errorf("engine: dispatcher sent chunk to worker %d of %d", c.Worker, n))
-			return
+		if w.current != nil {
+			backlog += w.current.chunk.Size
+			queued++
 		}
-		if c.Size <= 0 || math.IsNaN(c.Size) || math.IsInf(c.Size, 0) {
-			fail(fmt.Errorf("engine: dispatcher produced invalid chunk size %g", c.Size))
+		pred := spec.NLat + pc.chunk.Size/spec.B + spec.TLat +
+			float64(queued+1)*spec.CLat + (backlog+pc.chunk.Size)/spec.S
+		pc.timeout = sim.After(rec.TimeoutFor(pred, pc.attempt), func() { onTimeout(pc) })
+	}
+
+	onTimeout = func(pc *pendingChunk) {
+		pc.timeout = nil
+		now := sim.Now()
+		switch pc.phase {
+		case chDone, chLost:
 			return
+		case chSending:
+			// Still in transit: written off now; the arrival callback
+			// sees chLost and only drops the in-flight counter.
+			lose(pc, now, "completion timeout in transit")
+		case chQueued:
+			w := &workers[pc.chunk.Worker]
+			for i, q := range w.queue {
+				if q == pc {
+					w.queue = append(w.queue[:i], w.queue[i+1:]...)
+					break
+				}
+			}
+			w.state.Queued--
+			lose(pc, now, "completion timeout while queued")
+		case chComputing:
+			killCompute(pc.chunk.Worker, now)
+			lose(pc, now, "completion timeout: task killed")
+			startCompute(pc.chunk.Worker)
 		}
-		res.Chunks++
-		if res.Chunks > maxChunks {
-			fail(fmt.Errorf("engine: dispatcher exceeded %d chunks; runaway policy?", maxChunks))
-			return
+		kick()
+	}
+
+	applyFault := func(fe fault.Event) {
+		w := &workers[fe.Worker]
+		now := sim.Now()
+		emitFault := func(kind obs.Kind, reason string) {
+			if ev != nil {
+				ev.Emit(obs.Event{Kind: kind, Time: now, Worker: fe.Worker, Seq: -1, Reason: reason})
+			}
 		}
-		res.DispatchedWork += c.Size
-		spec := p.Workers[c.Worker]
+		switch fe.Kind {
+		case fault.Crash:
+			if w.state.Down {
+				return
+			}
+			w.state.Down = true
+			emitFault(obs.KindWorkerCrash, "worker crashed")
+			if pc := killCompute(fe.Worker, now); pc != nil {
+				lose(pc, now, "worker crashed while computing")
+			}
+			for _, pc := range w.queue {
+				lose(pc, now, "worker crashed with chunk queued")
+			}
+			w.queue = nil
+			w.state.Queued = 0
+			// In-flight data is heading to a dead machine; it is lost on
+			// arrival, where the arrival callback checks liveness.
+			if fa, ok := d.(FaultAware); ok {
+				syncView()
+				fa.OnWorkerDown(fe.Worker, now, &view)
+			}
+			kick() // lost work may be re-dispatched elsewhere right away
+		case fault.Rejoin:
+			if !w.state.Down {
+				return
+			}
+			w.state.Down = false
+			w.state.LinkDown = false
+			w.slow = 1
+			emitFault(obs.KindWorkerRejoin, "worker rejoined")
+			if fa, ok := d.(FaultAware); ok {
+				syncView()
+				fa.OnWorkerUp(fe.Worker, now, &view)
+			}
+			kick()
+		case fault.LinkDown:
+			if w.state.Down || w.state.LinkDown {
+				return
+			}
+			w.state.LinkDown = true
+			emitFault(obs.KindLinkDown, "link outage")
+		case fault.LinkUp:
+			if w.state.Down || !w.state.LinkDown {
+				return
+			}
+			w.state.LinkDown = false
+			emitFault(obs.KindLinkUp, "link restored")
+			kick()
+		case fault.SlowStart:
+			if w.state.Down {
+				return
+			}
+			w.slow = fe.Factor
+			emitFault(obs.KindSlowdown, fmt.Sprintf("straggler: compute slowed %gx", fe.Factor))
+		case fault.SlowEnd:
+			if w.state.Down {
+				return
+			}
+			w.slow = 1
+			emitFault(obs.KindSlowdown, "straggler recovered")
+		}
+	}
+
+	// send transmits pc to pc.chunk.Worker: occupies a port slot, appends
+	// the attempt's trace record, arms the completion timer and schedules
+	// the arrival. Shared by first dispatches and re-dispatches.
+	send := func(pc *pendingChunk) {
+		c := pc.chunk
+		wi := c.Worker
+		attempt := pc.attempt
+		spec := p.Workers[wi]
 		sendDur := comm.Perturb(spec.NLat + c.Size/spec.B)
 		sending++
-		workers[c.Worker].state.InFlight++
-		recIdx := -1
+		pc.phase = chSending
+		workers[wi].state.InFlight++
+		pc.record = -1
 		if tr != nil {
 			tr.Records = append(tr.Records, trace.ChunkRecord{
-				Worker: c.Worker, Size: c.Size, Round: c.Round, Phase: c.Phase,
+				ChunkID: pc.seq, Attempt: pc.attempt,
+				Worker: wi, Size: c.Size, Round: c.Round, Phase: c.Phase,
 				SendStart: sim.Now(), SendEnd: sim.Now() + sendDur,
 				Arrive: sim.Now() + sendDur + spec.TLat,
 			})
-			recIdx = len(tr.Records) - 1
+			pc.record = len(tr.Records) - 1
 		}
-		wi := c.Worker
-		pc := pendingChunk{chunk: c, record: recIdx, seq: res.Chunks - 1}
 		if ev != nil {
 			ev.Emit(obs.Event{Kind: obs.KindSendStart, Time: sim.Now(), Worker: wi,
-				Seq: pc.seq, Size: c.Size, Round: c.Round, Phase: c.Phase})
+				Seq: pc.seq, Size: c.Size, Round: c.Round, Phase: c.Phase, Attempt: pc.attempt})
 		}
+		armTimeout(pc)
 		// The send slot frees when the non-overlappable part completes...
 		sim.After(sendDur, func() {
 			sending--
 			if ev != nil {
 				ev.Emit(obs.Event{Kind: obs.KindSendEnd, Time: sim.Now(), Worker: wi,
-					Seq: pc.seq, Size: c.Size, Round: c.Round, Phase: c.Phase})
+					Seq: pc.seq, Size: c.Size, Round: c.Round, Phase: c.Phase, Attempt: attempt})
 			}
 			// ...and the worker holds the data tLat later.
 			sim.After(spec.TLat, func() {
 				w := &workers[wi]
 				w.state.InFlight--
+				if pc.phase == chLost || pc.attempt != attempt {
+					// This attempt was written off (timeout in transit) —
+					// and possibly already re-dispatched elsewhere, which
+					// resets the phase; the attempt counter tells a stale
+					// arrival from the live one. The data arrives to no one.
+					kick()
+					return
+				}
+				if w.state.Down || w.state.LinkDown {
+					reason := "arrived at crashed worker"
+					if !w.state.Down {
+						reason = "arrived during link outage"
+					}
+					lose(pc, sim.Now(), reason)
+					kick()
+					return
+				}
 				w.state.Queued++
+				pc.phase = chQueued
 				w.queue = append(w.queue, pc)
 				if ev != nil {
 					ev.Emit(obs.Event{Kind: obs.KindArrive, Time: sim.Now(), Worker: wi,
-						Seq: pc.seq, Size: c.Size, Round: c.Round, Phase: c.Phase})
+						Seq: pc.seq, Size: c.Size, Round: c.Round, Phase: c.Phase, Attempt: pc.attempt})
 				}
 				startCompute(wi)
 				kick()
 			})
 			kick()
 		})
-		// With spare slots the master may start further transfers now.
-		kick()
+	}
+
+	kick = func() {
+		// With spare slots the master may start several transfers now:
+		// re-dispatch lost work first, then consult the dispatcher.
+		for sending < slots && dispatchErr == nil {
+			var pc *pendingChunk
+			if rec.Enabled && len(lostQueue) > 0 {
+				if target := pickTarget(lostQueue[0].chunk.Worker); target >= 0 {
+					pc = lostQueue[0]
+					lostQueue = lostQueue[1:]
+					if tr != nil && pc.record >= 0 {
+						tr.Records[pc.record].Redispatched = true
+					}
+					pc.chunk.Worker = target
+					pc.attempt++
+					res.Redispatches++
+					res.RedispatchedWork += pc.chunk.Size
+					if res.Redispatches > maxChunks {
+						fail(fmt.Errorf("engine: recovery exceeded %d re-dispatches; livelocked fault scenario?", maxChunks))
+						return
+					}
+					if ev != nil {
+						ev.Emit(obs.Event{Kind: obs.KindRedispatch, Time: sim.Now(), Worker: target,
+							Seq: pc.seq, Size: pc.chunk.Size, Round: pc.chunk.Round, Phase: pc.chunk.Phase,
+							Attempt: pc.attempt, Reason: "re-dispatching lost chunk to least-loaded live worker"})
+					}
+				}
+			}
+			if pc == nil {
+				syncView()
+				c, ok := d.Next(&view)
+				if !ok {
+					return
+				}
+				if c.Worker < 0 || c.Worker >= n {
+					fail(fmt.Errorf("engine: dispatcher sent chunk to worker %d of %d", c.Worker, n))
+					return
+				}
+				if c.Size <= 0 || math.IsNaN(c.Size) || math.IsInf(c.Size, 0) {
+					fail(fmt.Errorf("engine: dispatcher produced invalid chunk size %g", c.Size))
+					return
+				}
+				res.Chunks++
+				if res.Chunks > maxChunks {
+					fail(fmt.Errorf("engine: dispatcher exceeded %d chunks; runaway policy?", maxChunks))
+					return
+				}
+				res.DispatchedWork += c.Size
+				pc = &pendingChunk{chunk: c, seq: res.Chunks - 1}
+			}
+			send(pc)
+		}
+	}
+
+	if !opts.Faults.Empty() {
+		for _, fe := range opts.Faults.Events {
+			fe := fe
+			sim.At(fe.Time, func() { applyFault(fe) })
+		}
 	}
 
 	kick()
 	sim.Run()
 	if dispatchErr != nil {
 		return Result{}, dispatchErr
+	}
+	// Chunks still awaiting re-dispatch when the simulation drains (every
+	// surviving worker unreachable) are permanently lost.
+	for _, pc := range lostQueue {
+		res.LostWork += pc.chunk.Size
 	}
 	res.Events = sim.Processed()
 	if tr != nil {

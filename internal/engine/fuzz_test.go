@@ -1,0 +1,75 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"rumr/internal/fault"
+	"rumr/internal/perferr"
+	"rumr/internal/platform"
+	"rumr/internal/rng"
+)
+
+// FuzzEngineRun feeds the engine randomized platforms, prediction-error
+// streams and fault schedules (crash/rejoin, link outages, bounded
+// stragglers) and asserts the recovery invariants hold on every input:
+// the run terminates without error, the full workload is dispatched and
+// computed to completion, and the recorded trace passes the independent
+// validator — no work silently dropped or double-counted.
+func FuzzEngineRun(f *testing.F) {
+	f.Add(uint64(1), uint64(0))
+	f.Add(uint64(42), uint64(7))
+	f.Add(uint64(2003), uint64(0xFA))
+	f.Add(uint64(0), uint64(math.MaxUint64))
+	f.Fuzz(func(t *testing.T, seed, mix uint64) {
+		src := rng.NewFrom(seed, mix)
+		n := 2 + src.Intn(10)
+		p := platform.Heterogeneous(platform.HeterogeneousSpec{
+			N:    n,
+			SMin: 0.5, SMax: 2,
+			BMin: 1.2 * float64(n), BMax: 2.5 * float64(n),
+			CLatMax: 0.5, NLatMax: 0.5, TLatMax: 0.2,
+		}, src.Split())
+		total := 50 + 50*float64(src.Intn(4))
+		// Crude horizon: the workload on the slowest single machine. Faults
+		// beyond the actual makespan are simply never applied.
+		horizon := 2 * total
+		scenario := fault.Scenario{
+			Horizon:        horizon,
+			CrashProb:      src.Float64() * 0.6,
+			RejoinProb:     src.Float64(),
+			RejoinDelayMin: 0.05 * horizon,
+			RejoinDelayMax: 0.5 * horizon,
+			OutageProb:     src.Float64() * 0.4,
+			OutageMin:      0.01 * horizon,
+			OutageMax:      0.2 * horizon,
+			StragglerProb:  src.Float64() * 0.4,
+			SlowMin:        2, SlowMax: 8, // bounded: timeouts must not livelock
+		}
+		faults := scenario.Generate(n, src.Split())
+		errMag := src.Float64() * 0.4
+		d := &demandDispatcher{remaining: total, size: 1 + src.Float64()*9}
+		res, err := Run(p, d, Options{
+			CommModel:     perferr.NewTruncNormal(errMag, src.Split()),
+			CompModel:     perferr.NewTruncNormal(errMag, src.Split()),
+			ParallelSends: 1 + src.Intn(3),
+			Faults:        faults,
+			Recovery:      fault.Recovery{Enabled: true, TimeoutFactor: 4},
+			RecordTrace:   true,
+		})
+		if err != nil {
+			t.Fatalf("engine failed (n=%d total=%g faults=%d): %v",
+				n, total, len(faults.Events), err)
+		}
+		if math.Abs(res.DispatchedWork-total) > 1e-6 {
+			t.Fatalf("dispatched %g, want %g", res.DispatchedWork, total)
+		}
+		if math.Abs(res.CompletedWork-total) > 1e-6 {
+			t.Fatalf("completed %g of %g (lost %g over %d lost chunks)",
+				res.CompletedWork, total, res.LostWork, res.LostChunks)
+		}
+		if err := res.Trace.Validate(p, res.DispatchedWork); err != nil {
+			t.Fatalf("trace invalid: %v", err)
+		}
+	})
+}

@@ -1,0 +1,299 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"rumr/internal/engine"
+	"rumr/internal/fault"
+	"rumr/internal/rng"
+	"rumr/internal/sched"
+)
+
+// ResilienceGrid describes a resilience sweep: one platform configuration
+// and a crash-rate axis. For every (crash rate, repetition) a random fault
+// scenario is drawn — deterministically from the base seed — and every
+// algorithm runs against the same scenario and the same error streams
+// (common random numbers), with the engine's re-dispatch recovery enabled.
+// The headline output is makespan degradation versus crash rate per
+// scheduler: how gracefully each policy absorbs machine loss.
+type ResilienceGrid struct {
+	// Config is the platform point to stress.
+	Config Config
+	// CrashRates is the axis: each worker's probability of crashing once
+	// within the horizon (0 = the fault-free baseline regime).
+	CrashRates []float64
+	// RejoinProb is the probability a crashed worker rejoins later.
+	RejoinProb float64
+	// Error is the §4.1 prediction-error magnitude applied on top of the
+	// faults (0 = perfect predictions).
+	Error float64
+	// Reps is the number of scenario draws per crash rate.
+	Reps int
+	// Total is W_total.
+	Total float64
+	// BaseSeed makes the whole sweep reproducible.
+	BaseSeed uint64
+	// Horizon is the window faults are drawn in; 0 derives it as 1.5x the
+	// slowest algorithm's fault-free makespan.
+	Horizon float64
+	// Recovery overrides the engine recovery policy; the zero value
+	// selects re-dispatch with 4x completion timeouts.
+	Recovery fault.Recovery
+}
+
+func (g ResilienceGrid) recovery() fault.Recovery {
+	if g.Recovery == (fault.Recovery{}) {
+		return fault.Recovery{Enabled: true, TimeoutFactor: 4}
+	}
+	return g.Recovery
+}
+
+// DefaultResilienceGrid is the resilience counterpart of ReducedGrid: the
+// Fig. 5 platform (the regime where scheduling policy matters most), a
+// crash-rate axis from fault-free to "every other worker dies", moderate
+// rejoin probability and the paper's mid-range prediction error.
+func DefaultResilienceGrid() ResilienceGrid {
+	return ResilienceGrid{
+		Config:     Config{N: 20, R: 1.8, CLat: 0.3, NLat: 0.9},
+		CrashRates: []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5},
+		RejoinProb: 0.3,
+		Error:      0.2,
+		Reps:       10,
+		Total:      1000,
+		BaseSeed:   2003,
+	}
+}
+
+// ResilienceResults holds the aggregates of a resilience sweep, indexed
+// [crash rate][algorithm].
+type ResilienceResults struct {
+	Grid       ResilienceGrid
+	Algorithms []string
+	// Baseline[a] is the fault-free mean makespan (same error model, no
+	// faults) used to normalise degradation.
+	Baseline []float64
+	// Mean[c][a] is the mean makespan under faults; NaN marks an algorithm
+	// that failed on the configuration.
+	Mean [][]float64
+	// Degradation[c][a] is Mean[c][a] / Baseline[a].
+	Degradation [][]float64
+	// Completion[c][a] is the mean fraction of the workload computed to
+	// completion — 1.0 whenever recovery kept every unit alive.
+	Completion [][]float64
+	// Redispatches[c][a] is the mean number of fault-recovery re-sends.
+	Redispatches [][]float64
+}
+
+// Resilience runs the resilience sweep with a background context.
+func (r *Runner) Resilience(g ResilienceGrid) (*ResilienceResults, error) {
+	return r.ResilienceContext(context.Background(), g)
+}
+
+// ResilienceContext runs the resilience sweep under ctx, fanning crash
+// rates out to the runner's worker pool. The shared Metrics collector (if
+// any) sees every simulation.
+func (r *Runner) ResilienceContext(parent context.Context, g ResilienceGrid) (*ResilienceResults, error) {
+	if len(r.Algorithms) == 0 {
+		return nil, fmt.Errorf("experiment: no algorithms")
+	}
+	if len(g.CrashRates) == 0 || g.Reps <= 0 || g.Total <= 0 {
+		return nil, fmt.Errorf("experiment: empty resilience grid")
+	}
+	res := &ResilienceResults{
+		Grid:         g,
+		Algorithms:   make([]string, len(r.Algorithms)),
+		Baseline:     make([]float64, len(r.Algorithms)),
+		Mean:         make([][]float64, len(g.CrashRates)),
+		Degradation:  make([][]float64, len(g.CrashRates)),
+		Completion:   make([][]float64, len(g.CrashRates)),
+		Redispatches: make([][]float64, len(g.CrashRates)),
+	}
+	for i, a := range r.Algorithms {
+		res.Algorithms[i] = a.Name()
+	}
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+
+	// Fault-free baselines first: they normalise degradation and size the
+	// default horizon.
+	if err := r.resilienceBaselines(ctx, g, res); err != nil {
+		return nil, err
+	}
+	horizon := g.Horizon
+	if horizon <= 0 {
+		for _, b := range res.Baseline {
+			if !math.IsNaN(b) && 1.5*b > horizon {
+				horizon = 1.5 * b
+			}
+		}
+		if horizon <= 0 {
+			return nil, fmt.Errorf("experiment: no algorithm produced a baseline to derive a horizon from")
+		}
+	}
+
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		mu.Unlock()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ri := range jobs {
+				if ctx.Err() != nil {
+					continue
+				}
+				if err := r.runCrashRate(ctx, g, horizon, ri, res); err != nil {
+					if ctx.Err() == nil {
+						fail(err)
+					}
+				}
+			}
+		}()
+	}
+feed:
+	for ri := range g.CrashRates {
+		select {
+		case jobs <- ri:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := parent.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// resilienceBaselines fills res.Baseline with fault-free mean makespans.
+func (r *Runner) resilienceBaselines(ctx context.Context, g ResilienceGrid, res *ResilienceResults) error {
+	p := g.Config.Platform()
+	sums := make([]float64, len(r.Algorithms))
+	fails := make([]bool, len(r.Algorithms))
+	for rep := 0; rep < g.Reps; rep++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for ai, algo := range r.Algorithms {
+			d, err := algo.NewDispatcher(&sched.Problem{
+				Platform: p, Total: g.Total, KnownError: g.Error, MinUnit: 1,
+			})
+			if err != nil {
+				fails[ai] = true
+				continue
+			}
+			src := rng.NewFrom(g.BaseSeed, uint64(rep))
+			out, err := engine.Run(p, d, engine.Options{
+				CommModel: r.model(g.Error, src.Split()),
+				CompModel: r.model(g.Error, src.Split()),
+				Metrics:   r.Metrics,
+			})
+			if err != nil {
+				return fmt.Errorf("experiment: baseline %s: %w", algo.Name(), err)
+			}
+			sums[ai] += out.Makespan
+		}
+	}
+	for ai := range r.Algorithms {
+		if fails[ai] {
+			res.Baseline[ai] = math.NaN()
+		} else {
+			res.Baseline[ai] = sums[ai] / float64(g.Reps)
+		}
+	}
+	return nil
+}
+
+// runCrashRate simulates every (rep, algorithm) cell of one crash rate.
+// Scenarios are derived from (BaseSeed, rate index, rep) and the error
+// streams from (BaseSeed, rep) alone — common random numbers across crash
+// rates and the baseline — so degradation isolates the fault effect (it is
+// exactly 1 at crash rate 0) and results are independent of pool
+// scheduling.
+func (r *Runner) runCrashRate(ctx context.Context, g ResilienceGrid, horizon float64, ri int, res *ResilienceResults) error {
+	p := g.Config.Platform()
+	rate := g.CrashRates[ri]
+	k := len(r.Algorithms)
+	sums := make([]float64, k)
+	comp := make([]float64, k)
+	redisp := make([]float64, k)
+	fails := make([]bool, k)
+	rec := g.recovery()
+	for rep := 0; rep < g.Reps; rep++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		scenario := fault.Scenario{
+			Horizon:    horizon,
+			CrashProb:  rate,
+			RejoinProb: g.RejoinProb,
+			// Rejoins spread over the second half of the horizon.
+			RejoinDelayMin: horizon * 0.1,
+			RejoinDelayMax: horizon * 0.5,
+		}
+		faults := scenario.Generate(p.N(), rng.NewFrom(g.BaseSeed, uint64(ri), uint64(rep), 0xFA))
+		for ai, algo := range r.Algorithms {
+			d, err := algo.NewDispatcher(&sched.Problem{
+				Platform: p, Total: g.Total, KnownError: g.Error, MinUnit: 1,
+			})
+			if err != nil {
+				fails[ai] = true
+				continue
+			}
+			src := rng.NewFrom(g.BaseSeed, uint64(rep))
+			out, err := engine.Run(p, d, engine.Options{
+				CommModel: r.model(g.Error, src.Split()),
+				CompModel: r.model(g.Error, src.Split()),
+				Faults:    faults,
+				Recovery:  rec,
+				Metrics:   r.Metrics,
+			})
+			if err != nil {
+				return fmt.Errorf("experiment: %s at crash rate %g: %w", algo.Name(), rate, err)
+			}
+			sums[ai] += out.Makespan
+			comp[ai] += out.CompletedWork / g.Total
+			redisp[ai] += float64(out.Redispatches)
+		}
+	}
+	mean := make([]float64, k)
+	deg := make([]float64, k)
+	cf := make([]float64, k)
+	rd := make([]float64, k)
+	for ai := range r.Algorithms {
+		if fails[ai] {
+			mean[ai], deg[ai], cf[ai], rd[ai] = math.NaN(), math.NaN(), math.NaN(), math.NaN()
+			continue
+		}
+		mean[ai] = sums[ai] / float64(g.Reps)
+		deg[ai] = mean[ai] / res.Baseline[ai]
+		cf[ai] = comp[ai] / float64(g.Reps)
+		rd[ai] = redisp[ai] / float64(g.Reps)
+	}
+	res.Mean[ri] = mean
+	res.Degradation[ri] = deg
+	res.Completion[ri] = cf
+	res.Redispatches[ri] = rd
+	return nil
+}

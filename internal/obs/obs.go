@@ -36,6 +36,24 @@ const (
 	// KindRunDone marks the end of a run; Time is the makespan, Seq the
 	// number of dispatched chunks and Size the total dispatched work.
 	KindRunDone
+	// KindWorkerCrash marks a worker dying (its queued and in-progress
+	// work is lost; each loss is a separate KindChunkLost event).
+	KindWorkerCrash
+	// KindWorkerRejoin marks a crashed worker coming back.
+	KindWorkerRejoin
+	// KindLinkDown marks a master->worker link outage beginning.
+	KindLinkDown
+	// KindLinkUp marks the link recovering.
+	KindLinkUp
+	// KindSlowdown marks a worker's compute slowdown changing; Reason
+	// carries the factor (1 = recovered).
+	KindSlowdown
+	// KindChunkLost marks one chunk's work being lost (crash, loss in
+	// transit, or completion timeout); Reason says how.
+	KindChunkLost
+	// KindRedispatch marks the engine re-sending a lost chunk to a live
+	// worker; Attempt is the retry number.
+	KindRedispatch
 
 	numKinds
 )
@@ -43,6 +61,8 @@ const (
 var kindNames = [numKinds]string{
 	"send-start", "send-end", "arrive", "comp-start", "comp-end",
 	"dispatch-decision", "phase-transition", "run-done",
+	"worker-crash", "worker-rejoin", "link-down", "link-up", "slowdown",
+	"chunk-lost", "redispatch",
 }
 
 // String returns the event kind's wire name.
@@ -72,6 +92,9 @@ type Event struct {
 	Size float64
 	// Round and Phase mirror the chunk's scheduler tags.
 	Round, Phase int
+	// Attempt is the chunk's dispatch attempt: 0 for the original send,
+	// incremented on every fault-recovery re-dispatch.
+	Attempt int
 	// Reason explains dispatch decisions and phase transitions.
 	Reason string
 }

@@ -1,0 +1,189 @@
+package rumr
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"rumr/internal/engine"
+	"rumr/internal/fault"
+	"rumr/internal/obs"
+	"rumr/internal/platform"
+	"rumr/internal/sched"
+)
+
+func ftProblem(n int) *sched.Problem {
+	return &sched.Problem{
+		Platform:   platform.Homogeneous(n, 1, 5, 0.1, 0.05),
+		Total:      1000,
+		KnownError: 0.2,
+	}
+}
+
+func TestFaultTolerantName(t *testing.T) {
+	if got := (FaultTolerant{}).Name(); got != "RUMR-ft" {
+		t.Fatalf("name = %q", got)
+	}
+	s := FaultTolerant{Variant: Scheduler{PlainPhase1: true}}
+	if got := s.Name(); got != "RUMR-plain-ft" {
+		t.Fatalf("variant name = %q", got)
+	}
+}
+
+func TestFaultTolerantMatchesRUMRWithoutFaults(t *testing.T) {
+	pr := ftProblem(6)
+	run := func(s sched.Scheduler) float64 {
+		d, err := s.NewDispatcher(pr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := engine.Run(pr.Platform, d, engine.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan
+	}
+	if a, b := run(Scheduler{}), run(FaultTolerant{}); a != b {
+		t.Fatalf("fault-free makespans differ: RUMR %g vs RUMR-ft %g", a, b)
+	}
+}
+
+// TestFaultTolerantReplansAfterCrash: a crash during phase 1 triggers a
+// re-plan over the survivors, the full workload completes, the trace
+// validates, and no post-crash phase-1 chunk targets the dead worker.
+func TestFaultTolerantReplansAfterCrash(t *testing.T) {
+	pr := ftProblem(6)
+	crashAt := 50.0
+	faults := &fault.Schedule{Events: []fault.Event{
+		{Time: crashAt, Worker: 2, Kind: fault.Crash},
+	}}
+	d, err := FaultTolerant{}.NewDispatcher(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replans []obs.Event
+	sink := obs.Func(func(e obs.Event) {
+		if e.Kind == obs.KindDispatchDecision && strings.Contains(e.Reason, "re-planned") {
+			replans = append(replans, e)
+		}
+	})
+	res, err := engine.Run(pr.Platform, d, engine.Options{
+		Faults:      faults,
+		Recovery:    fault.Recovery{Enabled: true},
+		RecordTrace: true,
+		Events:      sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.CompletedWork-pr.Total) > 1e-9*pr.Total {
+		t.Fatalf("completed %g, want %g", res.CompletedWork, pr.Total)
+	}
+	if len(replans) == 0 {
+		t.Fatal("crash during phase 1 triggered no re-plan")
+	}
+	if err := res.Trace.Validate(pr.Platform, res.DispatchedWork); err != nil {
+		t.Fatalf("trace invalid: %v", err)
+	}
+	for _, r := range res.Trace.Records {
+		if r.Worker == 2 && r.Phase == 1 && r.Attempt == 0 && r.SendStart > crashAt {
+			t.Fatalf("re-planned phase 1 still targets the dead worker at t=%g", r.SendStart)
+		}
+	}
+}
+
+// TestFaultTolerantRejoinReplans: a rejoin mid-phase-1 folds the worker
+// back into the plan.
+func TestFaultTolerantRejoinReplans(t *testing.T) {
+	pr := ftProblem(6)
+	faults := &fault.Schedule{Events: []fault.Event{
+		{Time: 30, Worker: 1, Kind: fault.Crash},
+		{Time: 80, Worker: 1, Kind: fault.Rejoin},
+	}}
+	d, err := FaultTolerant{}.NewDispatcher(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Run(pr.Platform, d, engine.Options{
+		Faults:      faults,
+		Recovery:    fault.Recovery{Enabled: true},
+		RecordTrace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.CompletedWork-pr.Total) > 1e-9*pr.Total {
+		t.Fatalf("completed %g, want %g", res.CompletedWork, pr.Total)
+	}
+	served := false
+	for _, r := range res.Trace.Records {
+		if r.Worker == 1 && !r.Lost && r.SendStart >= 80 {
+			served = true
+			break
+		}
+	}
+	if !served {
+		t.Fatal("rejoined worker excluded from the re-plan")
+	}
+}
+
+// TestFaultTolerantBeatsObliviousRUMRUnderCrash: re-planning should not be
+// slower than plain RUMR relying on chunk-level recovery alone, and the
+// fault-oblivious run must still complete via re-dispatch.
+func TestFaultTolerantBeatsObliviousRUMRUnderCrash(t *testing.T) {
+	pr := ftProblem(8)
+	mk := func(s sched.Scheduler) float64 {
+		faults := &fault.Schedule{Events: []fault.Event{
+			{Time: 20, Worker: 0, Kind: fault.Crash},
+			{Time: 20, Worker: 3, Kind: fault.Crash},
+		}}
+		d, err := s.NewDispatcher(pr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := engine.Run(pr.Platform, d, engine.Options{
+			Faults:   faults,
+			Recovery: fault.Recovery{Enabled: true, TimeoutFactor: 4},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.CompletedWork-pr.Total) > 1e-9*pr.Total {
+			t.Fatalf("%T completed %g, want %g", s, res.CompletedWork, pr.Total)
+		}
+		return res.Makespan
+	}
+	plain := mk(Scheduler{})
+	ft := mk(FaultTolerant{})
+	if ft > plain*1.05 {
+		t.Fatalf("RUMR-ft makespan %g much worse than oblivious RUMR %g", ft, plain)
+	}
+	if math.IsNaN(ft) || ft <= 0 {
+		t.Fatalf("bad makespan %g", ft)
+	}
+}
+
+// TestFaultTolerantAllCrashedFallsBack: when every worker dies mid-phase-1
+// and one later rejoins, the work still completes.
+func TestFaultTolerantTotalCrashThenRejoin(t *testing.T) {
+	pr := ftProblem(3)
+	var evs []fault.Event
+	for w := 0; w < 3; w++ {
+		evs = append(evs, fault.Event{Time: 40, Worker: w, Kind: fault.Crash})
+	}
+	evs = append(evs, fault.Event{Time: 60, Worker: 0, Kind: fault.Rejoin})
+	d, err := FaultTolerant{}.NewDispatcher(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Run(pr.Platform, d, engine.Options{
+		Faults:   &fault.Schedule{Events: evs},
+		Recovery: fault.Recovery{Enabled: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.CompletedWork-pr.Total) > 1e-9*pr.Total {
+		t.Fatalf("completed %g, want %g", res.CompletedWork, pr.Total)
+	}
+}

@@ -257,6 +257,18 @@ func NewDemand(total float64, sizer ChunkSizer, minChunk float64, phase int) *De
 // Remaining returns the work not yet dispatched.
 func (d *Demand) Remaining() float64 { return d.remaining }
 
+// Add transfers extra workload units into the demand-driven pool.
+// Fault-tolerant schedulers use it to re-route work withdrawn from a
+// static plan (TrimTail) — e.g. the tail of a UMR plan whose workers
+// crashed — so the units are re-sized by this policy instead.
+func (d *Demand) Add(extra float64) {
+	if extra <= 0 {
+		return
+	}
+	d.remaining += extra
+	d.total += extra
+}
+
 // Next implements engine.Dispatcher: serve the first idle worker.
 func (d *Demand) Next(v *engine.View) (engine.Chunk, bool) {
 	if d.remaining <= 0 {

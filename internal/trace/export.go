@@ -7,15 +7,22 @@ import (
 	"sort"
 )
 
-// WriteCSV emits the trace as CSV, one row per chunk in record order.
+// WriteCSV emits the trace as CSV, one row per dispatch attempt in record
+// order. chunk_id groups re-dispatch attempts of the same chunk; lost is
+// 0/1 and lost_at is meaningful only for lost attempts.
 func (tr *Trace) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "worker,size,round,phase,send_start,send_end,arrive,comp_start,comp_end"); err != nil {
+	if _, err := fmt.Fprintln(w, "worker,size,round,phase,send_start,send_end,arrive,comp_start,comp_end,chunk_id,attempt,lost,lost_at"); err != nil {
 		return err
 	}
 	for _, r := range tr.Records {
-		if _, err := fmt.Fprintf(w, "%d,%g,%d,%d,%g,%g,%g,%g,%g\n",
+		lost := 0
+		if r.Lost {
+			lost = 1
+		}
+		if _, err := fmt.Fprintf(w, "%d,%g,%d,%d,%g,%g,%g,%g,%g,%d,%d,%d,%g\n",
 			r.Worker, r.Size, r.Round, r.Phase,
-			r.SendStart, r.SendEnd, r.Arrive, r.CompStart, r.CompEnd); err != nil {
+			r.SendStart, r.SendEnd, r.Arrive, r.CompStart, r.CompEnd,
+			r.ChunkID, r.Attempt, lost, r.LostAt); err != nil {
 			return err
 		}
 	}
@@ -58,8 +65,15 @@ type Stats struct {
 	// and last completion (ramp-up excluded) — the "gaps" RUMR's design
 	// choice (ii) minimises.
 	MeanIdleGap float64
-	// PhaseWork maps phase tags to dispatched work (RUMR: 1 and 2).
+	// PhaseWork maps phase tags to completed work (RUMR: 1 and 2); lost
+	// attempts do not contribute, so a re-dispatched chunk counts once, in
+	// the phase of its successful attempt.
 	PhaseWork map[int]float64
+	// LostAttempts counts dispatch attempts lost to faults; CompletedWork
+	// is the work computed to completion (equal to the dispatched total on
+	// fault-free runs).
+	LostAttempts  int
+	CompletedWork float64
 	// ChunkSizeMin/Max bound the dispatched chunk sizes.
 	ChunkSizeMin, ChunkSizeMax float64
 }
@@ -78,7 +92,12 @@ func (tr *Trace) ComputeStats(n int) Stats {
 	lastEnd := make([]float64, n)
 	for _, r := range tr.Records {
 		st.PortBusy += r.SendEnd - r.SendStart
-		st.PhaseWork[r.Phase] += r.Size
+		if r.Lost {
+			st.LostAttempts++
+		} else {
+			st.PhaseWork[r.Phase] += r.Size
+			st.CompletedWork += r.Size
+		}
 		if r.Size < st.ChunkSizeMin {
 			st.ChunkSizeMin = r.Size
 		}

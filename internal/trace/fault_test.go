@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"rumr/internal/platform"
+)
+
+func faultyPlatform() *platform.Platform {
+	return platform.Homogeneous(2, 1, 10, 0, 0)
+}
+
+// validFaultyTrace: chunk 0 is lost on worker 0 and re-dispatched to
+// worker 1, where it completes; chunk 1 completes first try.
+func validFaultyTrace() *Trace {
+	return &Trace{
+		Makespan: 10,
+		Records: []ChunkRecord{
+			{ChunkID: 0, Attempt: 0, Worker: 0, Size: 5, SendStart: 0, SendEnd: 0.5, Arrive: 0.5,
+				Lost: true, LostAt: 1, Redispatched: true},
+			{ChunkID: 1, Attempt: 0, Worker: 1, Size: 3, SendStart: 0.5, SendEnd: 0.8, Arrive: 0.8,
+				CompStart: 0.8, CompEnd: 3.8},
+			{ChunkID: 0, Attempt: 1, Worker: 1, Size: 5, SendStart: 1, SendEnd: 1.5, Arrive: 1.5,
+				CompStart: 3.8, CompEnd: 8.8},
+		},
+	}
+}
+
+func TestValidateAcceptsFaultyTrace(t *testing.T) {
+	if err := validFaultyTrace().Validate(faultyPlatform(), 8); err != nil {
+		t.Fatalf("valid faulty trace rejected: %v", err)
+	}
+}
+
+func TestValidateCatchesSilentDrop(t *testing.T) {
+	tr := validFaultyTrace()
+	// Drop the re-dispatch record: chunk 0 is now lost, still marked
+	// Redispatched, but no later attempt exists.
+	tr.Records = tr.Records[:2]
+	if err := tr.Validate(faultyPlatform(), 8); err == nil ||
+		!strings.Contains(err.Error(), "no later attempt") {
+		t.Fatalf("silent drop not caught: %v", err)
+	}
+	// A lost record not marked Redispatched with a later attempt present
+	// is inconsistent too.
+	tr2 := validFaultyTrace()
+	tr2.Records[0].Redispatched = false
+	if err := tr2.Validate(faultyPlatform(), 8); err == nil ||
+		!strings.Contains(err.Error(), "silently dropped") {
+		t.Fatalf("unmarked redispatch not caught: %v", err)
+	}
+}
+
+func TestValidateCatchesDoubleCount(t *testing.T) {
+	tr := validFaultyTrace()
+	// "Recover" the lost attempt as if it also completed: two completed
+	// attempts of chunk 0.
+	tr.Records[0].Lost = false
+	tr.Records[0].Redispatched = false
+	tr.Records[0].CompStart = 0.5
+	tr.Records[0].CompEnd = 5.5
+	if err := tr.Validate(faultyPlatform(), 8); err == nil {
+		t.Fatal("double-counted chunk accepted")
+	}
+	// Conservation must also fail if the duplicate work were tallied: the
+	// re-dispatch contributes its size once, not twice.
+	tr2 := validFaultyTrace()
+	if err := tr2.Validate(faultyPlatform(), 13); err == nil {
+		t.Fatal("re-dispatched size counted twice in conservation")
+	}
+}
+
+func TestValidateCatchesSizeChange(t *testing.T) {
+	tr := validFaultyTrace()
+	tr.Records[2].Size = 4 // re-dispatch shrank the chunk
+	if err := tr.Validate(faultyPlatform(), 8); err == nil ||
+		!strings.Contains(err.Error(), "changed size") {
+		t.Fatalf("size change not caught: %v", err)
+	}
+}
+
+func TestValidatePermanentLossConserved(t *testing.T) {
+	tr := &Trace{
+		Makespan: 5,
+		Records: []ChunkRecord{
+			{ChunkID: 0, Worker: 0, Size: 5, SendStart: 0, SendEnd: 0.5, Arrive: 0.5,
+				Lost: true, LostAt: 1}, // permanently lost, never re-sent
+			{ChunkID: 1, Worker: 1, Size: 3, SendStart: 0.5, SendEnd: 0.8, Arrive: 0.8,
+				CompStart: 0.8, CompEnd: 3.8},
+		},
+	}
+	if err := tr.Validate(faultyPlatform(), 8); err != nil {
+		t.Fatalf("permanent loss should still conserve the dispatched total: %v", err)
+	}
+	if tr.CompletedWork() != 3 {
+		t.Fatalf("completed work = %g, want 3", tr.CompletedWork())
+	}
+	if tr.LostAttempts() != 1 {
+		t.Fatalf("lost attempts = %d, want 1", tr.LostAttempts())
+	}
+}
+
+func TestValidateKilledMidComputeExclusivity(t *testing.T) {
+	// A chunk killed mid-compute occupies the CPU up to its kill time; a
+	// successor overlapping that span must be rejected.
+	tr := &Trace{
+		Makespan: 10,
+		Records: []ChunkRecord{
+			{ChunkID: 0, Worker: 0, Size: 4, SendStart: 0, SendEnd: 0.4, Arrive: 0.4,
+				CompStart: 0.4, CompEnd: 3, Lost: true, LostAt: 3, Redispatched: true},
+			{ChunkID: 1, Worker: 0, Size: 4, SendStart: 0.4, SendEnd: 0.8, Arrive: 0.8,
+				CompStart: 2, CompEnd: 6}, // starts while chunk 0 still computes
+			{ChunkID: 0, Attempt: 1, Worker: 1, Size: 4, SendStart: 1, SendEnd: 1.4, Arrive: 1.4,
+				CompStart: 1.4, CompEnd: 5.4},
+		},
+	}
+	if err := tr.Validate(faultyPlatform(), 8); err == nil ||
+		!strings.Contains(err.Error(), "computes two chunks at once") {
+		t.Fatalf("overlap with killed compute not caught: %v", err)
+	}
+}
+
+func TestGanttMarksLostCompute(t *testing.T) {
+	tr := &Trace{
+		Makespan: 10,
+		Records: []ChunkRecord{
+			{ChunkID: 0, Worker: 0, Size: 4, SendStart: 0, SendEnd: 0.4, Arrive: 0.4,
+				CompStart: 0.4, CompEnd: 5, Lost: true, LostAt: 5, Redispatched: true},
+			{ChunkID: 0, Attempt: 1, Worker: 1, Size: 4, SendStart: 5, SendEnd: 5.4, Arrive: 5.4,
+				CompStart: 5.4, CompEnd: 9.4},
+		},
+	}
+	g := tr.Gantt(2, 40)
+	if !strings.Contains(g, "x") {
+		t.Fatalf("killed compute not marked in gantt:\n%s", g)
+	}
+	if !strings.Contains(g, "#") {
+		t.Fatalf("completed compute missing from gantt:\n%s", g)
+	}
+}

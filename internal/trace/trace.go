@@ -18,8 +18,16 @@ import (
 	"rumr/internal/platform"
 )
 
-// ChunkRecord is the life cycle of one dispatched chunk.
+// ChunkRecord is the life cycle of one dispatch attempt of one chunk.
+// Without faults a chunk has exactly one record; under fault injection a
+// chunk that is lost and re-dispatched leaves one record per attempt, all
+// sharing the same ChunkID.
 type ChunkRecord struct {
+	// ChunkID is the chunk's stable identity across re-dispatch attempts
+	// (its first-dispatch sequence number). Attempt is 0 for the original
+	// send and increments per fault-recovery re-dispatch.
+	ChunkID int `json:",omitempty"`
+	Attempt int `json:",omitempty"`
 	// Worker is the destination worker index.
 	Worker int
 	// Size is the chunk size in workload units.
@@ -36,9 +44,21 @@ type ChunkRecord struct {
 	// Arrive is when the worker held the last byte (SendEnd + tLat).
 	Arrive float64
 	// CompStart and CompEnd delimit the worker's computation of the chunk.
+	// A record lost before computing has both zero; one killed mid-compute
+	// has CompEnd equal to the kill time (the partial work is discarded).
 	CompStart float64
 	CompEnd   float64
+	// Lost marks the attempt as failed (worker crash, link loss, or
+	// completion timeout) at time LostAt; its work does not count as
+	// completed. Redispatched marks that a later record with the same
+	// ChunkID retries the work.
+	Lost         bool    `json:",omitempty"`
+	LostAt       float64 `json:",omitempty"`
+	Redispatched bool    `json:",omitempty"`
 }
+
+// Completed reports whether this attempt finished its computation.
+func (r ChunkRecord) Completed() bool { return !r.Lost }
 
 // Trace is the complete record of one simulated run.
 type Trace struct {
@@ -62,7 +82,7 @@ func (tr *Trace) Validate(p *platform.Platform, wantTotal float64) error {
 		return nil
 	}
 	n := p.N()
-	total := 0.0
+	faulty := false
 	maxEnd := 0.0
 	for i, r := range tr.Records {
 		if r.Worker < 0 || r.Worker >= n {
@@ -71,17 +91,41 @@ func (tr *Trace) Validate(p *platform.Platform, wantTotal float64) error {
 		if r.Size <= 0 {
 			return fmt.Errorf("trace: record %d has non-positive size %g", i, r.Size)
 		}
-		if r.SendStart < -eps || r.SendEnd < r.SendStart-eps || r.Arrive < r.SendEnd-eps ||
-			r.CompStart < r.Arrive-eps || r.CompEnd < r.CompStart-eps {
-			return fmt.Errorf("trace: record %d has inconsistent times %+v", i, r)
+		if r.SendStart < -eps || r.SendEnd < r.SendStart-eps || r.Arrive < r.SendEnd-eps {
+			return fmt.Errorf("trace: record %d has inconsistent send times %+v", i, r)
 		}
-		total += r.Size
-		if r.CompEnd > maxEnd {
+		// An attempt lost before computing legitimately has zero compute
+		// times; any record that did compute must obey arrival ordering.
+		if !(r.Lost && r.CompStart == 0 && r.CompEnd == 0) {
+			if r.CompStart < r.Arrive-eps || r.CompEnd < r.CompStart-eps {
+				return fmt.Errorf("trace: record %d has inconsistent compute times %+v", i, r)
+			}
+		}
+		if r.Lost {
+			faulty = true
+			if r.LostAt < r.SendStart-eps {
+				return fmt.Errorf("trace: record %d lost at %g before its send started at %g", i, r.LostAt, r.SendStart)
+			}
+		} else if r.Attempt > 0 {
+			faulty = true
+		}
+		if !r.Lost && r.CompEnd > maxEnd {
 			maxEnd = r.CompEnd
 		}
 	}
-	if diff := total - wantTotal; diff > eps*wantTotal+eps || diff < -eps*wantTotal-eps {
-		return fmt.Errorf("trace: dispatched %g units, want %g", total, wantTotal)
+	if faulty {
+		if err := tr.validateChunkIdentity(wantTotal); err != nil {
+			return err
+		}
+	} else {
+		// Fault-free schedules conserve the workload record by record.
+		total := 0.0
+		for _, r := range tr.Records {
+			total += r.Size
+		}
+		if diff := total - wantTotal; diff > eps*wantTotal+eps || diff < -eps*wantTotal-eps {
+			return fmt.Errorf("trace: dispatched %g units, want %g", total, wantTotal)
+		}
 	}
 	if tr.Makespan < maxEnd-eps {
 		return fmt.Errorf("trace: makespan %g below last completion %g", tr.Makespan, maxEnd)
@@ -119,9 +163,14 @@ func (tr *Trace) Validate(p *platform.Platform, wantTotal float64) error {
 		}
 	}
 
-	// Worker compute exclusivity.
+	// Worker compute exclusivity: every record that occupied the CPU —
+	// including attempts killed mid-compute — must not overlap another on
+	// the same worker. Attempts lost before computing never held the CPU.
 	perWorker := make(map[int][]ChunkRecord)
 	for _, r := range tr.Records {
+		if r.Lost && r.CompStart == 0 && r.CompEnd == 0 {
+			continue
+		}
 		perWorker[r.Worker] = append(perWorker[r.Worker], r)
 	}
 	for w, rs := range perWorker {
@@ -136,11 +185,116 @@ func (tr *Trace) Validate(p *platform.Platform, wantTotal float64) error {
 	return nil
 }
 
-// TotalDispatched returns the sum of chunk sizes.
-func (tr *Trace) TotalDispatched() float64 {
+// validateChunkIdentity checks a faulty trace's conservation law: grouping
+// attempts by ChunkID, each chunk's work must be either computed exactly
+// once or declared permanently lost — never silently dropped (a lost
+// attempt with no re-dispatch and no terminal loss) and never
+// double-counted (two completed attempts of one chunk). Completed work
+// plus permanently lost work must equal the dispatched total.
+func (tr *Trace) validateChunkIdentity(wantTotal float64) error {
+	byChunk := make(map[int][]ChunkRecord)
+	order := make([]int, 0)
+	for _, r := range tr.Records {
+		if _, ok := byChunk[r.ChunkID]; !ok {
+			order = append(order, r.ChunkID)
+		}
+		byChunk[r.ChunkID] = append(byChunk[r.ChunkID], r)
+	}
+	completed, lost := 0.0, 0.0
+	for _, id := range order {
+		rs := byChunk[id]
+		sort.Slice(rs, func(i, j int) bool { return rs[i].Attempt < rs[j].Attempt })
+		size := rs[0].Size
+		done := 0
+		for k, r := range rs {
+			if r.Attempt != k {
+				return fmt.Errorf("trace: chunk %d attempts are not contiguous (attempt %d at position %d)", id, r.Attempt, k)
+			}
+			if d := r.Size - size; d > eps*size+eps || d < -eps*size-eps {
+				return fmt.Errorf("trace: chunk %d changed size across attempts (%g vs %g)", id, r.Size, size)
+			}
+			last := k == len(rs)-1
+			switch {
+			case !r.Lost:
+				done++
+				if !last {
+					return fmt.Errorf("trace: chunk %d attempt %d completed but was re-dispatched anyway", id, k)
+				}
+			case r.Lost && r.Redispatched && last:
+				return fmt.Errorf("trace: chunk %d attempt %d marked re-dispatched but no later attempt exists", id, k)
+			case r.Lost && !r.Redispatched && !last:
+				return fmt.Errorf("trace: chunk %d attempt %d lost and silently dropped despite attempt %d", id, k, k+1)
+			}
+		}
+		if done > 1 {
+			return fmt.Errorf("trace: chunk %d completed %d times (double-counted work)", id, done)
+		}
+		if done == 1 {
+			completed += size
+		} else {
+			lost += size
+		}
+	}
+	if diff := completed + lost - wantTotal; diff > eps*wantTotal+eps || diff < -eps*wantTotal-eps {
+		return fmt.Errorf("trace: %g units completed + %g permanently lost = %g, want %g",
+			completed, lost, completed+lost, wantTotal)
+	}
+	return nil
+}
+
+// CompletedWork returns the total work computed to completion (lost
+// attempts excluded); for fault-free traces it equals TotalDispatched.
+func (tr *Trace) CompletedWork() float64 {
 	total := 0.0
 	for _, r := range tr.Records {
-		total += r.Size
+		if !r.Lost {
+			total += r.Size
+		}
+	}
+	return total
+}
+
+// faulty reports whether the trace records any fault activity — a lost
+// attempt or a re-dispatch. Only faulty traces carry meaningful chunk
+// identities; legacy fault-free traces leave ChunkID zero everywhere.
+func (tr *Trace) faulty() bool {
+	for _, r := range tr.Records {
+		if r.Lost || r.Attempt > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// LostAttempts returns the number of lost dispatch attempts in the trace.
+func (tr *Trace) LostAttempts() int {
+	lost := 0
+	for _, r := range tr.Records {
+		if r.Lost {
+			lost++
+		}
+	}
+	return lost
+}
+
+// TotalDispatched returns the unique work entered into the system: the
+// sum of chunk sizes counting every re-dispatched chunk once. Fault-free
+// traces (no lost or re-attempted records) are summed directly, so legacy
+// traces without chunk identities keep their old total.
+func (tr *Trace) TotalDispatched() float64 {
+	total := 0.0
+	if !tr.faulty() {
+		for _, r := range tr.Records {
+			total += r.Size
+		}
+		return total
+	}
+	seen := make(map[int]bool, len(tr.Records))
+	for _, r := range tr.Records {
+		if !seen[r.ChunkID] {
+			seen[r.ChunkID] = true
+			total += r.Size
+		}
 	}
 	return total
 }
@@ -193,8 +347,9 @@ func (tr *Trace) WorkerIdle(n int) []float64 {
 }
 
 // Gantt renders an ASCII Gantt chart of worker computation (one row per
-// worker, '#' marks busy cells, '.' idle) with the given width in
-// characters. It is meant for terminal inspection of small runs.
+// worker, '#' marks busy cells, 'x' computation that was killed by a
+// fault, '.' idle) with the given width in characters. It is meant for
+// terminal inspection of small runs.
 // Widths below 12 are clamped to 12, the narrowest chart whose header
 // ("time 0 ... <makespan>") still fits.
 func (tr *Trace) Gantt(n, width int) string {
@@ -215,13 +370,20 @@ func (tr *Trace) Gantt(n, width int) string {
 		if r.Worker < 0 || r.Worker >= n {
 			continue
 		}
+		if r.Lost && r.CompStart == 0 && r.CompEnd == 0 {
+			continue // lost before computing: no CPU time to draw
+		}
+		mark := byte('#')
+		if r.Lost {
+			mark = 'x'
+		}
 		lo := int(r.CompStart * scale)
 		hi := int(r.CompEnd * scale)
 		if hi >= width {
 			hi = width - 1
 		}
 		for c := lo; c <= hi; c++ {
-			rows[r.Worker][c] = '#'
+			rows[r.Worker][c] = mark
 		}
 	}
 	for w, row := range rows {

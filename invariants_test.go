@@ -7,11 +7,15 @@ package rumr
 // end-to-end guard that the engine cannot quietly do impossible work.
 
 import (
+	"bytes"
+	"fmt"
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
 	"rumr/internal/dlt"
+	"rumr/internal/obs"
 	"rumr/internal/rng"
 )
 
@@ -93,5 +97,113 @@ func TestParallelSendsNeverHurtRampBoundedRuns(t *testing.T) {
 	}
 	if par.Makespan > serial.Makespan+1e-9 {
 		t.Fatalf("4 slots slower than 1: %v vs %v", par.Makespan, serial.Makespan)
+	}
+}
+
+// TestSchedulersSurviveRandomFaults drives the whole scheduler suite
+// through randomized crash/rejoin scenarios with re-dispatch recovery: on
+// every drawn platform and fault schedule, each scheduler must still get
+// the complete workload computed, produce a trace the validator accepts
+// (no work silently dropped or double-counted), and never finish before
+// the fault-aware lower bound on surviving compute capacity.
+func TestSchedulersSurviveRandomFaults(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		n := 3 + src.Intn(12)
+		r := src.Uniform(1.2, 2.0)
+		cLat := src.Uniform(0, 0.5)
+		nLat := src.Uniform(0, 0.5)
+		p := HomogeneousPlatform(n, 1, r*float64(n), cLat, nLat)
+		const total = 1000.0
+		horizon := 3 * dlt.LowerBound(p, total)
+		scenario := FaultScenario{
+			Horizon:        horizon,
+			CrashProb:      0.4,
+			RejoinProb:     0.4,
+			RejoinDelayMin: 0.1 * horizon,
+			RejoinDelayMax: 0.5 * horizon,
+			OutageProb:     0.2,
+			OutageMin:      0.05 * horizon,
+			OutageMax:      0.2 * horizon,
+		}
+		faults := scenario.Generate(n, src.Split())
+		bound := dlt.LowerBoundWithFaults(p, total, faults)
+		for _, s := range append(suite(), RUMRFaultTolerant()) {
+			// Perfect predictions: the capacity bound assumes workers never
+			// compute faster than their nominal speed, which error
+			// perturbation would break (as in the fault-free bound test).
+			res, err := Simulate(p, s, total, SimOptions{
+				Seed: seed, RecordTrace: true,
+				Faults: faults, Recovery: DefaultRecovery(),
+			})
+			if err != nil {
+				t.Logf("seed %d %s: %v", seed, s.Name(), err)
+				return false
+			}
+			if math.Abs(res.DispatchedWork-total) > 1e-6 {
+				t.Logf("seed %d %s dispatched %v", seed, s.Name(), res.DispatchedWork)
+				return false
+			}
+			if math.Abs(res.CompletedWork-total) > 1e-6 {
+				t.Logf("seed %d %s completed %v of %v (lost %v)",
+					seed, s.Name(), res.CompletedWork, total, res.LostWork)
+				return false
+			}
+			if res.Makespan < bound-1e-9 {
+				t.Logf("seed %d %s beat the fault-aware bound: %v < %v",
+					seed, s.Name(), res.Makespan, bound)
+				return false
+			}
+			if err := res.Trace.Validate(p, res.DispatchedWork); err != nil {
+				t.Logf("seed %d %s: %v", seed, s.Name(), err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFaultyRunsAreByteIdentical is the determinism regression test: two
+// simulations with the same seed, active faults and parallel sends must
+// produce byte-identical traces and event streams.
+func TestFaultyRunsAreByteIdentical(t *testing.T) {
+	p := HomogeneousPlatform(8, 1, 12, 0.3, 0.3)
+	for _, s := range []Scheduler{RUMR(), RUMRFaultTolerant(), Factoring()} {
+		run := func() (string, string) {
+			scenario := FaultScenario{
+				Horizon: 300, CrashProb: 0.4, RejoinProb: 0.5,
+				RejoinDelayMin: 20, RejoinDelayMax: 120,
+				StragglerProb: 0.3, SlowMin: 2, SlowMax: 8,
+			}
+			faults := scenario.Generate(8, rng.New(99))
+			var events strings.Builder
+			res, err := Simulate(p, s, 1000, SimOptions{
+				Error: 0.3, Seed: 11, ParallelSends: 3, RecordTrace: true,
+				Faults: faults, Recovery: DefaultRecovery(),
+				Events: obs.Func(func(e Event) { fmt.Fprintf(&events, "%+v\n", e) }),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var tr bytes.Buffer
+			if err := res.Trace.WriteJSON(&tr); err != nil {
+				t.Fatal(err)
+			}
+			return tr.String(), events.String()
+		}
+		tr1, ev1 := run()
+		tr2, ev2 := run()
+		if tr1 != tr2 {
+			t.Fatalf("%s: same seed produced different traces", s.Name())
+		}
+		if ev1 != ev2 {
+			t.Fatalf("%s: same seed produced different event streams", s.Name())
+		}
+		if !strings.Contains(ev1, "chunk-lost") && !strings.Contains(ev1, "worker-crash") {
+			t.Fatalf("%s: fault scenario produced no fault events", s.Name())
+		}
 	}
 }

@@ -2,6 +2,7 @@ package rumr
 
 import (
 	"rumr/internal/engine"
+	"rumr/internal/fault"
 	"rumr/internal/obs"
 	"rumr/internal/perferr"
 	"rumr/internal/platform"
@@ -53,6 +54,41 @@ type Event = obs.Event
 // EventSink consumes simulation events.
 type EventSink = obs.Sink
 
+// FaultSchedule is a deterministic list of fault events (crashes, rejoins,
+// link outages, slowdowns) replayed during a run.
+type FaultSchedule = fault.Schedule
+
+// FaultEvent is one scheduled fault.
+type FaultEvent = fault.Event
+
+// FaultKind enumerates the kinds of fault a FaultEvent can inject.
+type FaultKind = fault.Kind
+
+// FaultScenario draws random fault schedules from per-worker rates; use it
+// to put a crash-rate axis on a resilience sweep.
+type FaultScenario = fault.Scenario
+
+// Recovery is the engine-side loss-detection and re-dispatch policy; the
+// zero value disables recovery (lost work stays lost).
+type Recovery = fault.Recovery
+
+// Fault event kinds, re-exported for building schedules by hand.
+const (
+	WorkerCrash  = fault.Crash
+	WorkerRejoin = fault.Rejoin
+	LinkDown     = fault.LinkDown
+	LinkUp       = fault.LinkUp
+	SlowStart    = fault.SlowStart
+	SlowEnd      = fault.SlowEnd
+)
+
+// DefaultRecovery returns a sensible re-dispatch policy: recovery enabled,
+// per-chunk completion timeouts at 4x the predicted completion time (with
+// exponential backoff across attempts) and unlimited attempts.
+func DefaultRecovery() Recovery {
+	return Recovery{Enabled: true, TimeoutFactor: 4}
+}
+
 // HomogeneousPlatform builds a platform of n identical workers — the
 // paper's experimental setup (Table 1 uses S=1 and B = r·N).
 func HomogeneousPlatform(n int, s, b, cLat, nLat float64) *Platform {
@@ -77,6 +113,12 @@ func RUMRPlainPhase1() Scheduler { return rumrsched.Scheduler{PlainPhase1: true}
 // needs no a priori error magnitude — it measures the error online from
 // completed chunks and makes the phase split at run time.
 func RUMRAdaptive() Scheduler { return rumrsched.Adaptive{} }
+
+// RUMRFaultTolerant returns RUMR extended with crash awareness: when a
+// worker crashes (or rejoins) during phase 1, the remaining phase-1 work
+// is re-planned as a fresh UMR schedule over the surviving workers.
+// Combine it with SimOptions.Faults and SimOptions.Recovery.
+func RUMRFaultTolerant() Scheduler { return rumrsched.FaultTolerant{} }
 
 // UMR returns the Uniform Multi-Round algorithm of [17, 13] — RUMR's
 // performance-oriented ancestor.
@@ -144,9 +186,18 @@ type SimOptions struct {
 	// extension).
 	ParallelSends int
 	// Events, when non-nil, receives every state change of the run as it
-	// happens — sends, arrivals, computations, dispatcher decisions and
-	// phase transitions. A nil sink costs nothing.
+	// happens — sends, arrivals, computations, dispatcher decisions, phase
+	// transitions, faults and recovery actions. A nil sink costs nothing.
 	Events EventSink
+	// Faults, when non-nil, is the deterministic fault scenario replayed
+	// during the run: workers crash (and optionally rejoin), links drop,
+	// stragglers slow down, exactly as scheduled.
+	Faults *FaultSchedule
+	// Recovery selects how the engine reacts to lost work. The zero value
+	// means no recovery: chunks lost to faults stay lost and the run
+	// completes short (check Result.LostWork). DefaultRecovery() re-sends
+	// lost chunks to live workers and kills stuck ones via timeouts.
+	Recovery Recovery
 }
 
 // Simulate runs scheduler s once on platform p with a workload of total
@@ -177,6 +228,8 @@ func Simulate(p *Platform, s Scheduler, total float64, opts SimOptions) (Result,
 		RecordTrace:   opts.RecordTrace,
 		ParallelSends: opts.ParallelSends,
 		Events:        opts.Events,
+		Faults:        opts.Faults,
+		Recovery:      opts.Recovery,
 	})
 }
 
