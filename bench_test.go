@@ -52,6 +52,7 @@ func logOnce(b *testing.B, i int, render func(sb *strings.Builder) error) {
 // which RUMR outperforms each competitor, per error bucket.
 func BenchmarkTable2(b *testing.B) {
 	g := benchGrid()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := Sweep(g, SweepOptions{})
 		if err != nil {
@@ -67,6 +68,7 @@ func BenchmarkTable2(b *testing.B) {
 // BenchmarkTable3 regenerates Table 3: wins by at least 10%.
 func BenchmarkTable3(b *testing.B) {
 	g := benchGrid()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := Sweep(g, SweepOptions{})
 		if err != nil {
@@ -83,6 +85,7 @@ func BenchmarkTable3(b *testing.B) {
 // normalised to RUMR versus error, over the whole grid.
 func BenchmarkFig4a(b *testing.B) {
 	g := benchGrid()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := Sweep(g, SweepOptions{})
 		if err != nil {
@@ -101,6 +104,7 @@ func BenchmarkFig4a(b *testing.B) {
 // BenchmarkFig4b regenerates Fig. 4(b): the cLat < 0.3, nLat < 0.3 subset.
 func BenchmarkFig4b(b *testing.B) {
 	g := benchGrid()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := Sweep(g, SweepOptions{})
 		if err != nil {
@@ -118,6 +122,7 @@ func BenchmarkFig4b(b *testing.B) {
 // 40 repetitions, where RUMR's switch to phase 2 shows as a jump.
 func BenchmarkFig5(b *testing.B) {
 	g := Fig5Grid()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := Sweep(g, SweepOptions{})
 		if err != nil {
@@ -135,6 +140,7 @@ func BenchmarkFig5(b *testing.B) {
 func BenchmarkFig6(b *testing.B) {
 	g := benchGrid()
 	algos := experiment.Fig6Algorithms()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := Sweep(g, SweepOptions{Algorithms: algos})
 		if err != nil {
@@ -152,6 +158,7 @@ func BenchmarkFig6(b *testing.B) {
 func BenchmarkFig7(b *testing.B) {
 	g := benchGrid()
 	algos := experiment.Fig7Algorithms()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := Sweep(g, SweepOptions{Algorithms: algos})
 		if err != nil {
@@ -172,6 +179,7 @@ func BenchmarkFig7(b *testing.B) {
 func BenchmarkFSCClaim(b *testing.B) {
 	g := benchGrid()
 	algos := []Scheduler{Factoring(), FSC()}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		blind, err := Sweep(g, SweepOptions{Algorithms: algos, UnknownError: true})
 		if err != nil {
@@ -196,6 +204,7 @@ func BenchmarkUMRBaseline(b *testing.B) {
 	g.Errors = []float64{0}
 	g.Reps = 1 // error-free runs are deterministic
 	algos := []Scheduler{UMR(), MI(1), MI(2), MI(3), MI(4)}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := Sweep(g, SweepOptions{Algorithms: algos})
 		if err != nil {
@@ -213,6 +222,7 @@ func BenchmarkUMRBaseline(b *testing.B) {
 // similar" to the normal model's.
 func BenchmarkUniformErrorModel(b *testing.B) {
 	g := benchGrid()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := Sweep(g, SweepOptions{Model: UniformError})
 		if err != nil {
@@ -229,6 +239,7 @@ func BenchmarkUniformErrorModel(b *testing.B) {
 // of work every sweep multiplies.
 func BenchmarkSimulateRUMR(b *testing.B) {
 	p := HomogeneousPlatform(20, 1, 30, 0.3, 0.3)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := Simulate(p, RUMR(), 1000, SimOptions{Error: 0.3, Seed: uint64(i)})
 		if err != nil {
@@ -246,6 +257,7 @@ func BenchmarkSimulatePerScheduler(b *testing.B) {
 	p := HomogeneousPlatform(20, 1, 30, 0.3, 0.3)
 	for _, s := range []Scheduler{RUMR(), UMR(), MI(4), Factoring(), FSC()} {
 		b.Run(s.Name(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := Simulate(p, s, 1000, SimOptions{Error: 0.3, Seed: uint64(i)}); err != nil {
 					b.Fatal(err)

@@ -1,0 +1,193 @@
+// Command rumrbench runs the performance-regression benchmarks of
+// internal/bench and records or checks BENCH_baseline.json.
+//
+// Usage:
+//
+//	rumrbench -write BENCH_baseline.json             # refresh "current"
+//	rumrbench -write BENCH_baseline.json -section pre_optimization
+//	rumrbench -check BENCH_baseline.json             # CI gate
+//
+// The check mode re-measures every benchmark and fails (exit 1) when its
+// allocs/op exceeds the committed "current" baseline beyond a small
+// slack. Allocation counts — unlike wall-clock times — are deterministic
+// on a given code path, so the gate needs no benchstat machinery: a
+// plain JSON compare is enough. Time is reported for information only.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"rumr/internal/bench"
+)
+
+// Measurement is one benchmark's recorded result.
+type Measurement struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Section is one snapshot of all benchmarks.
+type Section struct {
+	Note    string                 `json:"note,omitempty"`
+	Go      string                 `json:"go,omitempty"`
+	Results map[string]Measurement `json:"results"`
+}
+
+// Baseline is the BENCH_baseline.json schema. pre_optimization is the
+// frozen reference measured before the allocation-free hot path landed
+// (the >=2x SweepCell throughput target compares against it); current
+// is what CI gates allocs/op against.
+type Baseline struct {
+	Note            string   `json:"note,omitempty"`
+	PreOptimization *Section `json:"pre_optimization,omitempty"`
+	Current         *Section `json:"current,omitempty"`
+}
+
+func measure(benchtime string) (map[string]Measurement, error) {
+	if benchtime != "" {
+		if err := flag.Set("test.benchtime", benchtime); err != nil {
+			return nil, err
+		}
+	}
+	out := make(map[string]Measurement)
+	for _, c := range bench.Cases() {
+		r := testing.Benchmark(c.Func)
+		if r.N == 0 {
+			return nil, fmt.Errorf("benchmark %s did not run (failed?)", c.Name)
+		}
+		m := Measurement{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		out[c.Name] = m
+		fmt.Printf("%-18s %10d iter  %14.0f ns/op  %8d B/op  %6d allocs/op\n",
+			c.Name, r.N, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp)
+	}
+	return out, nil
+}
+
+func load(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &b, nil
+}
+
+func save(path string, b *Baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// allocBudget is the gate: measured allocs/op may exceed the baseline by
+// the larger of slackAbs allocations or slackFrac of the baseline —
+// room for pool-refill jitter under GC pressure, nothing more.
+func allocBudget(baseline int64, slackAbs int64, slackFrac float64) int64 {
+	frac := int64(float64(baseline) * slackFrac)
+	if frac > slackAbs {
+		return baseline + frac
+	}
+	return baseline + slackAbs
+}
+
+func main() {
+	testing.Init()
+	var (
+		writePath = flag.String("write", "", "measure and write this baseline file")
+		checkPath = flag.String("check", "", "measure and compare against this baseline file")
+		section   = flag.String("section", "current", `section to write: "current" or "pre_optimization"`)
+		note      = flag.String("note", "", "note to attach to the written section")
+		benchtime = flag.String("benchtime", "", "test.benchtime to use (e.g. 1x, 100ms); default 1s")
+		slackAbs  = flag.Int64("slack-allocs", 4, "absolute allocs/op headroom before the check fails")
+		slackFrac = flag.Float64("slack-frac", 0.10, "fractional allocs/op headroom before the check fails")
+	)
+	flag.Parse()
+	if (*writePath == "") == (*checkPath == "") {
+		fmt.Fprintln(os.Stderr, "rumrbench: exactly one of -write or -check is required")
+		os.Exit(2)
+	}
+
+	results, err := measure(*benchtime)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rumrbench:", err)
+		os.Exit(1)
+	}
+	sec := &Section{Note: *note, Go: runtime.Version(), Results: results}
+
+	if *writePath != "" {
+		b, err := load(*writePath)
+		if err != nil {
+			if !os.IsNotExist(err) {
+				fmt.Fprintln(os.Stderr, "rumrbench:", err)
+				os.Exit(1)
+			}
+			b = &Baseline{Note: "Benchmark baseline for the simulation hot path; see EXPERIMENTS.md (Performance). Refresh with: go run ./cmd/rumrbench -write BENCH_baseline.json"}
+		}
+		switch *section {
+		case "current":
+			b.Current = sec
+		case "pre_optimization":
+			b.PreOptimization = sec
+		default:
+			fmt.Fprintf(os.Stderr, "rumrbench: unknown -section %q\n", *section)
+			os.Exit(2)
+		}
+		if err := save(*writePath, b); err != nil {
+			fmt.Fprintln(os.Stderr, "rumrbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s section of %s\n", *section, *writePath)
+		return
+	}
+
+	b, err := load(*checkPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rumrbench:", err)
+		os.Exit(1)
+	}
+	if b.Current == nil {
+		fmt.Fprintf(os.Stderr, "rumrbench: %s has no current section\n", *checkPath)
+		os.Exit(1)
+	}
+	failed := false
+	for name, m := range results {
+		base, ok := b.Current.Results[name]
+		if !ok {
+			fmt.Printf("%-18s NEW (no baseline entry) — add it with -write\n", name)
+			failed = true
+			continue
+		}
+		budget := allocBudget(base.AllocsPerOp, *slackAbs, *slackFrac)
+		if m.AllocsPerOp > budget {
+			fmt.Printf("%-18s FAIL: %d allocs/op > budget %d (baseline %d)\n",
+				name, m.AllocsPerOp, budget, base.AllocsPerOp)
+			failed = true
+		} else {
+			fmt.Printf("%-18s ok: %d allocs/op (baseline %d, budget %d)\n",
+				name, m.AllocsPerOp, base.AllocsPerOp, budget)
+		}
+	}
+	for name := range b.Current.Results {
+		if _, ok := results[name]; !ok {
+			fmt.Printf("%-18s MISSING: in baseline but not measured\n", name)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

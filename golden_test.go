@@ -1,0 +1,96 @@
+package rumr
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rumr/internal/obs"
+	"rumr/internal/rng"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden trace files")
+
+// goldenRun produces the trace JSON and event stream of one fully
+// deterministic simulation. The cases cover the fault-free path and the
+// fault+recovery path (crashes, rejoins, stragglers, timeouts, parallel
+// sends) — every branch of the engine that touches event ordering.
+func goldenRun(t *testing.T, faulty bool) (traceJSON, events string) {
+	t.Helper()
+	p := HomogeneousPlatform(8, 1, 12, 0.3, 0.3)
+	opts := SimOptions{Error: 0.3, Seed: 11, RecordTrace: true}
+	var sb strings.Builder
+	opts.Events = obs.Func(func(e Event) { fmt.Fprintf(&sb, "%+v\n", e) })
+	if faulty {
+		scenario := FaultScenario{
+			Horizon: 300, CrashProb: 0.4, RejoinProb: 0.5,
+			RejoinDelayMin: 20, RejoinDelayMax: 120,
+			StragglerProb: 0.3, SlowMin: 2, SlowMax: 8,
+		}
+		opts.Faults = scenario.Generate(8, rng.New(99))
+		opts.Recovery = DefaultRecovery()
+		opts.ParallelSends = 2
+	}
+	res, err := Simulate(p, RUMR(), 1000, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Trace.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), sb.String()
+}
+
+// TestGoldenTracesByteIdentical pins the simulation output bit-for-bit
+// against golden files generated before the allocation-free hot-path
+// rewrite (PR 4). Any change to event ordering, RNG consumption order or
+// trace contents — however performance-motivated — shows up here as a
+// byte diff. Regenerate (only for an intentional semantic change) with:
+//
+//	go test -run TestGoldenTracesByteIdentical -update .
+func TestGoldenTracesByteIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		faulty bool
+	}{
+		{"plain", false},
+		{"faulty", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			traceJSON, events := goldenRun(t, tc.faulty)
+			tracePath := filepath.Join("testdata", "golden_trace_"+tc.name+".json")
+			eventsPath := filepath.Join("testdata", "golden_events_"+tc.name+".txt")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(tracePath, []byte(traceJSON), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(eventsPath, []byte(events), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			wantTrace, err := os.ReadFile(tracePath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantEvents, err := os.ReadFile(eventsPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if traceJSON != string(wantTrace) {
+				t.Errorf("trace diverged from %s (run with -update only for intentional semantic changes)", tracePath)
+			}
+			if events != string(wantEvents) {
+				t.Errorf("event stream diverged from %s", eventsPath)
+			}
+		})
+	}
+}

@@ -1,0 +1,155 @@
+// Package bench holds the repo's performance-regression benchmark bodies
+// as plain functions, so the same measurements can run two ways: as
+// ordinary `go test -bench` benchmarks (the *_test.go wrappers in the
+// engine and experiment packages) and from cmd/rumrbench, the harness
+// that writes and checks BENCH_baseline.json without parsing `go test`
+// output.
+//
+// Every body warms up once before b.ResetTimer, so the reported
+// allocs/op is the steady-state cost (pools populated, slices grown),
+// not the first-run setup — which is exactly what the committed baseline
+// gates on. See the "Performance" section of EXPERIMENTS.md.
+package bench
+
+import (
+	"testing"
+
+	"rumr/internal/engine"
+	"rumr/internal/experiment"
+	"rumr/internal/fault"
+	"rumr/internal/platform"
+)
+
+// Case names one benchmark body for the rumrbench harness.
+type Case struct {
+	Name string
+	Func func(*testing.B)
+}
+
+// Cases returns every benchmark tracked by BENCH_baseline.json.
+func Cases() []Case {
+	return []Case{
+		{Name: "EngineRun", Func: EngineRun},
+		{Name: "EngineRunFaulty", Func: EngineRunFaulty},
+		{Name: "SweepCell", Func: SweepCell},
+	}
+}
+
+// fixedDemand is a resettable allocation-free dispatcher: it hands
+// fixed-size chunks to the first idle worker until the workload drains.
+// Using it (rather than a real scheduler) isolates the engine+des hot
+// path, which is what the 0 allocs/op acceptance target is about.
+type fixedDemand struct {
+	total, size float64
+	remaining   float64
+}
+
+func (d *fixedDemand) reset() { d.remaining = d.total }
+
+func (d *fixedDemand) Next(v *engine.View) (engine.Chunk, bool) {
+	if d.remaining <= 0 {
+		return engine.Chunk{}, false
+	}
+	for i := range v.Workers {
+		if v.Workers[i].Idle() {
+			size := d.size
+			if size > d.remaining {
+				size = d.remaining
+			}
+			d.remaining -= size
+			return engine.Chunk{Worker: i, Size: size}, true
+		}
+	}
+	return engine.Chunk{}, false
+}
+
+func enginePlatform() *platform.Platform {
+	return platform.Homogeneous(20, 1, 30, 0.3, 0.3)
+}
+
+// EngineRun measures one fault-free simulated run — the unit of work a
+// sweep multiplies by millions — on the paper's central platform
+// (N=20, r=1.5), 200 chunks per run. Steady state must be 0 allocs/op.
+func EngineRun(b *testing.B) {
+	p := enginePlatform()
+	d := &fixedDemand{total: 1000, size: 5}
+	run := func() {
+		d.reset()
+		if _, err := engine.Run(p, d, engine.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	run() // warm pools and grow slices outside the measured region
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+}
+
+// EngineRunFaulty measures a run with crashes, rejoins and recovery
+// timeouts active — the path that schedules (and lazily cancels) a
+// timeout event per chunk, exercising the des queue's cancelled-event
+// compaction.
+func EngineRunFaulty(b *testing.B) {
+	p := enginePlatform()
+	faults := &fault.Schedule{Events: []fault.Event{
+		{Time: 5, Worker: 2, Kind: fault.Crash},
+		{Time: 8, Worker: 11, Kind: fault.Crash},
+		{Time: 40, Worker: 2, Kind: fault.Rejoin},
+		{Time: 60, Worker: 11, Kind: fault.Rejoin},
+	}}
+	rec := fault.Recovery{Enabled: true, TimeoutFactor: 3, TimeoutSlack: 1}
+	d := &fixedDemand{total: 1000, size: 5}
+	run := func() {
+		d.reset()
+		res, err := engine.Run(p, d, engine.Options{Faults: faults, Recovery: rec})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.LostWork != 0 {
+			b.Fatalf("recovery left %g units lost", res.LostWork)
+		}
+	}
+	run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+}
+
+// SweepCell measures one sweep cell the way the paper's tables consume
+// them: all seven standard algorithms on one (configuration, error)
+// point for the paper's repetition count, single-threaded. Plan
+// memoization shares the UMR/RUMR round-plan solve across the
+// repetitions, so this is the benchmark the >=2x throughput target in
+// BENCH_baseline.json refers to.
+func SweepCell(b *testing.B) {
+	g := experiment.Grid{
+		Ns:       []int{20},
+		Rs:       []float64{1.5},
+		CLats:    []float64{0.3},
+		NLats:    []float64{0.3},
+		Errors:   []float64{0.3},
+		Reps:     10,
+		Total:    1000,
+		BaseSeed: 2003,
+	}
+	r := &experiment.Runner{Algorithms: experiment.StandardAlgorithms(), Workers: 1}
+	run := func() {
+		res, err := r.Sweep(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Mean) != 1 {
+			b.Fatal("unexpected result shape")
+		}
+	}
+	run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+}

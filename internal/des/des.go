@@ -11,123 +11,305 @@
 // Ties in event time are broken by insertion order (a monotonically
 // increasing sequence number), which makes simulations deterministic
 // regardless of heap internals.
+//
+// The queue is built for the sweep hot path: a typed 4-ary heap of inline
+// (time, seq) slots — no interface boxing, no container/heap indirection —
+// an Event free-list so steady-state scheduling allocates nothing, and
+// lazy cancellation with compaction so fault-heavy runs (which cancel one
+// completion timer per finished chunk) cannot grow the queue beyond a
+// small multiple of its live events. Callbacks can be scheduled either as
+// plain closures (At/After) or allocation-free as a shared function plus
+// an argument pair (AtCall/AfterCall).
 package des
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
 
-// Event is a scheduled callback. Events are managed by the Simulator and
-// can be cancelled before they fire.
+// Event is the pooled internal representation of a scheduled callback.
+// Callers never hold an *Event directly — scheduling returns a Handle,
+// whose generation tag keeps a recycled Event from being cancelled by a
+// stale reference.
 type Event struct {
-	time   float64
-	seq    uint64
-	index  int // heap index, -1 once removed
-	fn     func()
-	cancel bool
+	fn        func()
+	argFn     func(arg any, aux int)
+	arg       any
+	aux       int
+	gen       uint32
+	cancelled bool
 }
 
-// Time returns the virtual time at which the event fires (or would have
-// fired, if cancelled).
-func (e *Event) Time() float64 { return e.time }
+// Handle identifies a scheduled event for cancellation. The zero Handle
+// is valid and refers to no event; cancelling it is a no-op. A Handle
+// expires when its event fires, is compacted away, or the simulator is
+// reset — all operations on an expired handle are no-ops.
+type Handle struct {
+	ev  *Event
+	gen uint32
+}
 
-// Cancelled reports whether Cancel was called on the event.
-func (e *Event) Cancelled() bool { return e.cancel }
+// Cancelled reports whether Cancel was called on the (still-tracked)
+// event. It returns false for the zero Handle and for handles whose
+// event already fired or was reclaimed.
+func (h Handle) Cancelled() bool {
+	return h.ev != nil && h.ev.gen == h.gen && h.ev.cancelled
+}
 
-type eventHeap []*Event
+// Scheduled reports whether the event is still pending: scheduled,
+// not cancelled, not yet fired.
+func (h Handle) Scheduled() bool {
+	return h.ev != nil && h.ev.gen == h.gen && !h.ev.cancelled
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
-	}
-	return h[i].seq < h[j].seq
+// slot is one heap entry. Keeping the ordering key (time, seq) inline —
+// rather than behind the Event pointer — keeps sift comparisons inside
+// one cache line per node.
+type slot struct {
+	time float64
+	seq  uint64
+	ev   *Event
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
-}
+
+// compactMin is the minimum number of lazily-cancelled events before a
+// compaction is considered; below it the dead entries are cheaper to
+// drain at pop time than to filter.
+const compactMin = 64
 
 // Simulator owns a virtual clock and the pending event queue. The zero
 // value is ready to use, with the clock at 0.
 type Simulator struct {
 	now     float64
 	seq     uint64
-	queue   eventHeap
+	q       []slot
+	free    []*Event
+	live    int // scheduled and not cancelled
+	dead    int // cancelled but still occupying a heap slot
 	stopped bool
-	// Processed counts events executed, for tests and diagnostics.
+	// processed counts events executed, for tests and diagnostics.
 	processed uint64
 }
 
 // New returns a fresh simulator with the clock at zero.
 func New() *Simulator { return &Simulator{} }
 
+// Reset returns the simulator to its initial state — clock at zero,
+// empty queue, zeroed counters — while keeping the heap's capacity and
+// the event free-list, so a pooled simulator can be reused across runs
+// without allocating. A reset simulator is indistinguishable from a new
+// one: sequence numbers restart at zero, which keeps same-seed runs
+// byte-identical regardless of pooling.
+func (s *Simulator) Reset() {
+	for _, sl := range s.q {
+		s.recycle(sl.ev)
+	}
+	s.q = s.q[:0]
+	s.now = 0
+	s.seq = 0
+	s.live = 0
+	s.dead = 0
+	s.stopped = false
+	s.processed = 0
+}
+
 // Now returns the current virtual time.
 func (s *Simulator) Now() float64 { return s.now }
 
-// Pending returns the number of scheduled (uncancelled) events.
-func (s *Simulator) Pending() int {
-	n := 0
-	for _, e := range s.queue {
-		if !e.cancel {
-			n++
-		}
-	}
-	return n
-}
+// Pending returns the number of scheduled (uncancelled) events. It is
+// O(1): the simulator maintains a live-event counter instead of scanning
+// the queue.
+func (s *Simulator) Pending() int { return s.live }
+
+// QueueLen returns the physical heap size, including lazily-cancelled
+// events not yet compacted or popped. Compaction keeps it bounded by
+// a small multiple of Pending(); tests pin that invariant down.
+func (s *Simulator) QueueLen() int { return len(s.q) }
 
 // Processed returns the number of events executed so far.
 func (s *Simulator) Processed() uint64 { return s.processed }
 
-// At schedules fn at absolute virtual time t. Scheduling in the past (or a
-// NaN time) panics: it always indicates a bug in a model.
-func (s *Simulator) At(t float64, fn func()) *Event {
+func (s *Simulator) alloc() *Event {
+	if k := len(s.free); k > 0 {
+		e := s.free[k-1]
+		s.free = s.free[:k-1]
+		return e
+	}
+	return &Event{}
+}
+
+// recycle retires an event: its generation is bumped so outstanding
+// handles expire, its references are dropped, and the struct joins the
+// free-list for the next At/After.
+func (s *Simulator) recycle(e *Event) {
+	e.gen++
+	e.fn = nil
+	e.argFn = nil
+	e.arg = nil
+	e.cancelled = false
+	s.free = append(s.free, e)
+}
+
+func (s *Simulator) schedule(t float64, fn func(), argFn func(any, int), arg any, aux int) Handle {
 	if math.IsNaN(t) {
 		panic("des: scheduling at NaN time")
 	}
 	if t < s.now {
 		panic(fmt.Sprintf("des: scheduling in the past: t=%g now=%g", t, s.now))
 	}
-	e := &Event{time: t, seq: s.seq, fn: fn}
+	e := s.alloc()
+	e.fn = fn
+	e.argFn = argFn
+	e.arg = arg
+	e.aux = aux
+	s.q = append(s.q, slot{time: t, seq: s.seq, ev: e})
 	s.seq++
-	heap.Push(&s.queue, e)
-	return e
+	s.siftUp(len(s.q) - 1)
+	s.live++
+	return Handle{ev: e, gen: e.gen}
+}
+
+// At schedules fn at absolute virtual time t. Scheduling in the past (or a
+// NaN time) panics: it always indicates a bug in a model.
+func (s *Simulator) At(t float64, fn func()) Handle {
+	return s.schedule(t, fn, nil, nil, 0)
 }
 
 // After schedules fn d time units from now. Negative delays panic.
-func (s *Simulator) After(d float64, fn func()) *Event {
+func (s *Simulator) After(d float64, fn func()) Handle {
 	if d < 0 || math.IsNaN(d) {
 		panic(fmt.Sprintf("des: negative or NaN delay %g", d))
 	}
-	return s.At(s.now+d, fn)
+	return s.schedule(s.now+d, fn, nil, nil, 0)
 }
 
-// Cancel prevents a scheduled event from firing. Cancelling an event that
-// already fired (or was already cancelled) is a no-op.
-func (s *Simulator) Cancel(e *Event) {
-	if e == nil {
+// AtCall schedules fn(arg, aux) at absolute time t. Unlike At, it takes a
+// plain function plus its arguments instead of a closure, so callers that
+// share one top-level callback across many events (the engine's
+// chunk-lifecycle path) schedule without allocating.
+func (s *Simulator) AtCall(t float64, fn func(arg any, aux int), arg any, aux int) Handle {
+	return s.schedule(t, nil, fn, arg, aux)
+}
+
+// AfterCall is AtCall relative to the current time. Negative delays panic.
+func (s *Simulator) AfterCall(d float64, fn func(arg any, aux int), arg any, aux int) Handle {
+	if d < 0 || math.IsNaN(d) {
+		panic(fmt.Sprintf("des: negative or NaN delay %g", d))
+	}
+	return s.schedule(s.now+d, nil, fn, arg, aux)
+}
+
+// Cancel prevents a scheduled event from firing. Cancelling the zero
+// Handle, or one whose event already fired or was cancelled, is a no-op.
+// The slot stays in the heap and is dropped lazily at pop time — or
+// eagerly by compaction once cancelled slots dominate the queue.
+func (s *Simulator) Cancel(h Handle) {
+	e := h.ev
+	if e == nil || e.gen != h.gen || e.cancelled {
 		return
 	}
-	e.cancel = true
-	// Leave it in the heap; Run skips cancelled events. Removing eagerly
-	// is possible but not worth the code for our event volumes.
+	e.cancelled = true
+	s.live--
+	s.dead++
+	if s.dead > compactMin && s.dead > len(s.q)/2 {
+		s.compact()
+	}
+}
+
+// compact removes every cancelled slot and re-heapifies. Amortised cost
+// is O(1) per cancellation: a compaction touching n slots only happens
+// after n/2 cancellations.
+func (s *Simulator) compact() {
+	keep := s.q[:0]
+	for _, sl := range s.q {
+		if sl.ev.cancelled {
+			s.recycle(sl.ev)
+		} else {
+			keep = append(keep, sl)
+		}
+	}
+	s.q = keep
+	for i := (len(s.q) - 2) / 4; i >= 0 && len(s.q) > 0; i-- {
+		s.siftDown(i)
+	}
+	s.dead = 0
+}
+
+// less orders slots by (time, insertion seq).
+func (s *Simulator) less(a, b slot) bool {
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.seq < b.seq
+}
+
+// siftUp restores the 4-ary heap property from leaf i towards the root.
+func (s *Simulator) siftUp(i int) {
+	q := s.q
+	sl := q[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !s.less(sl, q[parent]) {
+			break
+		}
+		q[i] = q[parent]
+		i = parent
+	}
+	q[i] = sl
+}
+
+// siftDown restores the heap property from node i towards the leaves.
+func (s *Simulator) siftDown(i int) {
+	q := s.q
+	n := len(q)
+	sl := q[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if s.less(q[c], q[min]) {
+				min = c
+			}
+		}
+		if !s.less(q[min], sl) {
+			break
+		}
+		q[i] = q[min]
+		i = min
+	}
+	q[i] = sl
+}
+
+// popTop removes the root slot. The caller has already read q[0].
+func (s *Simulator) popTop() {
+	n := len(s.q) - 1
+	last := s.q[n]
+	s.q[n].ev = nil
+	s.q = s.q[:n]
+	if n > 0 {
+		s.q[0] = last
+		s.siftDown(0)
+	}
+}
+
+// fire executes the popped event: its callback is captured, the Event
+// struct is recycled first (so the callback can immediately reuse it when
+// scheduling follow-ups), then the callback runs.
+func (s *Simulator) fire(e *Event) {
+	fn, argFn, arg, aux := e.fn, e.argFn, e.arg, e.aux
+	s.recycle(e)
+	s.processed++
+	if argFn != nil {
+		argFn(arg, aux)
+	} else {
+		fn()
+	}
 }
 
 // Stop makes Run return after the currently executing event.
@@ -144,20 +326,23 @@ func (s *Simulator) Run() float64 {
 // event when the queue drains first. It returns the final virtual time.
 func (s *Simulator) RunUntil(deadline float64) float64 {
 	s.stopped = false
-	for len(s.queue) > 0 && !s.stopped {
-		e := s.queue[0]
-		if e.cancel {
-			heap.Pop(&s.queue)
+	for len(s.q) > 0 && !s.stopped {
+		top := s.q[0]
+		if top.ev.cancelled {
+			e := top.ev
+			s.popTop()
+			s.dead--
+			s.recycle(e)
 			continue
 		}
-		if e.time > deadline {
+		if top.time > deadline {
 			s.now = deadline
 			return s.now
 		}
-		heap.Pop(&s.queue)
-		s.now = e.time
-		s.processed++
-		e.fn()
+		s.popTop()
+		s.live--
+		s.now = top.time
+		s.fire(top.ev)
 	}
 	return s.now
 }
@@ -165,14 +350,17 @@ func (s *Simulator) RunUntil(deadline float64) float64 {
 // Step executes exactly one (uncancelled) event and reports whether one was
 // available.
 func (s *Simulator) Step() bool {
-	for len(s.queue) > 0 {
-		e := heap.Pop(&s.queue).(*Event)
-		if e.cancel {
+	for len(s.q) > 0 {
+		top := s.q[0]
+		s.popTop()
+		if top.ev.cancelled {
+			s.dead--
+			s.recycle(top.ev)
 			continue
 		}
-		s.now = e.time
-		s.processed++
-		e.fn()
+		s.live--
+		s.now = top.time
+		s.fire(top.ev)
 		return true
 	}
 	return false

@@ -1,0 +1,104 @@
+package des
+
+import (
+	"sort"
+	"testing"
+)
+
+// FuzzPushPopCancel drives the queue through an arbitrary interleaving of
+// schedule / cancel / step / run-until operations decoded from the fuzz
+// input, and checks the kernel's invariants after every operation:
+//
+//   - events fire in (time, insertion) order, exactly the uncancelled ones;
+//   - Pending() equals scheduled minus fired minus cancelled;
+//   - the physical queue never retains more than the live events plus the
+//     compaction slack;
+//   - the clock never goes backwards.
+//
+// Run it as a regular test (seed corpus) or with
+// `go test -fuzz=FuzzPushPopCancel ./internal/des/`.
+func FuzzPushPopCancel(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{10, 200, 10, 201, 10, 202, 50, 51, 52})
+	f.Add([]byte{255, 254, 253, 0, 0, 0, 128, 128})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := New()
+		type rec struct {
+			time float64
+			id   int
+		}
+		var fired []rec
+		var handles []Handle // handles[id] belongs to scheduled[id]
+		var scheduled []rec  // by id
+		var cancelled []bool // by id
+		var done []bool      // by id
+		live := 0
+
+		for i := 0; i < len(data); i++ {
+			op := data[i] % 8
+			v := float64(data[i] >> 3)
+			switch {
+			case op < 4: // schedule (most common)
+				id := len(scheduled)
+				tt := s.Now() + v
+				e := rec{time: tt, id: id}
+				scheduled = append(scheduled, e)
+				cancelled = append(cancelled, false)
+				done = append(done, false)
+				handles = append(handles, s.At(tt, func() {
+					fired = append(fired, e)
+					done[id] = true
+				}))
+				live++
+			case op == 4 || op == 5: // cancel a pseudo-random prior handle
+				if len(handles) > 0 {
+					id := int(data[i]) % len(handles)
+					if handles[id].Scheduled() {
+						cancelled[id] = true
+						live--
+					}
+					s.Cancel(handles[id])
+					s.Cancel(handles[id]) // double cancel must be a no-op
+				}
+			case op == 6:
+				if s.Step() {
+					live--
+				}
+			default:
+				before := len(fired)
+				s.RunUntil(s.Now() + v)
+				live -= len(fired) - before
+			}
+			if s.Pending() != live {
+				t.Fatalf("op %d: pending = %d, want %d", i, s.Pending(), live)
+			}
+			if s.QueueLen() > 2*s.Pending()+4*compactMin {
+				t.Fatalf("op %d: queue len %d exceeds retention bound (pending %d)", i, s.QueueLen(), s.Pending())
+			}
+		}
+		prevNow := s.Now()
+		s.Run()
+		if s.Now() < prevNow {
+			t.Fatalf("clock went backwards: %v -> %v", prevNow, s.Now())
+		}
+		// Everything uncancelled fired, in (time, insertion id) order.
+		var want []rec
+		for id, e := range scheduled {
+			if !cancelled[id] {
+				want = append(want, e)
+			}
+		}
+		if len(fired) != len(want) {
+			t.Fatalf("fired %d of %d uncancelled events", len(fired), len(want))
+		}
+		sort.SliceStable(want, func(a, b int) bool { return want[a].time < want[b].time })
+		for i := range want {
+			if fired[i] != want[i] {
+				t.Fatalf("fire order[%d] = %+v, want %+v", i, fired[i], want[i])
+			}
+		}
+		if s.Pending() != 0 || s.QueueLen() != 0 {
+			t.Fatalf("drained queue: pending=%d qlen=%d", s.Pending(), s.QueueLen())
+		}
+	})
+}

@@ -1,0 +1,21 @@
+package engine_test
+
+import (
+	"testing"
+
+	"rumr/internal/bench"
+)
+
+// The benchmark bodies live in internal/bench so cmd/rumrbench can run
+// the identical measurement outside `go test` (via testing.Benchmark)
+// when writing or checking BENCH_baseline.json.
+
+// BenchmarkEngineRun is the PR-4 headline: one full fault-free RUMR run
+// on 20 workers, 200 chunks. It must report 0 allocs/op in steady state
+// (pooled run state, typed event queue, closure-free callbacks); CI
+// gates on the committed baseline.
+func BenchmarkEngineRun(b *testing.B) { bench.EngineRun(b) }
+
+// BenchmarkEngineRunFaulty covers the recovery path: crashes, rejoins
+// and re-dispatch with completion timeouts (cancel-heavy event queue).
+func BenchmarkEngineRunFaulty(b *testing.B) { bench.EngineRunFaulty(b) }

@@ -27,11 +27,20 @@
 // survives. Every fault and recovery action is emitted on the event
 // stream and recorded in the trace, where Trace.Validate independently
 // checks that no unit of work is silently dropped or double-counted.
+//
+// The hot path is allocation-free in steady state: run state (the DES
+// kernel, worker runtimes, the dispatcher view, pending-chunk structs) is
+// pooled and reset between runs, and every per-chunk callback is a shared
+// top-level function scheduled through des.AfterCall with the chunk as its
+// argument — no closures are captured per chunk-hop. BenchmarkEngineRun
+// (internal/bench) pins 0 allocs/op; pooling is invisible to results:
+// same-seed runs stay byte-identical (see TestGoldenTracesByteIdentical).
 package engine
 
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"rumr/internal/des"
 	"rumr/internal/fault"
@@ -157,6 +166,12 @@ type Options struct {
 	CompModel perferr.Model
 	// RecordTrace makes Run return a full per-chunk trace.
 	RecordTrace bool
+	// ExpectedChunks, when positive, sizes the trace-record buffer (and
+	// the pending-chunk arena on a cold pool) up front, so tracing a run
+	// whose chunk count is known — a memoized plan, a repeat of the
+	// previous repetition — does not regrow slices chunk by chunk. It is
+	// a hint: runs may dispatch more or fewer chunks.
+	ExpectedChunks int
 	// ParallelSends is the number of transfers the master may run
 	// concurrently. The paper's model (and the default, 0 or 1) is a
 	// fully serialised port; higher values implement the "simultaneous
@@ -220,7 +235,7 @@ type workerRuntime struct {
 	state     WorkerState
 	queue     []*pendingChunk // arrived, not yet computed (FIFO)
 	current   *pendingChunk
-	compEvent *des.Event // completion of current, cancellable on faults
+	compEvent des.Handle // completion of current, cancellable on faults
 	slow      float64    // compute slowdown factor (1 = nominal)
 }
 
@@ -236,13 +251,78 @@ const (
 )
 
 type pendingChunk struct {
+	run     *run // owning (pooled) run state; fixed for the struct's lifetime
 	chunk   Chunk
 	record  int // index into records for the current attempt, -1 when tracing is off
 	seq     int // dispatch index of the first attempt; stable chunk identity
 	attempt int // 0 = original send, +1 per re-dispatch
 	phase   chunkPhase
-	timeout *des.Event // completion timer, cancellable
+	timeout des.Handle // completion timer, cancellable
+	// predicted and effective are the in-progress computation's durations,
+	// captured at compute start for the completion callback and Observer.
+	predicted, effective float64
 }
+
+// run is the complete state of one simulation. Instances are pooled: Run
+// borrows one, resets every field, executes, and returns it — so in
+// steady state a run performs no heap allocation at all. pendingChunk
+// structs are pooled per run (arena + free-list); their back-pointer to
+// the owning run is set once and stays valid because chunks never migrate
+// between run instances.
+type run struct {
+	sim *des.Simulator
+	p   *platform.Platform
+	d   Dispatcher
+	// obsD and faD cache the dispatcher's optional interfaces, asserted
+	// once per run instead of once per completion/fault.
+	obsD       Observer
+	faD        FaultAware
+	comm, comp perferr.Model
+	rec        fault.Recovery
+	ev         obs.Sink
+	tr         *trace.Trace
+	faults     []fault.Event
+
+	n         int
+	slots     int
+	maxChunks int
+	sending   int
+
+	workers   []workerRuntime
+	view      View
+	lostQueue []*pendingChunk // awaiting re-dispatch, FIFO
+
+	// pcs is the arena of chunks handed out this run; pcFree holds
+	// recycled structs from prior runs of this instance.
+	pcs    []*pendingChunk
+	pcFree []*pendingChunk
+
+	res         Result
+	dispatchErr error
+}
+
+var runPool = sync.Pool{New: func() any { return &run{sim: des.New()} }}
+
+// aux packing for the send/arrive event chain: one des callback argument
+// carries both the attempt number and the destination worker of that
+// attempt. The worker index must be carried per attempt — a chunk can be
+// re-dispatched to a new worker while a stale transfer towards the old
+// one is still in flight, and the stale arrival must release the old
+// worker's in-flight counter.
+const auxWorkerBits = 20
+
+func packAux(attempt, worker int) int { return attempt<<auxWorkerBits | worker }
+func unpackAux(aux int) (attempt, worker int) {
+	return aux >> auxWorkerBits, aux & (1<<auxWorkerBits - 1)
+}
+
+// Shared des callbacks: one top-level function per event kind for the
+// whole process, so scheduling a chunk-hop allocates nothing.
+func sendEndCB(arg any, aux int) { arg.(*pendingChunk).onSendEnd(aux) }
+func arriveCB(arg any, aux int)  { arg.(*pendingChunk).onArrive(aux) }
+func compEndCB(arg any, _ int)   { arg.(*pendingChunk).onCompEnd() }
+func timeoutCB(arg any, _ int)   { pc := arg.(*pendingChunk); pc.run.onTimeout(pc) }
+func faultCB(arg any, aux int)   { r := arg.(*run); r.applyFault(r.faults[aux]) }
 
 // Run simulates dispatching on p according to d and returns the result.
 // It returns an error for invalid platforms or misbehaving dispatchers
@@ -252,468 +332,591 @@ func Run(p *platform.Platform, d Dispatcher, opts Options) (Result, error) {
 		return Result{}, err
 	}
 	n := p.N()
+	if n >= 1<<auxWorkerBits {
+		return Result{}, fmt.Errorf("engine: %d workers exceed the supported maximum %d", n, 1<<auxWorkerBits-1)
+	}
 	if err := opts.Faults.Validate(n); err != nil {
 		return Result{}, err
 	}
-	comm := opts.CommModel
-	if comm == nil {
-		comm = perferr.Perfect{}
-	}
-	comp := opts.CompModel
-	if comp == nil {
-		comp = perferr.Perfect{}
-	}
-	maxChunks := opts.MaxChunks
-	if maxChunks <= 0 {
-		maxChunks = 10_000_000
-	}
-	slots := opts.ParallelSends
-	if slots <= 0 {
-		slots = 1
-	}
-	rec := opts.Recovery
+	r := runPool.Get().(*run)
+	res, err := r.exec(p, d, opts)
+	r.release()
+	runPool.Put(r)
+	return res, err
+}
 
-	sim := des.New()
-	workers := make([]workerRuntime, n)
-	for i := range workers {
-		workers[i].slow = 1
+// exec resets the pooled state for (p, d, opts) and plays the simulation.
+func (r *run) exec(p *platform.Platform, d Dispatcher, opts Options) (Result, error) {
+	n := p.N()
+	r.p = p
+	r.d = d
+	r.obsD, _ = d.(Observer)
+	r.faD, _ = d.(FaultAware)
+	r.comm = opts.CommModel
+	if r.comm == nil {
+		r.comm = perferr.Perfect{}
 	}
-	view := View{Workers: make([]WorkerState, n)}
-	var res Result
-	var tr *trace.Trace
-	if opts.RecordTrace {
-		tr = &trace.Trace{ParallelSends: slots}
+	r.comp = opts.CompModel
+	if r.comp == nil {
+		r.comp = perferr.Perfect{}
 	}
-	sending := 0
-	var lostQueue []*pendingChunk // awaiting re-dispatch, FIFO
-	var dispatchErr error
-	ev := opts.Events
-	if ev != nil {
-		if em, ok := d.(obs.Emitter); ok {
-			em.AttachEvents(ev)
-		}
+	r.maxChunks = opts.MaxChunks
+	if r.maxChunks <= 0 {
+		r.maxChunks = 10_000_000
 	}
+	r.slots = opts.ParallelSends
+	if r.slots <= 0 {
+		r.slots = 1
+	}
+	r.rec = opts.Recovery
+	r.n = n
+	r.sending = 0
+	r.res = Result{}
+	r.dispatchErr = nil
+	r.sim.Reset()
 
-	syncView := func() {
-		view.Time = sim.Now()
-		for i := range workers {
-			view.Workers[i] = workers[i].state
-		}
+	if cap(r.workers) < n {
+		r.workers = make([]workerRuntime, n)
 	}
-
-	fail := func(err error) {
-		if dispatchErr == nil {
-			dispatchErr = err
+	r.workers = r.workers[:n]
+	for i := range r.workers {
+		w := &r.workers[i]
+		w.state = WorkerState{}
+		if w.queue != nil {
+			w.queue = w.queue[:0]
 		}
-		sim.Stop()
-	}
-
-	var kick func()
-	var startCompute func(int)
-	var onTimeout func(*pendingChunk)
-
-	// lose marks pc's current attempt as lost and queues it for
-	// re-dispatch (or writes its work off, past the attempt cap or with
-	// recovery disabled). Worker-state bookkeeping is the caller's job.
-	lose := func(pc *pendingChunk, at float64, reason string) {
-		pc.phase = chLost
-		if pc.timeout != nil {
-			sim.Cancel(pc.timeout)
-			pc.timeout = nil
-		}
-		if tr != nil && pc.record >= 0 {
-			r := &tr.Records[pc.record]
-			r.Lost = true
-			r.LostAt = at
-		}
-		res.LostChunks++
-		if ev != nil {
-			ev.Emit(obs.Event{Kind: obs.KindChunkLost, Time: at, Worker: pc.chunk.Worker,
-				Seq: pc.seq, Size: pc.chunk.Size, Round: pc.chunk.Round, Phase: pc.chunk.Phase,
-				Attempt: pc.attempt, Reason: reason})
-		}
-		if rec.Enabled && (rec.MaxAttempts <= 0 || pc.attempt < rec.MaxAttempts) {
-			lostQueue = append(lostQueue, pc)
-		} else {
-			res.LostWork += pc.chunk.Size
-		}
-	}
-
-	startCompute = func(wi int) {
-		w := &workers[wi]
-		if w.state.Down || w.state.Computing || len(w.queue) == 0 {
-			return
-		}
-		pc := w.queue[0]
-		w.queue = w.queue[1:]
-		w.state.Queued--
-		w.state.Computing = true
-		w.current = pc
-		pc.phase = chComputing
-		spec := p.Workers[wi]
-		predicted := spec.CLat + pc.chunk.Size/spec.S
-		effective := comp.Perturb(predicted) * w.slow
-		start := sim.Now()
-		if tr != nil && pc.record >= 0 {
-			tr.Records[pc.record].CompStart = start
-		}
-		if ev != nil {
-			ev.Emit(obs.Event{Kind: obs.KindCompStart, Time: start, Worker: wi,
-				Seq: pc.seq, Size: pc.chunk.Size, Round: pc.chunk.Round, Phase: pc.chunk.Phase,
-				Attempt: pc.attempt})
-		}
-		w.compEvent = sim.After(effective, func() {
-			w.compEvent = nil
-			w.current = nil
-			pc.phase = chDone
-			if pc.timeout != nil {
-				sim.Cancel(pc.timeout)
-				pc.timeout = nil
-			}
-			w.state.Computing = false
-			w.state.CompletedChunks++
-			w.state.CompletedWork += pc.chunk.Size
-			res.CompletedWork += pc.chunk.Size
-			end := sim.Now()
-			if end > res.Makespan {
-				res.Makespan = end
-			}
-			if tr != nil && pc.record >= 0 {
-				tr.Records[pc.record].CompEnd = end
-			}
-			if ev != nil {
-				ev.Emit(obs.Event{Kind: obs.KindCompEnd, Time: end, Worker: wi,
-					Seq: pc.seq, Size: pc.chunk.Size, Round: pc.chunk.Round, Phase: pc.chunk.Phase,
-					Attempt: pc.attempt})
-			}
-			if o, ok := d.(Observer); ok {
-				o.OnComplete(wi, pc.chunk, end, predicted, effective)
-			}
-			startCompute(wi) // pull the next queued chunk, if any
-			kick()
-		})
-	}
-
-	// killCompute abandons the chunk a worker is computing (crash or
-	// timeout): the partial computation is recorded as busy time up to
-	// `at` and the worker's CPU is freed.
-	killCompute := func(wi int, at float64) *pendingChunk {
-		w := &workers[wi]
-		pc := w.current
-		if pc == nil {
-			return nil
-		}
-		sim.Cancel(w.compEvent)
-		w.compEvent = nil
 		w.current = nil
-		w.state.Computing = false
-		if tr != nil && pc.record >= 0 {
-			tr.Records[pc.record].CompEnd = at
+		w.compEvent = des.Handle{}
+		w.slow = 1
+	}
+	if cap(r.view.Workers) < n {
+		r.view.Workers = make([]WorkerState, n)
+	}
+	r.view.Workers = r.view.Workers[:n]
+	r.view.Time = 0
+
+	r.tr = nil
+	if opts.RecordTrace {
+		r.tr = &trace.Trace{ParallelSends: r.slots}
+		if opts.ExpectedChunks > 0 {
+			// Leave headroom for fault-recovery re-dispatch attempts.
+			r.tr.Records = make([]trace.ChunkRecord, 0, opts.ExpectedChunks+opts.ExpectedChunks/4)
 		}
-		return pc
+	}
+	r.lostQueue = r.lostQueue[:0]
+	r.pcs = r.pcs[:0]
+	if opts.ExpectedChunks > 0 && cap(r.pcs) == 0 {
+		r.pcs = make([]*pendingChunk, 0, opts.ExpectedChunks)
 	}
 
-	// canReceive reports whether worker i can accept a new transfer.
-	canReceive := func(i int) bool {
-		return !workers[i].state.Down && !workers[i].state.LinkDown
-	}
-
-	// pickTarget selects the re-dispatch destination: the live, reachable
-	// worker with the least pending work, preferring any worker other
-	// than the one that just failed the chunk; ties break on the lowest
-	// index, so recovery is deterministic.
-	pickTarget := func(avoid int) int {
-		best, bestLoad := -1, 0
-		for pass := 0; pass < 2 && best < 0; pass++ {
-			for i := 0; i < n; i++ {
-				if !canReceive(i) || (pass == 0 && i == avoid) {
-					continue
-				}
-				load := workers[i].state.Queued + workers[i].state.InFlight
-				if workers[i].state.Computing {
-					load++
-				}
-				if best < 0 || load < bestLoad {
-					best, bestLoad = i, load
-				}
-			}
-		}
-		return best
-	}
-
-	// armTimeout starts pc's completion timer: the predicted time for the
-	// transfer, the destination's current backlog and the computation,
-	// scaled by the recovery policy (doubling per attempt).
-	armTimeout := func(pc *pendingChunk) {
-		if !rec.Enabled || rec.TimeoutFactor <= 0 {
-			return
-		}
-		wi := pc.chunk.Worker
-		spec := p.Workers[wi]
-		w := &workers[wi]
-		backlog := 0.0
-		queued := len(w.queue)
-		for _, q := range w.queue {
-			backlog += q.chunk.Size
-		}
-		if w.current != nil {
-			backlog += w.current.chunk.Size
-			queued++
-		}
-		pred := spec.NLat + pc.chunk.Size/spec.B + spec.TLat +
-			float64(queued+1)*spec.CLat + (backlog+pc.chunk.Size)/spec.S
-		pc.timeout = sim.After(rec.TimeoutFor(pred, pc.attempt), func() { onTimeout(pc) })
-	}
-
-	onTimeout = func(pc *pendingChunk) {
-		pc.timeout = nil
-		now := sim.Now()
-		switch pc.phase {
-		case chDone, chLost:
-			return
-		case chSending:
-			// Still in transit: written off now; the arrival callback
-			// sees chLost and only drops the in-flight counter.
-			lose(pc, now, "completion timeout in transit")
-		case chQueued:
-			w := &workers[pc.chunk.Worker]
-			for i, q := range w.queue {
-				if q == pc {
-					w.queue = append(w.queue[:i], w.queue[i+1:]...)
-					break
-				}
-			}
-			w.state.Queued--
-			lose(pc, now, "completion timeout while queued")
-		case chComputing:
-			killCompute(pc.chunk.Worker, now)
-			lose(pc, now, "completion timeout: task killed")
-			startCompute(pc.chunk.Worker)
-		}
-		kick()
-	}
-
-	applyFault := func(fe fault.Event) {
-		w := &workers[fe.Worker]
-		now := sim.Now()
-		emitFault := func(kind obs.Kind, reason string) {
-			if ev != nil {
-				ev.Emit(obs.Event{Kind: kind, Time: now, Worker: fe.Worker, Seq: -1, Reason: reason})
-			}
-		}
-		switch fe.Kind {
-		case fault.Crash:
-			if w.state.Down {
-				return
-			}
-			w.state.Down = true
-			emitFault(obs.KindWorkerCrash, "worker crashed")
-			if pc := killCompute(fe.Worker, now); pc != nil {
-				lose(pc, now, "worker crashed while computing")
-			}
-			for _, pc := range w.queue {
-				lose(pc, now, "worker crashed with chunk queued")
-			}
-			w.queue = nil
-			w.state.Queued = 0
-			// In-flight data is heading to a dead machine; it is lost on
-			// arrival, where the arrival callback checks liveness.
-			if fa, ok := d.(FaultAware); ok {
-				syncView()
-				fa.OnWorkerDown(fe.Worker, now, &view)
-			}
-			kick() // lost work may be re-dispatched elsewhere right away
-		case fault.Rejoin:
-			if !w.state.Down {
-				return
-			}
-			w.state.Down = false
-			w.state.LinkDown = false
-			w.slow = 1
-			emitFault(obs.KindWorkerRejoin, "worker rejoined")
-			if fa, ok := d.(FaultAware); ok {
-				syncView()
-				fa.OnWorkerUp(fe.Worker, now, &view)
-			}
-			kick()
-		case fault.LinkDown:
-			if w.state.Down || w.state.LinkDown {
-				return
-			}
-			w.state.LinkDown = true
-			emitFault(obs.KindLinkDown, "link outage")
-		case fault.LinkUp:
-			if w.state.Down || !w.state.LinkDown {
-				return
-			}
-			w.state.LinkDown = false
-			emitFault(obs.KindLinkUp, "link restored")
-			kick()
-		case fault.SlowStart:
-			if w.state.Down {
-				return
-			}
-			w.slow = fe.Factor
-			emitFault(obs.KindSlowdown, fmt.Sprintf("straggler: compute slowed %gx", fe.Factor))
-		case fault.SlowEnd:
-			if w.state.Down {
-				return
-			}
-			w.slow = 1
-			emitFault(obs.KindSlowdown, "straggler recovered")
+	r.ev = opts.Events
+	if r.ev != nil {
+		if em, ok := d.(obs.Emitter); ok {
+			em.AttachEvents(r.ev)
 		}
 	}
 
-	// send transmits pc to pc.chunk.Worker: occupies a port slot, appends
-	// the attempt's trace record, arms the completion timer and schedules
-	// the arrival. Shared by first dispatches and re-dispatches.
-	send := func(pc *pendingChunk) {
-		c := pc.chunk
-		wi := c.Worker
-		attempt := pc.attempt
-		spec := p.Workers[wi]
-		sendDur := comm.Perturb(spec.NLat + c.Size/spec.B)
-		sending++
-		pc.phase = chSending
-		workers[wi].state.InFlight++
-		pc.record = -1
-		if tr != nil {
-			tr.Records = append(tr.Records, trace.ChunkRecord{
-				ChunkID: pc.seq, Attempt: pc.attempt,
-				Worker: wi, Size: c.Size, Round: c.Round, Phase: c.Phase,
-				SendStart: sim.Now(), SendEnd: sim.Now() + sendDur,
-				Arrive: sim.Now() + sendDur + spec.TLat,
-			})
-			pc.record = len(tr.Records) - 1
-		}
-		if ev != nil {
-			ev.Emit(obs.Event{Kind: obs.KindSendStart, Time: sim.Now(), Worker: wi,
-				Seq: pc.seq, Size: c.Size, Round: c.Round, Phase: c.Phase, Attempt: pc.attempt})
-		}
-		armTimeout(pc)
-		// The send slot frees when the non-overlappable part completes...
-		sim.After(sendDur, func() {
-			sending--
-			if ev != nil {
-				ev.Emit(obs.Event{Kind: obs.KindSendEnd, Time: sim.Now(), Worker: wi,
-					Seq: pc.seq, Size: c.Size, Round: c.Round, Phase: c.Phase, Attempt: attempt})
-			}
-			// ...and the worker holds the data tLat later.
-			sim.After(spec.TLat, func() {
-				w := &workers[wi]
-				w.state.InFlight--
-				if pc.phase == chLost || pc.attempt != attempt {
-					// This attempt was written off (timeout in transit) —
-					// and possibly already re-dispatched elsewhere, which
-					// resets the phase; the attempt counter tells a stale
-					// arrival from the live one. The data arrives to no one.
-					kick()
-					return
-				}
-				if w.state.Down || w.state.LinkDown {
-					reason := "arrived at crashed worker"
-					if !w.state.Down {
-						reason = "arrived during link outage"
-					}
-					lose(pc, sim.Now(), reason)
-					kick()
-					return
-				}
-				w.state.Queued++
-				pc.phase = chQueued
-				w.queue = append(w.queue, pc)
-				if ev != nil {
-					ev.Emit(obs.Event{Kind: obs.KindArrive, Time: sim.Now(), Worker: wi,
-						Seq: pc.seq, Size: c.Size, Round: c.Round, Phase: c.Phase, Attempt: pc.attempt})
-				}
-				startCompute(wi)
-				kick()
-			})
-			kick()
-		})
-	}
-
-	kick = func() {
-		// With spare slots the master may start several transfers now:
-		// re-dispatch lost work first, then consult the dispatcher.
-		for sending < slots && dispatchErr == nil {
-			var pc *pendingChunk
-			if rec.Enabled && len(lostQueue) > 0 {
-				if target := pickTarget(lostQueue[0].chunk.Worker); target >= 0 {
-					pc = lostQueue[0]
-					lostQueue = lostQueue[1:]
-					if tr != nil && pc.record >= 0 {
-						tr.Records[pc.record].Redispatched = true
-					}
-					pc.chunk.Worker = target
-					pc.attempt++
-					res.Redispatches++
-					res.RedispatchedWork += pc.chunk.Size
-					if res.Redispatches > maxChunks {
-						fail(fmt.Errorf("engine: recovery exceeded %d re-dispatches; livelocked fault scenario?", maxChunks))
-						return
-					}
-					if ev != nil {
-						ev.Emit(obs.Event{Kind: obs.KindRedispatch, Time: sim.Now(), Worker: target,
-							Seq: pc.seq, Size: pc.chunk.Size, Round: pc.chunk.Round, Phase: pc.chunk.Phase,
-							Attempt: pc.attempt, Reason: "re-dispatching lost chunk to least-loaded live worker"})
-					}
-				}
-			}
-			if pc == nil {
-				syncView()
-				c, ok := d.Next(&view)
-				if !ok {
-					return
-				}
-				if c.Worker < 0 || c.Worker >= n {
-					fail(fmt.Errorf("engine: dispatcher sent chunk to worker %d of %d", c.Worker, n))
-					return
-				}
-				if c.Size <= 0 || math.IsNaN(c.Size) || math.IsInf(c.Size, 0) {
-					fail(fmt.Errorf("engine: dispatcher produced invalid chunk size %g", c.Size))
-					return
-				}
-				res.Chunks++
-				if res.Chunks > maxChunks {
-					fail(fmt.Errorf("engine: dispatcher exceeded %d chunks; runaway policy?", maxChunks))
-					return
-				}
-				res.DispatchedWork += c.Size
-				pc = &pendingChunk{chunk: c, seq: res.Chunks - 1}
-			}
-			send(pc)
-		}
-	}
-
+	r.faults = nil
 	if !opts.Faults.Empty() {
-		for _, fe := range opts.Faults.Events {
-			fe := fe
-			sim.At(fe.Time, func() { applyFault(fe) })
+		r.faults = opts.Faults.Events
+		for i, fe := range r.faults {
+			r.sim.AtCall(fe.Time, faultCB, r, i)
 		}
 	}
 
-	kick()
-	sim.Run()
-	if dispatchErr != nil {
-		return Result{}, dispatchErr
+	r.kick()
+	r.sim.Run()
+	if r.dispatchErr != nil {
+		return Result{}, r.dispatchErr
 	}
 	// Chunks still awaiting re-dispatch when the simulation drains (every
 	// surviving worker unreachable) are permanently lost.
-	for _, pc := range lostQueue {
-		res.LostWork += pc.chunk.Size
+	for _, pc := range r.lostQueue {
+		r.res.LostWork += pc.chunk.Size
 	}
-	res.Events = sim.Processed()
-	if tr != nil {
-		tr.Makespan = res.Makespan
-		res.Trace = tr
+	r.res.Events = r.sim.Processed()
+	if r.tr != nil {
+		r.tr.Makespan = r.res.Makespan
+		r.res.Trace = r.tr
 	}
-	if ev != nil {
-		ev.Emit(obs.Event{Kind: obs.KindRunDone, Time: res.Makespan, Worker: -1,
-			Seq: res.Chunks, Size: res.DispatchedWork})
+	if r.ev != nil {
+		r.ev.Emit(obs.Event{Kind: obs.KindRunDone, Time: r.res.Makespan, Worker: -1,
+			Seq: r.res.Chunks, Size: r.res.DispatchedWork})
 	}
 	if opts.Metrics != nil {
-		opts.Metrics.AddRun(res.Chunks, res.Events, res.Makespan)
+		opts.Metrics.AddRun(r.res.Chunks, r.res.Events, r.res.Makespan)
 	}
-	return res, nil
+	return r.res, nil
+}
+
+// release drops every borrowed reference before the run instance goes
+// back to the pool, and recycles this run's pending chunks into the
+// free-list. Capacities (heap, arena, queues) are retained — that is the
+// point of pooling.
+func (r *run) release() {
+	for _, pc := range r.pcs {
+		pc.chunk = Chunk{}
+		pc.record = -1
+		pc.seq = 0
+		pc.attempt = 0
+		pc.phase = chSending
+		pc.timeout = des.Handle{}
+		pc.predicted = 0
+		pc.effective = 0
+		r.pcFree = append(r.pcFree, pc)
+	}
+	r.pcs = r.pcs[:0]
+	for i := range r.workers {
+		w := &r.workers[i]
+		for j := range w.queue {
+			w.queue[j] = nil
+		}
+		w.queue = w.queue[:0]
+		w.current = nil
+	}
+	for i := range r.lostQueue {
+		r.lostQueue[i] = nil
+	}
+	r.lostQueue = r.lostQueue[:0]
+	r.p = nil
+	r.d = nil
+	r.obsD = nil
+	r.faD = nil
+	r.comm = nil
+	r.comp = nil
+	r.ev = nil
+	r.tr = nil
+	r.faults = nil
+	r.dispatchErr = nil
+	r.res = Result{}
+}
+
+// allocPC hands out a pending chunk from the free-list (or grows the
+// arena on a cold pool) with all lifecycle fields zeroed.
+func (r *run) allocPC() *pendingChunk {
+	var pc *pendingChunk
+	if k := len(r.pcFree); k > 0 {
+		pc = r.pcFree[k-1]
+		r.pcFree[k-1] = nil
+		r.pcFree = r.pcFree[:k-1]
+	} else {
+		pc = &pendingChunk{run: r, record: -1}
+	}
+	r.pcs = append(r.pcs, pc)
+	return pc
+}
+
+func (r *run) syncView() {
+	r.view.Time = r.sim.Now()
+	for i := range r.workers {
+		r.view.Workers[i] = r.workers[i].state
+	}
+}
+
+func (r *run) fail(err error) {
+	if r.dispatchErr == nil {
+		r.dispatchErr = err
+	}
+	r.sim.Stop()
+}
+
+// lose marks pc's current attempt as lost and queues it for re-dispatch
+// (or writes its work off, past the attempt cap or with recovery
+// disabled). Worker-state bookkeeping is the caller's job.
+func (r *run) lose(pc *pendingChunk, at float64, reason string) {
+	pc.phase = chLost
+	r.sim.Cancel(pc.timeout)
+	pc.timeout = des.Handle{}
+	if r.tr != nil && pc.record >= 0 {
+		rec := &r.tr.Records[pc.record]
+		rec.Lost = true
+		rec.LostAt = at
+	}
+	r.res.LostChunks++
+	if r.ev != nil {
+		r.ev.Emit(obs.Event{Kind: obs.KindChunkLost, Time: at, Worker: pc.chunk.Worker,
+			Seq: pc.seq, Size: pc.chunk.Size, Round: pc.chunk.Round, Phase: pc.chunk.Phase,
+			Attempt: pc.attempt, Reason: reason})
+	}
+	if r.rec.Enabled && (r.rec.MaxAttempts <= 0 || pc.attempt < r.rec.MaxAttempts) {
+		r.lostQueue = append(r.lostQueue, pc)
+	} else {
+		r.res.LostWork += pc.chunk.Size
+	}
+}
+
+func (r *run) startCompute(wi int) {
+	w := &r.workers[wi]
+	if w.state.Down || w.state.Computing || len(w.queue) == 0 {
+		return
+	}
+	pc := w.queue[0]
+	// Shift down rather than re-slice from the front: w.queue[1:] would
+	// walk the slice off its backing array and force the next append to
+	// reallocate. Queues are a handful of chunks, so the copy is free.
+	copy(w.queue, w.queue[1:])
+	w.queue[len(w.queue)-1] = nil
+	w.queue = w.queue[:len(w.queue)-1]
+	w.state.Queued--
+	w.state.Computing = true
+	w.current = pc
+	pc.phase = chComputing
+	spec := r.p.Workers[wi]
+	pc.predicted = spec.CLat + pc.chunk.Size/spec.S
+	pc.effective = r.comp.Perturb(pc.predicted) * w.slow
+	start := r.sim.Now()
+	if r.tr != nil && pc.record >= 0 {
+		r.tr.Records[pc.record].CompStart = start
+	}
+	if r.ev != nil {
+		r.ev.Emit(obs.Event{Kind: obs.KindCompStart, Time: start, Worker: wi,
+			Seq: pc.seq, Size: pc.chunk.Size, Round: pc.chunk.Round, Phase: pc.chunk.Phase,
+			Attempt: pc.attempt})
+	}
+	w.compEvent = r.sim.AfterCall(pc.effective, compEndCB, pc, 0)
+}
+
+// onCompEnd is the computation-completed des callback.
+func (pc *pendingChunk) onCompEnd() {
+	r := pc.run
+	wi := pc.chunk.Worker
+	w := &r.workers[wi]
+	w.compEvent = des.Handle{}
+	w.current = nil
+	pc.phase = chDone
+	r.sim.Cancel(pc.timeout)
+	pc.timeout = des.Handle{}
+	w.state.Computing = false
+	w.state.CompletedChunks++
+	w.state.CompletedWork += pc.chunk.Size
+	r.res.CompletedWork += pc.chunk.Size
+	end := r.sim.Now()
+	if end > r.res.Makespan {
+		r.res.Makespan = end
+	}
+	if r.tr != nil && pc.record >= 0 {
+		r.tr.Records[pc.record].CompEnd = end
+	}
+	if r.ev != nil {
+		r.ev.Emit(obs.Event{Kind: obs.KindCompEnd, Time: end, Worker: wi,
+			Seq: pc.seq, Size: pc.chunk.Size, Round: pc.chunk.Round, Phase: pc.chunk.Phase,
+			Attempt: pc.attempt})
+	}
+	if r.obsD != nil {
+		r.obsD.OnComplete(wi, pc.chunk, end, pc.predicted, pc.effective)
+	}
+	r.startCompute(wi) // pull the next queued chunk, if any
+	r.kick()
+}
+
+// killCompute abandons the chunk a worker is computing (crash or
+// timeout): the partial computation is recorded as busy time up to
+// `at` and the worker's CPU is freed.
+func (r *run) killCompute(wi int, at float64) *pendingChunk {
+	w := &r.workers[wi]
+	pc := w.current
+	if pc == nil {
+		return nil
+	}
+	r.sim.Cancel(w.compEvent)
+	w.compEvent = des.Handle{}
+	w.current = nil
+	w.state.Computing = false
+	if r.tr != nil && pc.record >= 0 {
+		r.tr.Records[pc.record].CompEnd = at
+	}
+	return pc
+}
+
+// canReceive reports whether worker i can accept a new transfer.
+func (r *run) canReceive(i int) bool {
+	return !r.workers[i].state.Down && !r.workers[i].state.LinkDown
+}
+
+// pickTarget selects the re-dispatch destination: the live, reachable
+// worker with the least pending work, preferring any worker other
+// than the one that just failed the chunk; ties break on the lowest
+// index, so recovery is deterministic.
+func (r *run) pickTarget(avoid int) int {
+	best, bestLoad := -1, 0
+	for pass := 0; pass < 2 && best < 0; pass++ {
+		for i := 0; i < r.n; i++ {
+			if !r.canReceive(i) || (pass == 0 && i == avoid) {
+				continue
+			}
+			load := r.workers[i].state.Queued + r.workers[i].state.InFlight
+			if r.workers[i].state.Computing {
+				load++
+			}
+			if best < 0 || load < bestLoad {
+				best, bestLoad = i, load
+			}
+		}
+	}
+	return best
+}
+
+// armTimeout starts pc's completion timer: the predicted time for the
+// transfer, the destination's current backlog and the computation,
+// scaled by the recovery policy (doubling per attempt).
+func (r *run) armTimeout(pc *pendingChunk) {
+	if !r.rec.Enabled || r.rec.TimeoutFactor <= 0 {
+		return
+	}
+	wi := pc.chunk.Worker
+	spec := r.p.Workers[wi]
+	w := &r.workers[wi]
+	backlog := 0.0
+	queued := len(w.queue)
+	for _, q := range w.queue {
+		backlog += q.chunk.Size
+	}
+	if w.current != nil {
+		backlog += w.current.chunk.Size
+		queued++
+	}
+	pred := spec.NLat + pc.chunk.Size/spec.B + spec.TLat +
+		float64(queued+1)*spec.CLat + (backlog+pc.chunk.Size)/spec.S
+	pc.timeout = r.sim.AfterCall(r.rec.TimeoutFor(pred, pc.attempt), timeoutCB, pc, 0)
+}
+
+func (r *run) onTimeout(pc *pendingChunk) {
+	pc.timeout = des.Handle{}
+	now := r.sim.Now()
+	switch pc.phase {
+	case chDone, chLost:
+		return
+	case chSending:
+		// Still in transit: written off now; the arrival callback
+		// sees chLost and only drops the in-flight counter.
+		r.lose(pc, now, "completion timeout in transit")
+	case chQueued:
+		w := &r.workers[pc.chunk.Worker]
+		for i, q := range w.queue {
+			if q == pc {
+				w.queue = append(w.queue[:i], w.queue[i+1:]...)
+				break
+			}
+		}
+		w.state.Queued--
+		r.lose(pc, now, "completion timeout while queued")
+	case chComputing:
+		r.killCompute(pc.chunk.Worker, now)
+		r.lose(pc, now, "completion timeout: task killed")
+		r.startCompute(pc.chunk.Worker)
+	}
+	r.kick()
+}
+
+func (r *run) emitFault(kind obs.Kind, worker int, at float64, reason string) {
+	if r.ev != nil {
+		r.ev.Emit(obs.Event{Kind: kind, Time: at, Worker: worker, Seq: -1, Reason: reason})
+	}
+}
+
+func (r *run) applyFault(fe fault.Event) {
+	w := &r.workers[fe.Worker]
+	now := r.sim.Now()
+	switch fe.Kind {
+	case fault.Crash:
+		if w.state.Down {
+			return
+		}
+		w.state.Down = true
+		r.emitFault(obs.KindWorkerCrash, fe.Worker, now, "worker crashed")
+		if pc := r.killCompute(fe.Worker, now); pc != nil {
+			r.lose(pc, now, "worker crashed while computing")
+		}
+		for i, pc := range w.queue {
+			r.lose(pc, now, "worker crashed with chunk queued")
+			w.queue[i] = nil
+		}
+		w.queue = w.queue[:0]
+		w.state.Queued = 0
+		// In-flight data is heading to a dead machine; it is lost on
+		// arrival, where the arrival callback checks liveness.
+		if r.faD != nil {
+			r.syncView()
+			r.faD.OnWorkerDown(fe.Worker, now, &r.view)
+		}
+		r.kick() // lost work may be re-dispatched elsewhere right away
+	case fault.Rejoin:
+		if !w.state.Down {
+			return
+		}
+		w.state.Down = false
+		w.state.LinkDown = false
+		w.slow = 1
+		r.emitFault(obs.KindWorkerRejoin, fe.Worker, now, "worker rejoined")
+		if r.faD != nil {
+			r.syncView()
+			r.faD.OnWorkerUp(fe.Worker, now, &r.view)
+		}
+		r.kick()
+	case fault.LinkDown:
+		if w.state.Down || w.state.LinkDown {
+			return
+		}
+		w.state.LinkDown = true
+		r.emitFault(obs.KindLinkDown, fe.Worker, now, "link outage")
+	case fault.LinkUp:
+		if w.state.Down || !w.state.LinkDown {
+			return
+		}
+		w.state.LinkDown = false
+		r.emitFault(obs.KindLinkUp, fe.Worker, now, "link restored")
+		r.kick()
+	case fault.SlowStart:
+		if w.state.Down {
+			return
+		}
+		w.slow = fe.Factor
+		if r.ev != nil {
+			r.emitFault(obs.KindSlowdown, fe.Worker, now, fmt.Sprintf("straggler: compute slowed %gx", fe.Factor))
+		}
+	case fault.SlowEnd:
+		if w.state.Down {
+			return
+		}
+		w.slow = 1
+		r.emitFault(obs.KindSlowdown, fe.Worker, now, "straggler recovered")
+	}
+}
+
+// send transmits pc to pc.chunk.Worker: occupies a port slot, appends
+// the attempt's trace record, arms the completion timer and schedules
+// the send-completion event. Shared by first dispatches and re-dispatches.
+func (r *run) send(pc *pendingChunk) {
+	c := pc.chunk
+	wi := c.Worker
+	spec := r.p.Workers[wi]
+	sendDur := r.comm.Perturb(spec.NLat + c.Size/spec.B)
+	r.sending++
+	pc.phase = chSending
+	r.workers[wi].state.InFlight++
+	pc.record = -1
+	if r.tr != nil {
+		r.tr.Records = append(r.tr.Records, trace.ChunkRecord{
+			ChunkID: pc.seq, Attempt: pc.attempt,
+			Worker: wi, Size: c.Size, Round: c.Round, Phase: c.Phase,
+			SendStart: r.sim.Now(), SendEnd: r.sim.Now() + sendDur,
+			Arrive: r.sim.Now() + sendDur + spec.TLat,
+		})
+		pc.record = len(r.tr.Records) - 1
+	}
+	if r.ev != nil {
+		r.ev.Emit(obs.Event{Kind: obs.KindSendStart, Time: r.sim.Now(), Worker: wi,
+			Seq: pc.seq, Size: c.Size, Round: c.Round, Phase: c.Phase, Attempt: pc.attempt})
+	}
+	r.armTimeout(pc)
+	// The send slot frees when the non-overlappable part completes; the
+	// worker holds the data tLat later (scheduled from onSendEnd).
+	r.sim.AfterCall(sendDur, sendEndCB, pc, packAux(pc.attempt, wi))
+}
+
+// onSendEnd is the port-freed des callback for one attempt. aux carries
+// the attempt's (attempt, worker): both can differ from the chunk's
+// current fields when the attempt was written off and re-dispatched
+// while still in transit.
+func (pc *pendingChunk) onSendEnd(aux int) {
+	r := pc.run
+	attempt, wi := unpackAux(aux)
+	r.sending--
+	if r.ev != nil {
+		r.ev.Emit(obs.Event{Kind: obs.KindSendEnd, Time: r.sim.Now(), Worker: wi,
+			Seq: pc.seq, Size: pc.chunk.Size, Round: pc.chunk.Round, Phase: pc.chunk.Phase, Attempt: attempt})
+	}
+	r.sim.AfterCall(r.p.Workers[wi].TLat, arriveCB, pc, aux)
+	r.kick()
+}
+
+// onArrive is the data-arrival des callback for one attempt.
+func (pc *pendingChunk) onArrive(aux int) {
+	r := pc.run
+	attempt, wi := unpackAux(aux)
+	w := &r.workers[wi]
+	w.state.InFlight--
+	if pc.phase == chLost || pc.attempt != attempt {
+		// This attempt was written off (timeout in transit) — and
+		// possibly already re-dispatched elsewhere, which resets the
+		// phase; the attempt counter tells a stale arrival from the
+		// live one. The data arrives to no one.
+		r.kick()
+		return
+	}
+	if w.state.Down || w.state.LinkDown {
+		reason := "arrived at crashed worker"
+		if !w.state.Down {
+			reason = "arrived during link outage"
+		}
+		r.lose(pc, r.sim.Now(), reason)
+		r.kick()
+		return
+	}
+	w.state.Queued++
+	pc.phase = chQueued
+	w.queue = append(w.queue, pc)
+	if r.ev != nil {
+		r.ev.Emit(obs.Event{Kind: obs.KindArrive, Time: r.sim.Now(), Worker: wi,
+			Seq: pc.seq, Size: pc.chunk.Size, Round: pc.chunk.Round, Phase: pc.chunk.Phase, Attempt: pc.attempt})
+	}
+	r.startCompute(wi)
+	r.kick()
+}
+
+func (r *run) kick() {
+	// With spare slots the master may start several transfers now:
+	// re-dispatch lost work first, then consult the dispatcher.
+	for r.sending < r.slots && r.dispatchErr == nil {
+		var pc *pendingChunk
+		if r.rec.Enabled && len(r.lostQueue) > 0 {
+			if target := r.pickTarget(r.lostQueue[0].chunk.Worker); target >= 0 {
+				pc = r.lostQueue[0]
+				copy(r.lostQueue, r.lostQueue[1:])
+				r.lostQueue[len(r.lostQueue)-1] = nil
+				r.lostQueue = r.lostQueue[:len(r.lostQueue)-1]
+				if r.tr != nil && pc.record >= 0 {
+					r.tr.Records[pc.record].Redispatched = true
+				}
+				pc.chunk.Worker = target
+				pc.attempt++
+				r.res.Redispatches++
+				r.res.RedispatchedWork += pc.chunk.Size
+				if r.res.Redispatches > r.maxChunks {
+					r.fail(fmt.Errorf("engine: recovery exceeded %d re-dispatches; livelocked fault scenario?", r.maxChunks))
+					return
+				}
+				if r.ev != nil {
+					r.ev.Emit(obs.Event{Kind: obs.KindRedispatch, Time: r.sim.Now(), Worker: target,
+						Seq: pc.seq, Size: pc.chunk.Size, Round: pc.chunk.Round, Phase: pc.chunk.Phase,
+						Attempt: pc.attempt, Reason: "re-dispatching lost chunk to least-loaded live worker"})
+				}
+			}
+		}
+		if pc == nil {
+			r.syncView()
+			c, ok := r.d.Next(&r.view)
+			if !ok {
+				return
+			}
+			if c.Worker < 0 || c.Worker >= r.n {
+				r.fail(fmt.Errorf("engine: dispatcher sent chunk to worker %d of %d", c.Worker, r.n))
+				return
+			}
+			if c.Size <= 0 || math.IsNaN(c.Size) || math.IsInf(c.Size, 0) {
+				r.fail(fmt.Errorf("engine: dispatcher produced invalid chunk size %g", c.Size))
+				return
+			}
+			r.res.Chunks++
+			if r.res.Chunks > r.maxChunks {
+				r.fail(fmt.Errorf("engine: dispatcher exceeded %d chunks; runaway policy?", r.maxChunks))
+				return
+			}
+			r.res.DispatchedWork += c.Size
+			pc = r.allocPC()
+			pc.chunk = c
+			pc.seq = r.res.Chunks - 1
+		}
+		r.send(pc)
+	}
 }

@@ -1,0 +1,16 @@
+package experiment_test
+
+import (
+	"testing"
+
+	"rumr/internal/bench"
+)
+
+// BenchmarkSweepCell runs one sweep cell — every standard algorithm x 10
+// repetitions on one (N, R, latency, error) point — through the real
+// Runner. This is the end-to-end number the PR-4 optimisation targets
+// (>=2x vs the committed pre-optimization baseline): it combines the
+// allocation-free engine hot path with plan memoization across
+// repetitions. The body lives in internal/bench so cmd/rumrbench can
+// run the identical measurement for BENCH_baseline.json.
+func BenchmarkSweepCell(b *testing.B) { bench.SweepCell(b) }

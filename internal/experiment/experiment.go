@@ -420,6 +420,17 @@ func cellShapeOK(cell [][]float64, errors, algos int) bool {
 // partial result in res.
 func (r *Runner) runConfig(ctx context.Context, g Grid, cfg Config, ci int, res *Results) error {
 	p := cfg.Platform()
+	// One memo per configuration: plan construction (UMR's round
+	// optimisation, MI's linear solve) is repetition- and mostly
+	// error-independent, so memoizing schedulers solve once and replay the
+	// cached plan across the whole (error x repetition) block. The memo is
+	// confined to this goroutine, and memoized dispatchers are contractually
+	// byte-identical to freshly built ones, so results are unchanged.
+	memo := sched.NewMemo(p)
+	memoizers := make([]sched.Memoizer, len(r.Algorithms))
+	for ai, algo := range r.Algorithms {
+		memoizers[ai], _ = algo.(sched.Memoizer)
+	}
 	cell := make([][]float64, len(g.Errors))
 	for ei := range g.Errors {
 		cell[ei] = make([]float64, len(r.Algorithms))
@@ -427,22 +438,28 @@ func (r *Runner) runConfig(ctx context.Context, g Grid, cfg Config, ci int, res 
 	for ei, errMag := range g.Errors {
 		sums := make([]float64, len(r.Algorithms))
 		fails := make([]bool, len(r.Algorithms))
+		known := errMag
+		if r.UnknownError {
+			known = -1
+		}
+		pr := &sched.Problem{
+			Platform:   p,
+			Total:      g.Total,
+			KnownError: known,
+			MinUnit:    1,
+		}
 		for rep := 0; rep < g.Reps; rep++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
 			for ai, algo := range r.Algorithms {
-				known := errMag
-				if r.UnknownError {
-					known = -1
+				var d engine.Dispatcher
+				var err error
+				if mz := memoizers[ai]; mz != nil {
+					d, err = mz.NewDispatcherMemo(pr, memo)
+				} else {
+					d, err = algo.NewDispatcher(pr)
 				}
-				pr := &sched.Problem{
-					Platform:   p,
-					Total:      g.Total,
-					KnownError: known,
-					MinUnit:    1,
-				}
-				d, err := algo.NewDispatcher(pr)
 				if err != nil {
 					fails[ai] = true
 					continue

@@ -1,0 +1,137 @@
+package sched_test
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"rumr/internal/engine"
+	"rumr/internal/perferr"
+	"rumr/internal/platform"
+	"rumr/internal/rng"
+	"rumr/internal/sched"
+	"rumr/internal/sched/mi"
+	"rumr/internal/sched/rumr"
+	"rumr/internal/sched/umr"
+)
+
+func memoProblem(knownError float64) *sched.Problem {
+	return &sched.Problem{
+		Platform:   platform.Homogeneous(20, 1, 30, 0.3, 0.3),
+		Total:      1000,
+		KnownError: knownError,
+		MinUnit:    1,
+	}
+}
+
+// simulateOnce runs one perturbed simulation with a fixed seed, so two
+// dispatchers built for the same problem can be compared end to end.
+func simulateOnce(t *testing.T, pr *sched.Problem, d engine.Dispatcher) engine.Result {
+	t.Helper()
+	src := rng.NewFrom(7, 1, 2, 3)
+	res, err := engine.Run(pr.Platform, d, engine.Options{
+		CommModel: perferr.NewTruncNormal(0.3, src.Split()),
+		CompModel: perferr.NewTruncNormal(0.3, src.Split()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestMemoizedDispatchersMatchFresh pins the Memoizer contract: for every
+// memoizing scheduler, a dispatcher built through a memo — on a miss, on
+// a hit, and with a nil memo — produces exactly the same simulation as
+// NewDispatcher.
+func TestMemoizedDispatchersMatchFresh(t *testing.T) {
+	for _, s := range []sched.Scheduler{
+		umr.Scheduler{},
+		umr.Scheduler{OutOfOrder: true},
+		rumr.Scheduler{},
+		rumr.Scheduler{FixedPhase1Fraction: 0.7},
+		rumr.Scheduler{PlainPhase1: true},
+		mi.Scheduler{Installments: 1},
+		mi.Scheduler{Installments: 3},
+	} {
+		mz, ok := s.(sched.Memoizer)
+		if !ok {
+			t.Fatalf("%s does not implement sched.Memoizer", s.Name())
+		}
+		t.Run(s.Name(), func(t *testing.T) {
+			pr := memoProblem(0.3)
+			fresh, err := s.NewDispatcher(pr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := simulateOnce(t, pr, fresh)
+			memo := sched.NewMemo(pr.Platform)
+			for i, name := range []string{"miss", "hit", "nil-memo"} {
+				m := memo
+				if name == "nil-memo" {
+					m = nil
+				}
+				d, err := mz.NewDispatcherMemo(pr, m)
+				if err != nil {
+					t.Fatalf("%s #%d: %v", name, i, err)
+				}
+				got := simulateOnce(t, pr, d)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s: memoized result %+v != fresh %+v", name, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestMemoBypassesForeignPlatform checks the safety valve: a memo bound
+// to one platform must not serve cached plans for another.
+func TestMemoBypassesForeignPlatform(t *testing.T) {
+	prA := memoProblem(-1)
+	prB := &sched.Problem{
+		Platform: platform.Homogeneous(10, 1, 15, 0.1, 0.1),
+		Total:    1000,
+		MinUnit:  1,
+	}
+	memo := sched.NewMemo(prA.Platform)
+	a, err := umr.BuildChunksMemo(prA, memo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := umr.BuildChunksMemo(prB, memo) // foreign platform: must rebuild
+	if err != nil {
+		t.Fatal(err)
+	}
+	planB, err := umr.Build(prB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(b, planB.Chunks()) {
+		t.Fatal("foreign-platform request served a cached plan")
+	}
+	if reflect.DeepEqual(a, b) {
+		t.Fatal("test is vacuous: the two platforms yield identical plans")
+	}
+}
+
+// TestMemoCachesErrors checks that an infeasible build is cached too: the
+// second request fails without re-running the solver (observable here
+// only as the same error coming back through the memo path).
+func TestMemoCachesErrors(t *testing.T) {
+	pr := &sched.Problem{
+		Platform: platform.Homogeneous(4, 1, 6, 0.1, 0.1),
+		Total:    math.SmallestNonzeroFloat64, // workload too small for any plan
+		MinUnit:  1,
+	}
+	if err := pr.Validate(); err != nil {
+		t.Skipf("problem unexpectedly invalid: %v", err)
+	}
+	memo := sched.NewMemo(pr.Platform)
+	_, err1 := umr.BuildChunksMemo(pr, memo)
+	_, err2 := umr.BuildChunksMemo(pr, memo)
+	if (err1 == nil) != (err2 == nil) {
+		t.Fatalf("memo changed failure mode: first %v, second %v", err1, err2)
+	}
+	if err1 != nil && err1.Error() != err2.Error() {
+		t.Fatalf("cached error differs: %v vs %v", err1, err2)
+	}
+}

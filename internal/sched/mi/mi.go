@@ -223,3 +223,25 @@ func (s Scheduler) NewDispatcher(pr *sched.Problem) (engine.Dispatcher, error) {
 	}
 	return sched.NewStatic(plan.Chunks(), false), nil
 }
+
+// NewDispatcherMemo implements sched.Memoizer: the installment linear
+// solve depends only on the platform, the workload and the installment
+// count — never on the error magnitude — so one cached chunk list serves
+// every (error, repetition) cell of a sweep configuration.
+func (s Scheduler) NewDispatcherMemo(pr *sched.Problem, m *sched.Memo) (engine.Dispatcher, error) {
+	v, err := m.Do(pr, sched.MemoKey{
+		Scheduler: s.Name() + "/plan",
+		Total:     pr.Total,
+		MinUnit:   pr.EffectiveMinUnit(),
+	}, func() (any, error) {
+		plan, err := Build(pr, s.Installments)
+		if err != nil {
+			return nil, err
+		}
+		return plan.Chunks(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sched.NewStatic(v.([]engine.Chunk), false), nil
+}

@@ -18,6 +18,20 @@
 //
 // Phase 2 chunk sizes are bounded below by (cLat + nLat·N)/error when the
 // error is known, (cLat + nLat·N) otherwise (design choice iii).
+//
+// # Plan memoization
+//
+// Constructing a RUMR dispatcher is dominated by the phase-1 UMR round
+// optimisation. That plan is fully determined by the platform, the
+// phase-1 workload share and the minimal unit — not by the random error
+// realisation — so Scheduler implements sched.Memoizer: with a memo, the
+// plan is solved once per sweep configuration and shared (as an immutable
+// chunk list) across all repetitions. The cache key is UMR's
+// ("UMR/plan", phase-1 share, minimal unit) on the memo's platform; the
+// error magnitude enters only through the share ComputeSplit derives from
+// it, so two error values with the same split share one entry, and the
+// error-0 plan is literally UMR's. Phase 2 (factoring sizer and demand
+// pool) carries per-run state and is rebuilt for every dispatcher.
 package rumr
 
 import (
@@ -196,6 +210,20 @@ func (s Scheduler) Name() string {
 
 // NewDispatcher implements sched.Scheduler.
 func (s Scheduler) NewDispatcher(pr *sched.Problem) (engine.Dispatcher, error) {
+	return s.newDispatcher(pr, nil)
+}
+
+// NewDispatcherMemo implements sched.Memoizer: the phase-1 UMR round
+// optimisation — the only expensive part of constructing a RUMR
+// dispatcher — is cached in m. See the package doc for the cache key.
+func (s Scheduler) NewDispatcherMemo(pr *sched.Problem, m *sched.Memo) (engine.Dispatcher, error) {
+	return s.newDispatcher(pr, m)
+}
+
+// newDispatcher builds the two-phase dispatcher, consulting the memo (may
+// be nil) for the phase-1 plan. Phase 2's sizer and demand pool carry
+// per-run state and are always fresh.
+func (s Scheduler) newDispatcher(pr *sched.Problem, m *sched.Memo) (engine.Dispatcher, error) {
 	if err := pr.Validate(); err != nil {
 		return nil, err
 	}
@@ -205,11 +233,11 @@ func (s Scheduler) NewDispatcher(pr *sched.Problem) (engine.Dispatcher, error) {
 	if split.Phase1 > 0 {
 		p1 := *pr
 		p1.Total = split.Phase1
-		plan, err := umr.Build(&p1)
+		chunks, err := umr.BuildChunksMemo(&p1, m)
 		if err != nil {
 			return nil, fmt.Errorf("rumr: phase 1: %w", err)
 		}
-		d.phase1 = sched.NewStatic(plan.Chunks(), !s.PlainPhase1)
+		d.phase1 = sched.NewStatic(chunks, !s.PlainPhase1)
 	}
 	if split.Phase2 > 0 {
 		min := s.minChunk(pr)

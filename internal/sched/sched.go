@@ -70,6 +70,70 @@ type Scheduler interface {
 	NewDispatcher(pr *Problem) (engine.Dispatcher, error)
 }
 
+// MemoKey identifies one cached plan-construction artifact in a Memo.
+// The platform is not part of the key — a Memo is bound to one platform —
+// so the key only carries the scheduler identity (which must encode every
+// plan-affecting parameter of the algorithm, e.g. "RUMR-fixed80/phase1")
+// and the problem parameters the artifact depends on. Schedulers whose
+// plan is independent of the error magnitude leave KnownError at zero,
+// which is what makes the cache effective: one entry then serves every
+// (error, repetition) cell of a sweep configuration.
+type MemoKey struct {
+	Scheduler  string
+	Total      float64
+	KnownError float64
+	MinUnit    float64
+}
+
+type memoEntry struct {
+	val any
+	err error
+}
+
+// Memo caches expensive plan construction (UMR's round optimisation,
+// MI's linear solve) across the repetitions of a sweep cell. It is bound
+// to one platform and intended for one goroutine — the sweep runner keeps
+// one Memo per configuration, which is already per-goroutine, so no
+// locking is needed. Cached artifacts are shared by every dispatcher
+// built from them and must be treated as immutable (Static never mutates
+// its Plan slice).
+type Memo struct {
+	platform *platform.Platform
+	entries  map[MemoKey]memoEntry
+}
+
+// NewMemo returns a memo bound to p.
+func NewMemo(p *platform.Platform) *Memo { return &Memo{platform: p} }
+
+// Do returns the cached result for key, invoking build and caching its
+// result — value or error — on first use. A nil Memo, or one bound to a
+// platform other than pr.Platform, degrades to calling build directly,
+// so callers need no special no-cache path.
+func (m *Memo) Do(pr *Problem, key MemoKey, build func() (any, error)) (any, error) {
+	if m == nil || pr.Platform != m.platform {
+		return build()
+	}
+	if e, ok := m.entries[key]; ok {
+		return e.val, e.err
+	}
+	val, err := build()
+	if m.entries == nil {
+		m.entries = make(map[MemoKey]memoEntry)
+	}
+	m.entries[key] = memoEntry{val: val, err: err}
+	return val, err
+}
+
+// Memoizer is implemented by schedulers whose dispatcher construction
+// has an expensive, repetition-independent part worth caching. The
+// contract: NewDispatcherMemo(pr, m) must return a dispatcher that
+// behaves identically to NewDispatcher(pr)'s — byte-identical simulation
+// results — whether the memo hits, misses, or is nil.
+type Memoizer interface {
+	Scheduler
+	NewDispatcherMemo(pr *Problem, m *Memo) (engine.Dispatcher, error)
+}
+
 // Static plays a precalculated plan. With OutOfOrder set, the head of the
 // plan may be bypassed in favour of the earliest planned chunk whose
 // destination worker is idle — the paper's phase-1 revision of UMR

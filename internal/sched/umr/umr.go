@@ -387,3 +387,38 @@ func (s Scheduler) NewDispatcher(pr *sched.Problem) (engine.Dispatcher, error) {
 	}
 	return sched.NewStatic(plan.Chunks(), s.OutOfOrder), nil
 }
+
+// BuildChunksMemo returns Build(pr).Chunks() through the memo: the round
+// optimisation runs once per (platform, workload, minimal unit) and the
+// flattened chunk list is shared by every dispatcher built from it. The
+// UMR plan does not depend on the error magnitude, so the key leaves
+// KnownError at zero — one entry serves a sweep configuration's whole
+// (error x repetition) block. RUMR's phase 1 uses the same namespace with
+// its phase-1 share as the workload, so e.g. at error 0 it shares UMR's
+// entry outright.
+func BuildChunksMemo(pr *sched.Problem, m *sched.Memo) ([]engine.Chunk, error) {
+	v, err := m.Do(pr, sched.MemoKey{
+		Scheduler: "UMR/plan",
+		Total:     pr.Total,
+		MinUnit:   pr.EffectiveMinUnit(),
+	}, func() (any, error) {
+		plan, err := Build(pr)
+		if err != nil {
+			return nil, err
+		}
+		return plan.Chunks(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]engine.Chunk), nil
+}
+
+// NewDispatcherMemo implements sched.Memoizer.
+func (s Scheduler) NewDispatcherMemo(pr *sched.Problem, m *sched.Memo) (engine.Dispatcher, error) {
+	chunks, err := BuildChunksMemo(pr, m)
+	if err != nil {
+		return nil, err
+	}
+	return sched.NewStatic(chunks, s.OutOfOrder), nil
+}
