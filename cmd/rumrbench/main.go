@@ -10,8 +10,16 @@
 // The check mode re-measures every benchmark and fails (exit 1) when its
 // allocs/op exceeds the committed "current" baseline beyond a small
 // slack. Allocation counts — unlike wall-clock times — are deterministic
-// on a given code path, so the gate needs no benchstat machinery: a
-// plain JSON compare is enough. Time is reported for information only.
+// on a given code path, so that gate needs no benchstat machinery: a
+// plain JSON compare is enough. Wall time IS gated too, but with a wide
+// tolerance band (-slack-time, default 60%) that only catches gross
+// regressions — a benchmark going 2x slower — while riding out scheduler
+// jitter and noisy-neighbour CI machines; set -slack-time 0 to disable.
+//
+// Every measuring run can also append its results to a trajectory file
+// (-trajectory BENCH_trajectory.json), building a cross-PR record of how
+// the hot path's numbers moved. The file is a JSON object whose entries
+// array grows by one dated record per run.
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	"rumr/internal/bench"
 )
@@ -104,16 +113,60 @@ func allocBudget(baseline int64, slackAbs int64, slackFrac float64) int64 {
 	return baseline + slackAbs
 }
 
+// TrajectoryEntry is one measuring run appended to the trajectory file.
+type TrajectoryEntry struct {
+	Time    string                 `json:"time"`
+	Go      string                 `json:"go"`
+	Mode    string                 `json:"mode"` // "write" or "check"
+	Note    string                 `json:"note,omitempty"`
+	Results map[string]Measurement `json:"results"`
+}
+
+// Trajectory is the BENCH_trajectory.json schema: the benchmark history
+// across PRs, one entry per recorded run.
+type Trajectory struct {
+	Note    string            `json:"note,omitempty"`
+	Entries []TrajectoryEntry `json:"entries"`
+}
+
+// appendTrajectory adds this run's measurements to the trajectory file,
+// creating it if absent. The file is small (one record per recorded run),
+// so read-modify-write keeps it a single well-formed JSON document.
+func appendTrajectory(path, mode, note string, results map[string]Measurement) error {
+	tr := &Trajectory{Note: "Benchmark history across PRs; one entry per recorded rumrbench run. See EXPERIMENTS.md (Performance)."}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, tr); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	tr.Entries = append(tr.Entries, TrajectoryEntry{
+		Time:    time.Now().UTC().Format(time.RFC3339),
+		Go:      runtime.Version(),
+		Mode:    mode,
+		Note:    note,
+		Results: results,
+	})
+	data, err := json.MarshalIndent(tr, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 func main() {
 	testing.Init()
 	var (
-		writePath = flag.String("write", "", "measure and write this baseline file")
-		checkPath = flag.String("check", "", "measure and compare against this baseline file")
-		section   = flag.String("section", "current", `section to write: "current" or "pre_optimization"`)
-		note      = flag.String("note", "", "note to attach to the written section")
-		benchtime = flag.String("benchtime", "", "test.benchtime to use (e.g. 1x, 100ms); default 1s")
-		slackAbs  = flag.Int64("slack-allocs", 4, "absolute allocs/op headroom before the check fails")
-		slackFrac = flag.Float64("slack-frac", 0.10, "fractional allocs/op headroom before the check fails")
+		writePath  = flag.String("write", "", "measure and write this baseline file")
+		checkPath  = flag.String("check", "", "measure and compare against this baseline file")
+		section    = flag.String("section", "current", `section to write: "current" or "pre_optimization"`)
+		note       = flag.String("note", "", "note to attach to the written section")
+		benchtime  = flag.String("benchtime", "", "test.benchtime to use (e.g. 1x, 100ms); default 1s")
+		slackAbs   = flag.Int64("slack-allocs", 4, "absolute allocs/op headroom before the check fails")
+		slackFrac  = flag.Float64("slack-frac", 0.10, "fractional allocs/op headroom before the check fails")
+		slackTime  = flag.Float64("slack-time", 0.60, "fractional ns/op headroom before the check fails (0 disables the time gate)")
+		trajectory = flag.String("trajectory", "", "append this run's measurements to this trajectory file (e.g. BENCH_trajectory.json)")
 	)
 	flag.Parse()
 	if (*writePath == "") == (*checkPath == "") {
@@ -127,6 +180,18 @@ func main() {
 		os.Exit(1)
 	}
 	sec := &Section{Note: *note, Go: runtime.Version(), Results: results}
+
+	if *trajectory != "" {
+		mode := "check"
+		if *writePath != "" {
+			mode = "write"
+		}
+		if err := appendTrajectory(*trajectory, mode, *note, results); err != nil {
+			fmt.Fprintln(os.Stderr, "rumrbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("appended %s run to %s\n", mode, *trajectory)
+	}
 
 	if *writePath != "" {
 		b, err := load(*writePath)
@@ -179,6 +244,20 @@ func main() {
 		} else {
 			fmt.Printf("%-18s ok: %d allocs/op (baseline %d, budget %d)\n",
 				name, m.AllocsPerOp, base.AllocsPerOp, budget)
+		}
+		// The time gate is deliberately loose: it exists to catch gross
+		// regressions (an accidental O(n^2), a lost memoization), not to
+		// flap on CI noise.
+		if *slackTime > 0 && base.NsPerOp > 0 {
+			timeBudget := base.NsPerOp * (1 + *slackTime)
+			if m.NsPerOp > timeBudget {
+				fmt.Printf("%-18s FAIL: %.0f ns/op > time budget %.0f (baseline %.0f, +%.0f%%)\n",
+					name, m.NsPerOp, timeBudget, base.NsPerOp, *slackTime*100)
+				failed = true
+			} else {
+				fmt.Printf("%-18s ok: %.0f ns/op (baseline %.0f, budget %.0f)\n",
+					name, m.NsPerOp, base.NsPerOp, timeBudget)
+			}
 		}
 	}
 	for name := range b.Current.Results {

@@ -32,6 +32,22 @@
 //	rumrsweep -full -debug-addr :6060 &
 //	curl localhost:6060/metrics
 //	go tool pprof localhost:6060/debug/pprof/profile
+//
+// Sweeps distribute across processes (and machines) with -serve/-join: the
+// serving process coordinates — it restores finished configurations from
+// the checkpoint/cache, leases the rest to joined workers in batches, and
+// merges their results — while each -join process computes leases until
+// the coordinator finishes. Results are byte-identical to a single-process
+// run regardless of how many workers join or die; a killed worker's leases
+// expire and are re-issued. -cache gives any mode (local, serving, or a
+// later re-run) a content-addressed result cache keyed by sweep parameters
+// and configuration values, so extending a grid recomputes only new cells:
+//
+//	rumrsweep -serve :9090 -cache cache -table2   # terminal 1: coordinator
+//	rumrsweep -join localhost:9090                # terminal 2..N: workers
+//
+// While serving with -debug-addr, /shards reports per-worker lease
+// accounting next to /metrics.
 package main
 
 import (
@@ -48,12 +64,14 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"syscall"
 	"time"
 
 	"rumr"
 	"rumr/internal/experiment"
 	"rumr/internal/metrics"
+	"rumr/internal/shard"
 )
 
 type artifact struct {
@@ -62,12 +80,14 @@ type artifact struct {
 }
 
 type sweepCtx struct {
-	ctx     context.Context
-	grid    rumr.Grid
-	opts    rumr.SweepOptions
-	outDir  string
-	ckptDir string
-	std     *rumr.SweepResults // cached standard-algorithm sweep
+	ctx      context.Context
+	grid     rumr.Grid
+	opts     rumr.SweepOptions
+	outDir   string
+	ckptDir  string
+	cacheDir string
+	coord    *shard.Coordinator // non-nil in -serve mode
+	std      *rumr.SweepResults // cached standard-algorithm sweep
 }
 
 func main() {
@@ -83,6 +103,10 @@ func main() {
 		logFmt  = flag.String("log", "text", "status log format: text or json")
 
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :6060)")
+
+		serve    = flag.String("serve", "", "coordinate a distributed sweep on this address (e.g. :9090); workers join with -join")
+		join     = flag.String("join", "", "join a coordinator as a worker (e.g. localhost:9090) instead of sweeping locally")
+		cacheDir = flag.String("cache", "", "directory for the content-addressed result cache; re-sweeps compute only new cells")
 
 		ckptDir = flag.String("checkpoint", "", "directory for per-artifact checkpoint files; rerun the same command to resume")
 		metOut  = flag.String("metrics", "", "write final run metrics as JSON to this file")
@@ -161,18 +185,46 @@ func main() {
 		opts.Model = rumr.UniformError
 	}
 
+	if *serve != "" && *join != "" {
+		logger.Error("-serve and -join are mutually exclusive")
+		stopCPU()
+		os.Exit(2)
+	}
+	var coord *shard.Coordinator
+	if *serve != "" {
+		coord = shard.NewCoordinator()
+		ln, err := net.Listen("tcp", *serve)
+		if err != nil {
+			fatal(err)
+		}
+		logger.Info("coordinator listening; workers join with -join",
+			"addr", ln.Addr().String())
+		go func() {
+			if err := http.Serve(ln, coord.Handler()); err != nil {
+				logger.Error("coordinator server stopped", "err", err)
+			}
+		}()
+	}
+
 	// The debug server shares the sweep's metrics collector, so /metrics
-	// shows live percentiles while configurations are still running.
+	// shows live percentiles while configurations are still running. A
+	// serving coordinator additionally exposes per-worker lease accounting
+	// on /shards.
 	if *debugAddr != "" {
 		metrics.PublishExpvar(met)
 		ln, err := net.Listen("tcp", *debugAddr)
 		if err != nil {
 			fatal(err)
 		}
-		logger.Info("debug server listening", "addr", ln.Addr().String(),
-			"endpoints", "/metrics /debug/vars /debug/pprof/")
+		var extra []metrics.Endpoint
+		endpoints := "/metrics /debug/vars /debug/pprof/"
+		if coord != nil {
+			extra = append(extra, metrics.Endpoint{Pattern: "/shards", Handler: coord.StatusHandler()})
+			endpoints += " /shards"
+		}
+		logger.Info("debug server listening", "addr", ln.Addr().String(), "endpoints", endpoints)
 		go func() {
-			if err := http.Serve(ln, metrics.DebugHandler(met)); err != nil {
+			if err := http.Serve(ln, metrics.DebugHandler(met, extra...)); err != nil {
 				logger.Error("debug server stopped", "err", err)
 			}
 		}()
@@ -213,7 +265,8 @@ func main() {
 			}
 		}
 	}
-	sc := &sweepCtx{ctx: ctx, grid: grid, opts: opts, outDir: *outDir, ckptDir: *ckptDir}
+	sc := &sweepCtx{ctx: ctx, grid: grid, opts: opts, outDir: *outDir,
+		ckptDir: *ckptDir, cacheDir: *cacheDir, coord: coord}
 
 	all := []artifact{
 		{"table2", runTable2}, {"table3", runTable3},
@@ -234,29 +287,56 @@ func main() {
 	}
 	start := time.Now()
 	exitCode := 0
-	for _, a := range all {
-		if any && !selected[a.name] {
-			continue
+	if *join != "" {
+		// Worker mode: compute leases for a remote coordinator until it
+		// finishes (or we are interrupted). Artifact flags are ignored —
+		// the coordinator decides what is swept.
+		base := *join
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
 		}
-		if err := a.run(sc); err != nil {
+		logger.Info("joining coordinator", "addr", base)
+		w := &shard.Worker{Base: base, Procs: *workers, Metrics: met}
+		switch err := w.Run(ctx); {
+		case err == nil:
+			logger.Info("coordinator shut down; worker exiting")
+		case errors.Is(err, context.Canceled):
+			exitCode = 130
+		default:
 			if !*quiet && !jsonLog {
 				fmt.Fprintln(os.Stderr) // drop the live status line
 			}
-			if errors.Is(err, context.Canceled) {
-				if *ckptDir != "" {
-					logger.Warn("interrupted; rerun the same command to resume",
-						"artifact", a.name, "checkpoint", *ckptDir)
-				} else {
-					logger.Warn("interrupted (use -checkpoint to make runs resumable)",
-						"artifact", a.name)
-				}
-				exitCode = 130
-			} else {
-				logger.Error("artifact failed", "artifact", a.name, "err", err)
-				exitCode = 1
-			}
-			break
+			logger.Error("worker failed", "err", err)
+			exitCode = 1
 		}
+	} else {
+		for _, a := range all {
+			if any && !selected[a.name] {
+				continue
+			}
+			if err := a.run(sc); err != nil {
+				if !*quiet && !jsonLog {
+					fmt.Fprintln(os.Stderr) // drop the live status line
+				}
+				if errors.Is(err, context.Canceled) {
+					if *ckptDir != "" {
+						logger.Warn("interrupted; rerun the same command to resume",
+							"artifact", a.name, "checkpoint", *ckptDir)
+					} else {
+						logger.Warn("interrupted (use -checkpoint to make runs resumable)",
+							"artifact", a.name)
+					}
+					exitCode = 130
+				} else {
+					logger.Error("artifact failed", "artifact", a.name, "err", err)
+					exitCode = 1
+				}
+				break
+			}
+		}
+	}
+	if coord != nil {
+		coord.Close() // tells polling workers to exit their loop
 	}
 	close(progressDone)
 	<-progressIdle
@@ -317,13 +397,47 @@ func logProgress(s rumr.MetricsSnapshot) {
 // sweepOpts returns the shared options with the per-artifact checkpoint
 // path filled in. Each distinct sweep (different grid or algorithm set)
 // checkpoints to its own file, keyed by name, because checkpoint files are
-// fingerprinted per sweep.
+// fingerprinted per sweep. The cache directory, by contrast, is shared by
+// every artifact: its keys already encode the sweep parameters.
 func (sc *sweepCtx) sweepOpts(name string) rumr.SweepOptions {
 	opts := sc.opts
 	if sc.ckptDir != "" {
 		opts.CheckpointPath = filepath.Join(sc.ckptDir, name+".jsonl")
 	}
+	opts.CachePath = sc.cacheDir
 	return opts
+}
+
+// sweep runs one sweep locally, or — in -serve mode — through the
+// coordinator and its joined workers. Both paths produce byte-identical
+// Results.
+func (sc *sweepCtx) sweep(g rumr.Grid, opts rumr.SweepOptions) (*rumr.SweepResults, error) {
+	if sc.coord == nil {
+		return rumr.SweepContext(sc.ctx, g, opts)
+	}
+	algos := opts.Algorithms
+	if algos == nil {
+		algos = rumr.StandardAlgorithms()
+	}
+	names := make([]string, len(algos))
+	for i, a := range algos {
+		names[i] = a.Name()
+	}
+	kind := experiment.NormalError
+	if opts.Model == rumr.UniformError {
+		kind = experiment.UniformError
+	}
+	return sc.coord.Run(sc.ctx, shard.SweepJob{
+		Grid:         g,
+		Algorithms:   names,
+		Model:        kind,
+		UnknownError: opts.UnknownError,
+	}, shard.RunOptions{
+		CheckpointPath: opts.CheckpointPath,
+		CachePath:      opts.CachePath,
+		Metrics:        opts.Metrics,
+		Progress:       opts.Progress,
+	})
 }
 
 // standardSweep runs (or reuses) the sweep over the seven §5.1 algorithms.
@@ -331,7 +445,7 @@ func (sc *sweepCtx) standardSweep() (*rumr.SweepResults, error) {
 	if sc.std != nil {
 		return sc.std, nil
 	}
-	res, err := rumr.SweepContext(sc.ctx, sc.grid, sc.sweepOpts("std"))
+	res, err := sc.sweep(sc.grid, sc.sweepOpts("std"))
 	if err != nil {
 		return nil, err
 	}
@@ -425,7 +539,7 @@ func runFig4b(sc *sweepCtx) error {
 
 func runFig5(sc *sweepCtx) error {
 	// Fig 5 always uses its own paper-exact grid.
-	res, err := rumr.SweepContext(sc.ctx, rumr.Fig5Grid(), sc.sweepOpts("fig5"))
+	res, err := sc.sweep(rumr.Fig5Grid(), sc.sweepOpts("fig5"))
 	if err != nil {
 		return err
 	}
@@ -449,7 +563,7 @@ func runFig5(sc *sweepCtx) error {
 func runFig6(sc *sweepCtx) error {
 	opts := sc.sweepOpts("fig6")
 	opts.Algorithms = experiment.Fig6Algorithms()
-	res, err := rumr.SweepContext(sc.ctx, sc.grid, opts)
+	res, err := sc.sweep(sc.grid, opts)
 	if err != nil {
 		return err
 	}
@@ -470,7 +584,7 @@ func runFig6(sc *sweepCtx) error {
 func runFig7(sc *sweepCtx) error {
 	opts := sc.sweepOpts("fig7")
 	opts.Algorithms = experiment.Fig7Algorithms()
-	res, err := rumr.SweepContext(sc.ctx, sc.grid, opts)
+	res, err := sc.sweep(sc.grid, opts)
 	if err != nil {
 		return err
 	}
@@ -491,7 +605,7 @@ func runFig7(sc *sweepCtx) error {
 func runFSC(sc *sweepCtx) error {
 	opts := sc.sweepOpts("fsc")
 	opts.Algorithms = []rumr.Scheduler{rumr.Factoring(), rumr.FSC()}
-	res, err := rumr.SweepContext(sc.ctx, sc.grid, opts)
+	res, err := sc.sweep(sc.grid, opts)
 	if err != nil {
 		return err
 	}
@@ -506,7 +620,7 @@ func runUMRBase(sc *sweepCtx) error {
 	grid.Reps = 1
 	opts := sc.sweepOpts("umrbase")
 	opts.Algorithms = []rumr.Scheduler{rumr.UMR(), rumr.MI(1), rumr.MI(2), rumr.MI(3), rumr.MI(4)}
-	res, err := rumr.SweepContext(sc.ctx, grid, opts)
+	res, err := sc.sweep(grid, opts)
 	if err != nil {
 		return err
 	}

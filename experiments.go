@@ -68,6 +68,12 @@ type SweepOptions struct {
 	// same sweep is restarted. A resumed sweep is bit-identical to an
 	// uninterrupted one; a checkpoint from a different sweep is rejected.
 	CheckpointPath string
+	// CachePath, when non-empty, enables the content-addressed result
+	// cache: each configuration's mean block is stored under a key derived
+	// from the sweep parameters and the configuration's values, so
+	// re-sweeps after a grid extension compute only the new cells. The
+	// cache is shared freely between local and distributed sweeps.
+	CachePath string
 	// Metrics, when non-nil, receives live run counters.
 	Metrics *Metrics
 }
@@ -99,6 +105,7 @@ func SweepContext(ctx context.Context, g Grid, opts SweepOptions) (*SweepResults
 		UnknownError:   opts.UnknownError,
 		Progress:       opts.Progress,
 		CheckpointPath: opts.CheckpointPath,
+		CachePath:      opts.CachePath,
 		Metrics:        opts.Metrics,
 	}
 	return r.SweepContext(ctx, g)

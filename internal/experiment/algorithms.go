@@ -1,0 +1,115 @@
+package experiment
+
+// Name-based scheduler resolution. The shard protocol sends algorithm
+// lists as the names Scheduler.Name() prints — schedulers themselves are
+// not serializable — and workers reconstruct the coordinator's exact
+// algorithm slice from those names. Every scheduler the sweeps and studies
+// use resolves here; an unknown name is an error on the worker, not a
+// silent substitution.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"rumr/internal/sched"
+	"rumr/internal/sched/factoring"
+	"rumr/internal/sched/fsc"
+	"rumr/internal/sched/gss"
+	"rumr/internal/sched/mi"
+	"rumr/internal/sched/rumr"
+	"rumr/internal/sched/selfsched"
+	"rumr/internal/sched/tss"
+	"rumr/internal/sched/umr"
+	"rumr/internal/sched/wfactoring"
+)
+
+// AlgorithmByName resolves one Scheduler.Name() back into the scheduler
+// value that produces it.
+func AlgorithmByName(name string) (sched.Scheduler, bool) {
+	switch name {
+	case "UMR":
+		return umr.Scheduler{}, true
+	case "Factoring":
+		return factoring.Scheduler{}, true
+	case "Factoring-OB":
+		return factoring.Scheduler{OverheadBound: true}, true
+	case "FSC":
+		return fsc.Scheduler{}, true
+	case "GSS":
+		return gss.Scheduler{}, true
+	case "TSS":
+		return tss.Scheduler{}, true
+	case "SelfSched":
+		return selfsched.Scheduler{}, true
+	case "WFactoring":
+		return wfactoring.Scheduler{}, true
+	case "RUMR-adaptive":
+		return rumr.Adaptive{}, true
+	}
+	if k, ok := strings.CutPrefix(name, "MI-"); ok {
+		x, err := strconv.Atoi(k)
+		if err != nil || x < 1 {
+			return nil, false
+		}
+		return mi.Scheduler{Installments: x}, true
+	}
+	// RUMR family: RUMR[-fixedNN][-plain], each optionally wrapped by the
+	// fault-tolerant variant as a trailing -ft.
+	if base, ok := strings.CutSuffix(name, "-ft"); ok {
+		inner, ok := rumrByName(base)
+		if !ok {
+			return nil, false
+		}
+		return rumr.FaultTolerant{Variant: inner}, true
+	}
+	if s, ok := rumrByName(name); ok {
+		return s, true
+	}
+	return nil, false
+}
+
+// rumrByName parses the plain RUMR variant names rumr.Scheduler.Name()
+// emits.
+func rumrByName(name string) (rumr.Scheduler, bool) {
+	if name == "RUMR" {
+		return rumr.Scheduler{}, true
+	}
+	rest, ok := strings.CutPrefix(name, "RUMR-")
+	if !ok {
+		return rumr.Scheduler{}, false
+	}
+	var s rumr.Scheduler
+	if rest == "plain" {
+		s.PlainPhase1 = true
+		return s, true
+	}
+	if pct, hadPlain := strings.CutSuffix(rest, "-plain"); hadPlain {
+		rest = pct
+		s.PlainPhase1 = true
+	}
+	pct, ok := strings.CutPrefix(rest, "fixed")
+	if !ok {
+		return rumr.Scheduler{}, false
+	}
+	n, err := strconv.Atoi(pct)
+	if err != nil || n <= 0 || n > 100 {
+		return rumr.Scheduler{}, false
+	}
+	s.FixedPhase1Fraction = float64(n) / 100
+	return s, true
+}
+
+// AlgorithmsByName resolves a whole wire algorithm list, preserving order
+// (index 0 stays the normalisation baseline).
+func AlgorithmsByName(names []string) ([]sched.Scheduler, error) {
+	out := make([]sched.Scheduler, len(names))
+	for i, name := range names {
+		s, ok := AlgorithmByName(name)
+		if !ok {
+			return nil, fmt.Errorf("experiment: unknown algorithm %q", name)
+		}
+		out[i] = s
+	}
+	return out, nil
+}

@@ -1,0 +1,76 @@
+package experiment
+
+// NaN-safe JSON for mean blocks and whole Results. encoding/json has no
+// NaN literal, but a failed algorithm's mean is NaN; these helpers encode
+// it as null and decode null back to NaN, exactly like the checkpoint
+// always has. Go's float64 JSON round-trip is exact (shortest decimal that
+// parses back to the same bits), so encode/decode cycles preserve blocks
+// bit-for-bit — the property the distributed determinism tests diff on.
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// EncodeCell marshals one [error][algorithm] mean block, NaN as null.
+func EncodeCell(mean [][]float64) (json.RawMessage, error) {
+	enc := make([][]ckptFloat, len(mean))
+	for i, row := range mean {
+		enc[i] = make([]ckptFloat, len(row))
+		for j, v := range row {
+			enc[i][j] = ckptFloat(v)
+		}
+	}
+	return json.Marshal(enc)
+}
+
+// DecodeCell unmarshals a block produced by EncodeCell, null as NaN.
+func DecodeCell(data []byte) ([][]float64, error) {
+	var enc [][]ckptFloat
+	if err := json.Unmarshal(data, &enc); err != nil {
+		return nil, err
+	}
+	mean := make([][]float64, len(enc))
+	for i, row := range enc {
+		mean[i] = make([]float64, len(row))
+		for j, v := range row {
+			mean[i][j] = float64(v)
+		}
+	}
+	return mean, nil
+}
+
+// resultsJSON is the stable aggregate schema WriteJSON emits.
+type resultsJSON struct {
+	Grid       Grid              `json:"grid"`
+	Configs    []string          `json:"configs"`
+	Algorithms []string          `json:"algorithms"`
+	Mean       []json.RawMessage `json:"mean"`
+}
+
+// WriteJSON renders the aggregate results as indented JSON. Two sweeps of
+// the same grid and seed produce byte-identical output regardless of
+// worker pool width, process topology or completion order — the property
+// the shard tests (and the CI distributed-determinism job) assert with a
+// plain byte diff.
+func (r *Results) WriteJSON(w io.Writer) error {
+	out := resultsJSON{
+		Grid:       r.Grid,
+		Configs:    make([]string, len(r.Configs)),
+		Algorithms: r.Algorithms,
+		Mean:       make([]json.RawMessage, len(r.Mean)),
+	}
+	for i, c := range r.Configs {
+		out.Configs[i] = c.String()
+	}
+	for i, cell := range r.Mean {
+		raw, err := EncodeCell(cell)
+		if err != nil {
+			return err
+		}
+		out.Mean[i] = raw
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -69,11 +69,12 @@ func (f *ckptFloat) UnmarshalJSON(b []byte) error {
 	return nil
 }
 
-// checkpointLine is one completed configuration on disk.
+// checkpointLine is one completed configuration on disk. Mean uses the
+// NaN-as-null encoding of EncodeCell/DecodeCell.
 type checkpointLine struct {
-	Fingerprint string        `json:"fingerprint"`
-	Config      int           `json:"config"`
-	Mean        [][]ckptFloat `json:"mean"`
+	Fingerprint string          `json:"fingerprint"`
+	Config      int             `json:"config"`
+	Mean        json.RawMessage `json:"mean"`
 }
 
 // Checkpoint is an open sweep checkpoint file. All methods are safe for
@@ -125,12 +126,9 @@ func (c *Checkpoint) load() error {
 			return fmt.Errorf("experiment: checkpoint %s was written by a different sweep (fingerprint %s, want %s)",
 				c.f.Name(), cl.Fingerprint, c.fp)
 		}
-		mean := make([][]float64, len(cl.Mean))
-		for i, row := range cl.Mean {
-			mean[i] = make([]float64, len(row))
-			for j, v := range row {
-				mean[i][j] = float64(v)
-			}
+		mean, err := DecodeCell(cl.Mean)
+		if err != nil {
+			break // corrupt tail: drop this line and everything after
 		}
 		c.done[cl.Config] = mean
 		valid += nl + 1
@@ -166,14 +164,11 @@ func (c *Checkpoint) Len() int {
 // stable storage before returning, so a kill at any point loses at most
 // the configurations still in flight.
 func (c *Checkpoint) Append(ci int, mean [][]float64) error {
-	enc := make([][]ckptFloat, len(mean))
-	for i, row := range mean {
-		enc[i] = make([]ckptFloat, len(row))
-		for j, v := range row {
-			enc[i][j] = ckptFloat(v)
-		}
+	raw, err := EncodeCell(mean)
+	if err != nil {
+		return fmt.Errorf("experiment: encode checkpoint cell: %w", err)
 	}
-	line, err := json.Marshal(checkpointLine{Fingerprint: c.fp, Config: ci, Mean: enc})
+	line, err := json.Marshal(checkpointLine{Fingerprint: c.fp, Config: ci, Mean: raw})
 	if err != nil {
 		return fmt.Errorf("experiment: encode checkpoint line: %w", err)
 	}

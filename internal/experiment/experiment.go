@@ -247,6 +247,14 @@ type Runner struct {
 	// uninterrupted one. A checkpoint written by a different sweep
 	// (mismatched fingerprint) is rejected.
 	CheckpointPath string
+	// CachePath, when non-empty, is the directory of a content-addressed
+	// result cache shared across sweeps (and with the shard coordinator):
+	// every completed configuration's mean block is stored under a key
+	// derived from the sweep parameters and the configuration's values —
+	// not its grid position — so extending a grid with new configurations
+	// and re-sweeping computes only the added cells. Restored blocks are
+	// bit-identical to recomputed ones.
+	CachePath string
 	// Metrics, when non-nil, collects live counters — simulations
 	// completed, DES events, chunks dispatched, configurations done — that
 	// callers can snapshot concurrently for progress display.
@@ -279,46 +287,24 @@ func (r *Runner) SweepContext(parent context.Context, g Grid) (*Results, error) 
 	if len(r.Algorithms) == 0 {
 		return nil, fmt.Errorf("experiment: no algorithms")
 	}
-	configs := g.Configs()
-	if len(configs) == 0 || len(g.Errors) == 0 || g.Reps <= 0 || g.Total <= 0 {
-		return nil, fmt.Errorf("experiment: empty grid")
-	}
-	res := &Results{
-		Grid:       g,
-		Configs:    configs,
-		Algorithms: make([]string, len(r.Algorithms)),
-		Mean:       make([][][]float64, len(configs)),
-	}
+	names := make([]string, len(r.Algorithms))
 	for i, a := range r.Algorithms {
-		res.Algorithms[i] = a.Name()
+		names[i] = a.Name()
 	}
-
-	// Restore completed configurations from the checkpoint, if any; only
-	// the rest is (re)computed.
-	var cp *Checkpoint
-	pending := make([]int, 0, len(configs))
-	if r.CheckpointPath != "" {
-		fp := Fingerprint(g, res.Algorithms, r.ErrorModel, r.UnknownError)
-		var err error
-		cp, err = OpenCheckpoint(r.CheckpointPath, fp)
-		if err != nil {
-			return nil, err
-		}
-		defer cp.Close()
-		for ci := range configs {
-			if cell, ok := cp.Completed(ci); ok && cellShapeOK(cell, len(g.Errors), len(r.Algorithms)) {
-				res.Mean[ci] = cell
-			} else {
-				pending = append(pending, ci)
-			}
-		}
-	} else {
-		for ci := range configs {
-			pending = append(pending, ci)
-		}
+	st, err := OpenSweepState(g, names, r.ErrorModel, r.UnknownError, r.CheckpointPath, r.CachePath)
+	if err != nil {
+		return nil, err
 	}
+	defer st.Close()
+	res := st.Results
+	configs := res.Configs
+	pending := st.Pending
+	// Both progress denominators count the whole grid: restored
+	// configurations are reported as already done (and as skipped in the
+	// metrics, so rate/ETA reflect only real compute).
 	if r.Metrics != nil {
-		r.Metrics.AddTotalConfigs(len(pending))
+		r.Metrics.AddTotalConfigs(len(configs))
+		r.Metrics.SkipConfigs(len(configs) - len(pending))
 	}
 
 	workers := r.Workers
@@ -352,14 +338,12 @@ func (r *Runner) SweepContext(parent context.Context, g Grid) (*Results, error) 
 					continue // drain the queue without working
 				}
 				cfgStart := time.Now()
-				err := r.runConfig(ctx, g, configs[ci], ci, res)
+				cell, err := r.computeCell(ctx, g, configs[ci])
 				switch {
 				case err == nil:
-					if cp != nil {
-						if aerr := cp.Append(ci, res.Mean[ci]); aerr != nil {
-							fail(aerr)
-							continue
-						}
+					if aerr := st.Complete(ci, cell); aerr != nil {
+						fail(aerr)
+						continue
 					}
 					if r.Metrics != nil {
 						r.Metrics.ConfigDone(time.Since(cfgStart))
@@ -411,14 +395,34 @@ func cellShapeOK(cell [][]float64, errors, algos int) bool {
 	return true
 }
 
-// runConfig simulates every (error, rep, algorithm) cell of one
-// configuration. Each cell's error streams are derived from
-// (BaseSeed, config index, error index, rep) so that all algorithms face
-// the same random environment (common random numbers) and results do not
-// depend on goroutine scheduling. Cancellation is checked between
-// repetitions; a cancelled configuration returns ctx.Err() and leaves no
-// partial result in res.
-func (r *Runner) runConfig(ctx context.Context, g Grid, cfg Config, ci int, res *Results) error {
+// ComputeCell simulates every (error, rep, algorithm) cell of one
+// configuration and returns its [error][algorithm] mean-makespan block.
+// Each cell's error streams are derived from (BaseSeed, config values,
+// error value, rep) — the configuration's *values*, not its position in
+// the grid — so all algorithms face the same random environment (common
+// random numbers), results do not depend on goroutine scheduling or on
+// which process computes the block (local pool worker or remote shard
+// worker), and extending a grid with new configurations leaves the blocks
+// of the existing ones bit-identical (which is what makes the
+// content-addressed result cache sound). Cancellation is checked between
+// repetitions; a cancelled configuration returns ctx.Err().
+func ComputeCell(ctx context.Context, g Grid, cfg Config, algorithms []sched.Scheduler, model ErrorModelKind, unknownError bool, met *metrics.Collector) ([][]float64, error) {
+	r := &Runner{Algorithms: algorithms, ErrorModel: model, UnknownError: unknownError, Metrics: met}
+	return r.computeCell(ctx, g, cfg)
+}
+
+// cellSeed derives the per-(config, error, rep) RNG source from values
+// alone. Keep this in sync with the CellKey doc: any change invalidates
+// every content-addressed cache and checkpoint silently, so bump cache
+// directories when touching it.
+func cellSeed(g Grid, cfg Config, errMag float64, rep int) *rng.Source {
+	return rng.NewFrom(g.BaseSeed,
+		uint64(cfg.N), math.Float64bits(cfg.R),
+		math.Float64bits(cfg.CLat), math.Float64bits(cfg.NLat),
+		math.Float64bits(errMag), uint64(rep))
+}
+
+func (r *Runner) computeCell(ctx context.Context, g Grid, cfg Config) ([][]float64, error) {
 	p := cfg.Platform()
 	// One memo per configuration: plan construction (UMR's round
 	// optimisation, MI's linear solve) is repetition- and mostly
@@ -450,7 +454,7 @@ func (r *Runner) runConfig(ctx context.Context, g Grid, cfg Config, ci int, res 
 		}
 		for rep := 0; rep < g.Reps; rep++ {
 			if err := ctx.Err(); err != nil {
-				return err
+				return nil, err
 			}
 			for ai, algo := range r.Algorithms {
 				var d engine.Dispatcher
@@ -464,7 +468,7 @@ func (r *Runner) runConfig(ctx context.Context, g Grid, cfg Config, ci int, res 
 					fails[ai] = true
 					continue
 				}
-				src := rng.NewFrom(g.BaseSeed, uint64(ci), uint64(ei), uint64(rep))
+				src := cellSeed(g, cfg, errMag, rep)
 				opts := engine.Options{
 					CommModel: r.model(errMag, src.Split()),
 					CompModel: r.model(errMag, src.Split()),
@@ -472,10 +476,10 @@ func (r *Runner) runConfig(ctx context.Context, g Grid, cfg Config, ci int, res 
 				}
 				out, err := engine.Run(p, d, opts)
 				if err != nil {
-					return fmt.Errorf("experiment: %s on %s: %w", algo.Name(), cfg, err)
+					return nil, fmt.Errorf("experiment: %s on %s: %w", algo.Name(), cfg, err)
 				}
 				if math.Abs(out.DispatchedWork-g.Total) > 1e-6*g.Total {
-					return fmt.Errorf("experiment: %s on %s dispatched %g of %g",
+					return nil, fmt.Errorf("experiment: %s on %s dispatched %g of %g",
 						algo.Name(), cfg, out.DispatchedWork, g.Total)
 				}
 				sums[ai] += out.Makespan
@@ -489,6 +493,5 @@ func (r *Runner) runConfig(ctx context.Context, g Grid, cfg Config, ci int, res 
 			}
 		}
 	}
-	res.Mean[ci] = cell
-	return nil
+	return cell, nil
 }

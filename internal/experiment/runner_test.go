@@ -159,8 +159,15 @@ func TestCheckpointResumeBitIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := m.Snapshot().ConfigsTotal; got != int64(len(g.Configs())-persisted) {
-		t.Fatalf("resume recomputed %d configs, want %d", got, len(g.Configs())-persisted)
+	// Unified denominators: the total covers the whole grid, restored
+	// configurations count as done AND skipped, and only the difference
+	// was recomputed.
+	if s := m.Snapshot(); s.ConfigsTotal != int64(len(g.Configs())) ||
+		s.ConfigsSkipped != int64(persisted) ||
+		s.ConfigsDone-s.ConfigsSkipped != int64(len(g.Configs())-persisted) {
+		t.Fatalf("resume metrics done/skipped/total = %d/%d/%d, want %d/%d/%d",
+			s.ConfigsDone, s.ConfigsSkipped, s.ConfigsTotal,
+			len(g.Configs()), persisted, len(g.Configs()))
 	}
 
 	// Reference: one uninterrupted sweep, no checkpoint.
@@ -205,8 +212,10 @@ func TestCheckpointRoundTripsNaN(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := m.Snapshot().ConfigsTotal; got != 0 {
-		t.Fatalf("fully-checkpointed sweep recomputed %d configs", got)
+	if s := m.Snapshot(); s.ConfigsSkipped != s.ConfigsTotal || s.ConfigsDone != s.ConfigsTotal ||
+		s.ConfigsTotal != int64(len(g.Configs())) {
+		t.Fatalf("fully-checkpointed sweep: done/skipped/total = %d/%d/%d, want all %d",
+			s.ConfigsDone, s.ConfigsSkipped, s.ConfigsTotal, len(g.Configs()))
 	}
 	for ci := range a.Mean {
 		for ei := range a.Mean[ci] {

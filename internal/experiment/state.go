@@ -1,0 +1,153 @@
+package experiment
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+var (
+	errNoAlgorithms = errors.New("experiment: no algorithms")
+	errEmptyGrid    = errors.New("experiment: empty grid")
+)
+
+// SweepState is the scaffolding one sweep execution shares between the
+// local Runner pool and the shard coordinator: the result skeleton with
+// every already-known configuration restored from the checkpoint and the
+// content-addressed cache, the remaining configurations as a
+// cost-descending work queue, and the persistence layers that completed
+// blocks are written back to.
+//
+// Complete may be called concurrently as long as no configuration index is
+// completed twice — the Runner's job feed and the coordinator's done-set
+// both guarantee that.
+type SweepState struct {
+	// Results has Mean[ci] filled for every restored configuration and nil
+	// for every pending one.
+	Results *Results
+	// Fingerprint identifies the sweep (grid, algorithms, error model).
+	Fingerprint string
+	// Pending lists the configuration indices still to compute, most
+	// expensive first, so the longest configurations cannot land last and
+	// stretch the sweep's tail. Ordering is wall-clock-only: cell seeding
+	// is position-independent, so results are unaffected.
+	Pending []int
+
+	cp    *Checkpoint
+	cache *Cache
+	keys  map[int]string // pending ci -> cache key, precomputed
+}
+
+// OpenSweepState validates the grid, builds the result skeleton, restores
+// completed configurations (checkpoint first, then cache) and returns the
+// remaining work queue. checkpointPath and cachePath may each be empty to
+// disable that layer.
+func OpenSweepState(g Grid, algorithms []string, model ErrorModelKind, unknownError bool, checkpointPath, cachePath string) (*SweepState, error) {
+	if len(algorithms) == 0 {
+		return nil, errNoAlgorithms
+	}
+	configs := g.Configs()
+	if len(configs) == 0 || len(g.Errors) == 0 || g.Reps <= 0 || g.Total <= 0 {
+		return nil, errEmptyGrid
+	}
+	res := &Results{
+		Grid:       g,
+		Configs:    configs,
+		Algorithms: algorithms,
+		Mean:       make([][][]float64, len(configs)),
+	}
+	st := &SweepState{
+		Results:     res,
+		Fingerprint: Fingerprint(g, algorithms, model, unknownError),
+	}
+	if checkpointPath != "" {
+		cp, err := OpenCheckpoint(checkpointPath, st.Fingerprint)
+		if err != nil {
+			return nil, err
+		}
+		st.cp = cp
+	}
+	if cachePath != "" {
+		cache, err := OpenCache(cachePath)
+		if err != nil {
+			st.Close()
+			return nil, err
+		}
+		st.cache = cache
+	}
+	for ci := range configs {
+		if st.cp != nil {
+			if cell, ok := st.cp.Completed(ci); ok && cellShapeOK(cell, len(g.Errors), len(algorithms)) {
+				res.Mean[ci] = cell
+				continue
+			}
+		}
+		if st.cache != nil {
+			key := CellKey(g, algorithms, model, unknownError, configs[ci])
+			if cell, ok := st.cache.Get(key, len(g.Errors), len(algorithms)); ok {
+				res.Mean[ci] = cell
+				continue
+			}
+		}
+		st.Pending = append(st.Pending, ci)
+	}
+	st.keys = make(map[int]string, len(st.Pending))
+	if st.cache != nil {
+		for _, ci := range st.Pending {
+			st.keys[ci] = CellKey(g, algorithms, model, unknownError, configs[ci])
+		}
+	}
+	orderByCost(g, configs, len(algorithms), st.Pending)
+	return st, nil
+}
+
+// Complete records configuration ci's computed mean block in the results
+// and persists it to the checkpoint and the cache (whichever are enabled).
+func (s *SweepState) Complete(ci int, mean [][]float64) error {
+	s.Results.Mean[ci] = mean
+	if s.cp != nil {
+		if err := s.cp.Append(ci, mean); err != nil {
+			return err
+		}
+	}
+	if s.cache != nil {
+		if err := s.cache.Put(s.keys[ci], s.Results.Configs[ci], mean); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Restored returns how many configurations were loaded from the
+// checkpoint/cache rather than queued.
+func (s *SweepState) Restored() int { return len(s.Results.Configs) - len(s.Pending) }
+
+// Close releases the checkpoint file. The cache needs no teardown.
+func (s *SweepState) Close() error {
+	if s.cp != nil {
+		return s.cp.Close()
+	}
+	return nil
+}
+
+// expectedCost ranks a configuration by predicted wall time: repetitions x
+// error values x algorithms x expected chunks per run. Chunk counts grow
+// with the worker count (each scheduling round feeds every worker) and
+// with the workload's round structure (roughly logarithmic in Total for
+// the factoring-family schedulers), so N x (1 + log2(Total)) is a
+// serviceable proxy. Only the relative order matters.
+func expectedCost(g Grid, cfg Config, algorithms int) float64 {
+	expectedChunks := float64(cfg.N) * (1 + math.Log2(g.Total))
+	return float64(g.Reps) * float64(len(g.Errors)) * float64(algorithms) * expectedChunks
+}
+
+// orderByCost sorts the pending queue most-expensive-first (stable, so
+// equal-cost configurations keep grid order). Results are unaffected —
+// cell seeds do not depend on completion order — but the sweep's tail no
+// longer waits on a big configuration that happened to be enumerated last.
+func orderByCost(g Grid, configs []Config, algorithms int, pending []int) {
+	sort.SliceStable(pending, func(i, j int) bool {
+		return expectedCost(g, configs[pending[i]], algorithms) >
+			expectedCost(g, configs[pending[j]], algorithms)
+	})
+}

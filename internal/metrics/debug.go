@@ -8,6 +8,13 @@ import (
 	"sync"
 )
 
+// Endpoint is an extra route mounted on DebugHandler's mux — e.g. the
+// shard coordinator's per-worker stats at /shards.
+type Endpoint struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // DebugHandler exposes a collector over HTTP for live introspection of a
 // long-running sweep:
 //
@@ -15,10 +22,15 @@ import (
 //	/debug/vars     expvar (includes the collector when PublishExpvar ran)
 //	/debug/pprof/   the standard pprof index, profiles and traces
 //
-// The handler has no state beyond the collector, so it can be mounted on
-// any server; rumrsweep serves it on -debug-addr.
-func DebugHandler(c *Collector) http.Handler {
+// plus any extra endpoints the caller mounts alongside (rumrsweep -serve
+// adds /shards with the coordinator's per-worker lease stats). The handler
+// has no state beyond the collector, so it can be mounted on any server;
+// rumrsweep serves it on -debug-addr.
+func DebugHandler(c *Collector, extra ...Endpoint) http.Handler {
 	mux := http.NewServeMux()
+	for _, e := range extra {
+		mux.Handle(e.Pattern, e.Handler)
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)

@@ -23,11 +23,12 @@ import (
 type Collector struct {
 	start time.Time
 
-	simulations  atomic.Int64
-	events       atomic.Int64
-	chunks       atomic.Int64
-	configsDone  atomic.Int64
-	configsTotal atomic.Int64
+	simulations    atomic.Int64
+	events         atomic.Int64
+	chunks         atomic.Int64
+	configsDone    atomic.Int64
+	configsTotal   atomic.Int64
+	configsSkipped atomic.Int64
 
 	makespans    *Histogram // per-run makespan
 	chunksPerRun *Histogram // per-run dispatched chunk count
@@ -63,22 +64,38 @@ func (c *Collector) ConfigDone(wall time.Duration) {
 
 // AddTotalConfigs grows the expected-configuration total. Sequential
 // sweeps sharing one Collector each add their own config count, so the
-// ETA always covers the work registered so far.
+// ETA always covers the work registered so far. The total counts every
+// configuration of the sweep — including ones later restored from a
+// checkpoint or cache, which SkipConfigs reports — so the done/total pair
+// always shares one denominator with the runner's Progress callback.
 func (c *Collector) AddTotalConfigs(n int) {
 	c.configsTotal.Add(int64(n))
+}
+
+// SkipConfigs records n configurations restored from a checkpoint or the
+// result cache rather than computed. They count as done (progress bars and
+// Progress callbacks agree on the denominator) but are excluded from the
+// completion rate, so ETA reflects only real compute.
+func (c *Collector) SkipConfigs(n int) {
+	c.configsSkipped.Add(int64(n))
+	c.configsDone.Add(int64(n))
 }
 
 // Snapshot is a point-in-time copy of the counters with derived rates.
 // Counters are read individually (not under a lock), so a snapshot taken
 // mid-run may be off by a few in-flight runs — fine for progress display.
 type Snapshot struct {
-	Simulations  int64   `json:"simulations"`
-	Events       int64   `json:"events"`
-	Chunks       int64   `json:"chunks"`
-	ConfigsDone  int64   `json:"configs_done"`
-	ConfigsTotal int64   `json:"configs_total"`
-	ElapsedSec   float64 `json:"elapsed_seconds"`
-	RunsPerSec   float64 `json:"runs_per_sec"`
+	Simulations  int64 `json:"simulations"`
+	Events       int64 `json:"events"`
+	Chunks       int64 `json:"chunks"`
+	ConfigsDone  int64 `json:"configs_done"`
+	ConfigsTotal int64 `json:"configs_total"`
+	// ConfigsSkipped counts configurations restored from a checkpoint or
+	// the result cache; they are included in ConfigsDone but not in the
+	// rate behind ETASec.
+	ConfigsSkipped int64   `json:"configs_skipped"`
+	ElapsedSec     float64 `json:"elapsed_seconds"`
+	RunsPerSec     float64 `json:"runs_per_sec"`
 	// ETASec estimates the remaining wall time from the configuration
 	// completion rate; it is 0 until the first configuration finishes.
 	ETASec float64 `json:"eta_seconds"`
@@ -93,12 +110,13 @@ type Snapshot struct {
 // Snapshot captures the current counter values and derived rates.
 func (c *Collector) Snapshot() Snapshot {
 	s := Snapshot{
-		Simulations:  c.simulations.Load(),
-		Events:       c.events.Load(),
-		Chunks:       c.chunks.Load(),
-		ConfigsDone:  c.configsDone.Load(),
-		ConfigsTotal: c.configsTotal.Load(),
-		ElapsedSec:   time.Since(c.start).Seconds(),
+		Simulations:    c.simulations.Load(),
+		Events:         c.events.Load(),
+		Chunks:         c.chunks.Load(),
+		ConfigsDone:    c.configsDone.Load(),
+		ConfigsTotal:   c.configsTotal.Load(),
+		ConfigsSkipped: c.configsSkipped.Load(),
+		ElapsedSec:     time.Since(c.start).Seconds(),
 
 		RunMakespan:   c.makespans.Summary(),
 		ChunksPerRun:  c.chunksPerRun.Summary(),
@@ -107,8 +125,10 @@ func (c *Collector) Snapshot() Snapshot {
 	if s.ElapsedSec > 0 {
 		s.RunsPerSec = float64(s.Simulations) / s.ElapsedSec
 	}
-	if s.ConfigsDone > 0 && s.ConfigsTotal > s.ConfigsDone {
-		perConfig := s.ElapsedSec / float64(s.ConfigsDone)
+	// Skipped configurations were free; projecting the remaining work from
+	// them would make the ETA wildly optimistic on a resumed sweep.
+	if computed := s.ConfigsDone - s.ConfigsSkipped; computed > 0 && s.ConfigsTotal > s.ConfigsDone {
+		perConfig := s.ElapsedSec / float64(computed)
 		s.ETASec = perConfig * float64(s.ConfigsTotal-s.ConfigsDone)
 	}
 	return s

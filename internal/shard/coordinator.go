@@ -1,0 +1,458 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"rumr/internal/experiment"
+	"rumr/internal/metrics"
+)
+
+// DefaultLeaseTTL is how long a worker may sit on a lease without
+// heartbeating before the coordinator re-issues its configurations.
+const DefaultLeaseTTL = 15 * time.Second
+
+// DefaultBatch is the default number of configurations per lease. Small
+// batches keep the tail short (a dead worker strands little work); the
+// per-lease HTTP overhead is negligible next to even one configuration's
+// simulation time.
+const DefaultBatch = 4
+
+// SweepJob names one sweep for Coordinator.Run.
+type SweepJob struct {
+	Grid         experiment.Grid
+	Algorithms   []string
+	Model        experiment.ErrorModelKind
+	UnknownError bool
+}
+
+// RunOptions configure one Coordinator.Run.
+type RunOptions struct {
+	// CheckpointPath/CachePath enable the persistence layers, exactly as
+	// on the local Runner. Completed blocks posted by workers are written
+	// through to both.
+	CheckpointPath string
+	CachePath      string
+	// Metrics receives configuration counters (done/total/skipped and the
+	// config-wall histogram from worker-reported wall times). Workers keep
+	// their own per-run collectors; the coordinator never sees individual
+	// simulations.
+	Metrics *metrics.Collector
+	// Progress has the Runner's contract: serialized, strictly increasing
+	// done over the full grid denominator.
+	Progress func(done, total int)
+}
+
+// Coordinator serves sweep configurations to workers over HTTP. Create one
+// with NewCoordinator, mount Handler on a server, then call Run once per
+// sweep (sequentially; concurrent Runs queue on an internal gate).
+type Coordinator struct {
+	// LeaseTTL and Batch default to DefaultLeaseTTL / DefaultBatch.
+	LeaseTTL time.Duration
+	Batch    int
+
+	now func() time.Time
+
+	runGate chan struct{} // capacity 1: serializes Run
+
+	mu      sync.Mutex
+	closed  bool
+	seq     uint64
+	job     *jobState
+	workers map[string]*workerStats
+}
+
+type workerStats struct {
+	leased    int64
+	completed int64
+	expired   int64
+	lastSeen  time.Time
+}
+
+type lease struct {
+	id       uint64
+	worker   string
+	configs  []int
+	deadline time.Time
+}
+
+// jobState is the mutable state of the sweep currently being served, all
+// guarded by Coordinator.mu.
+type jobState struct {
+	spec      JobSpec
+	state     *experiment.SweepState
+	queue     []int // pending, not currently leased; cost-ordered
+	leases    map[uint64]*lease
+	done      map[int]bool
+	remaining int
+	doneCount int // completed + restored, for Progress
+	opts      RunOptions
+	finished  chan struct{}
+	ended     bool // finished has been closed
+	err       error
+}
+
+// NewCoordinator returns a coordinator with default tuning.
+func NewCoordinator() *Coordinator {
+	return &Coordinator{
+		LeaseTTL: DefaultLeaseTTL,
+		Batch:    DefaultBatch,
+		now:      time.Now,
+		runGate:  make(chan struct{}, 1),
+		workers:  make(map[string]*workerStats),
+	}
+}
+
+// Run executes one sweep through the worker fleet and returns the merged
+// results — byte-identical to a local Runner sweep of the same grid and
+// seed. Completed configurations are restored from the checkpoint/cache
+// first; only the remainder is served. Run returns when every
+// configuration is merged, ctx is cancelled, or persistence fails.
+func (c *Coordinator) Run(ctx context.Context, job SweepJob, opts RunOptions) (*experiment.Results, error) {
+	select {
+	case c.runGate <- struct{}{}:
+		defer func() { <-c.runGate }()
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	st, err := experiment.OpenSweepState(job.Grid, job.Algorithms, job.Model, job.UnknownError,
+		opts.CheckpointPath, opts.CachePath)
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	total := len(st.Results.Configs)
+	if opts.Metrics != nil {
+		opts.Metrics.AddTotalConfigs(total)
+		opts.Metrics.SkipConfigs(st.Restored())
+	}
+	if len(st.Pending) == 0 {
+		return st.Results, nil
+	}
+
+	js := &jobState{
+		spec: JobSpec{
+			Fingerprint:  st.Fingerprint,
+			Grid:         job.Grid,
+			Algorithms:   job.Algorithms,
+			Model:        job.Model,
+			UnknownError: job.UnknownError,
+		},
+		state:     st,
+		queue:     st.Pending,
+		leases:    make(map[uint64]*lease),
+		done:      make(map[int]bool),
+		remaining: len(st.Pending),
+		doneCount: st.Restored(),
+		opts:      opts,
+		finished:  make(chan struct{}),
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errors.New("shard: coordinator closed")
+	}
+	c.job = js
+	c.mu.Unlock()
+
+	select {
+	case <-js.finished:
+	case <-ctx.Done():
+	}
+	c.mu.Lock()
+	c.job = nil
+	ended := js.ended
+	err = js.err
+	c.mu.Unlock()
+	switch {
+	case err != nil:
+		return nil, err
+	case !ended:
+		return nil, ctx.Err() // cancelled mid-sweep; resume via checkpoint/cache
+	}
+	return st.Results, nil
+}
+
+// Close makes every endpoint answer 410 Gone, which is the workers' signal
+// to exit their polling loop. An active Run fails with an error.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	if c.job != nil {
+		c.failLocked(c.job, errors.New("shard: coordinator closed"))
+	}
+}
+
+// finishLocked releases Run once, recording err if it is the first cause.
+// Callers hold c.mu.
+func (c *Coordinator) finishLocked(js *jobState, err error) {
+	if js.ended {
+		return
+	}
+	js.ended = true
+	js.err = err
+	close(js.finished)
+}
+
+// failLocked is finishLocked for error paths. Callers hold c.mu.
+func (c *Coordinator) failLocked(js *jobState, err error) { c.finishLocked(js, err) }
+
+// reclaimLocked returns every expired lease's unfinished configurations to
+// the queue. Callers hold c.mu.
+func (c *Coordinator) reclaimLocked(js *jobState) {
+	now := c.now()
+	for id, l := range js.leases {
+		if now.Before(l.deadline) {
+			continue
+		}
+		delete(js.leases, id)
+		if ws := c.workers[l.worker]; ws != nil {
+			ws.expired++
+		}
+		var back []int
+		for _, ci := range l.configs {
+			if !js.done[ci] {
+				back = append(back, ci)
+			}
+		}
+		// Reclaimed configurations jump the queue: they are the sweep's
+		// current stragglers.
+		js.queue = append(back, js.queue...)
+	}
+}
+
+func (c *Coordinator) touchWorker(name string) *workerStats {
+	ws := c.workers[name]
+	if ws == nil {
+		ws = &workerStats{}
+		c.workers[name] = ws
+	}
+	ws.lastSeen = c.now()
+	return ws
+}
+
+// Handler returns the coordinator's HTTP API.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/lease", c.handleLease)
+	mux.HandleFunc("POST /v1/result", c.handleResult)
+	mux.HandleFunc("POST /v1/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("GET /v1/status", c.handleStatus)
+	return mux
+}
+
+// StatusHandler returns just the status endpoint, for mounting on a
+// metrics debug mux (rumrsweep -debug-addr serves it at /shards).
+func (c *Coordinator) StatusHandler() http.Handler {
+	return http.HandlerFunc(c.handleStatus)
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Worker == "" {
+		http.Error(w, "bad lease request", http.StatusBadRequest)
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		http.Error(w, "coordinator shut down", http.StatusGone)
+		return
+	}
+	ws := c.touchWorker(req.Worker)
+	js := c.job
+	if js == nil {
+		noWork(w)
+		return
+	}
+	c.reclaimLocked(js)
+	if len(js.queue) == 0 {
+		noWork(w) // everything is leased or done; poll again
+		return
+	}
+	n := c.Batch
+	if n <= 0 {
+		n = DefaultBatch
+	}
+	if req.Max > 0 && req.Max < n {
+		n = req.Max
+	}
+	if n > len(js.queue) {
+		n = len(js.queue)
+	}
+	ttl := c.ttl()
+	c.seq++
+	l := &lease{
+		id:       c.seq,
+		worker:   req.Worker,
+		configs:  append([]int(nil), js.queue[:n]...),
+		deadline: c.now().Add(ttl),
+	}
+	js.queue = js.queue[n:]
+	js.leases[l.id] = l
+	ws.leased += int64(n)
+	writeJSON(w, Lease{ID: l.id, Job: js.spec, Configs: l.configs, TTLMillis: ttl.Milliseconds()})
+}
+
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	var res Result
+	if err := json.NewDecoder(r.Body).Decode(&res); err != nil {
+		http.Error(w, "bad result", http.StatusBadRequest)
+		return
+	}
+	mean, decodeErr := experiment.DecodeCell(res.Mean)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		http.Error(w, "coordinator shut down", http.StatusGone)
+		return
+	}
+	ws := c.touchWorker(res.Worker)
+	js := c.job
+	if js == nil || res.Fingerprint != js.spec.Fingerprint {
+		// The sweep this result belongs to is over (or never existed
+		// here). Tell the worker to drop the lease and re-lease.
+		http.Error(w, "stale fingerprint", http.StatusConflict)
+		return
+	}
+	if res.Error != "" {
+		c.failLocked(js, fmt.Errorf("shard: worker %s: %s", res.Worker, res.Error))
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	g := js.spec.Grid
+	if decodeErr != nil || res.Config < 0 || res.Config >= len(js.state.Results.Configs) ||
+		len(mean) != len(g.Errors) || badRows(mean, len(js.spec.Algorithms)) {
+		http.Error(w, "malformed mean block", http.StatusBadRequest)
+		return
+	}
+	if js.done[res.Config] {
+		w.WriteHeader(http.StatusOK) // duplicate from a re-issued lease: same bytes, idempotent
+		return
+	}
+	if err := js.state.Complete(res.Config, mean); err != nil {
+		c.failLocked(js, err)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	js.done[res.Config] = true
+	js.remaining--
+	js.doneCount++
+	ws.completed++
+	if l := js.leases[res.Lease]; l != nil && l.worker == res.Worker {
+		l.deadline = c.now().Add(c.ttl()) // a result is as good as a heartbeat
+	}
+	if js.opts.Metrics != nil {
+		js.opts.Metrics.ConfigDone(time.Duration(res.WallMillis) * time.Millisecond)
+	}
+	if js.opts.Progress != nil {
+		js.opts.Progress(js.doneCount, len(js.state.Results.Configs))
+	}
+	if js.remaining == 0 {
+		c.finishLocked(js, nil)
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var hb Heartbeat
+	if err := json.NewDecoder(r.Body).Decode(&hb); err != nil {
+		http.Error(w, "bad heartbeat", http.StatusBadRequest)
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		http.Error(w, "coordinator shut down", http.StatusGone)
+		return
+	}
+	c.touchWorker(hb.Worker)
+	js := c.job
+	if js == nil {
+		http.Error(w, "no active sweep", http.StatusNotFound)
+		return
+	}
+	c.reclaimLocked(js)
+	l := js.leases[hb.Lease]
+	if l == nil || l.worker != hb.Worker {
+		// Expired and possibly re-issued; the worker should abandon it.
+		http.Error(w, "lease expired", http.StatusNotFound)
+		return
+	}
+	l.deadline = c.now().Add(c.ttl())
+	w.WriteHeader(http.StatusOK)
+}
+
+// ttl returns the configured lease TTL or the default.
+func (c *Coordinator) ttl() time.Duration {
+	if c.LeaseTTL > 0 {
+		return c.LeaseTTL
+	}
+	return DefaultLeaseTTL
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, c.Status())
+}
+
+// Status snapshots progress and per-worker lease accounting.
+func (c *Coordinator) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Status{}
+	if js := c.job; js != nil {
+		c.reclaimLocked(js)
+		s.Active = true
+		s.Fingerprint = js.spec.Fingerprint
+		s.Total = len(js.state.Results.Configs)
+		s.Done = js.doneCount
+		s.Queued = len(js.queue)
+		for _, l := range js.leases {
+			for _, ci := range l.configs {
+				if !js.done[ci] {
+					s.Leased++
+				}
+			}
+		}
+	}
+	now := c.now()
+	for name, ws := range c.workers {
+		s.Workers = append(s.Workers, WorkerStatus{
+			Worker:        name,
+			LeasedConfigs: ws.leased,
+			Completed:     ws.completed,
+			ExpiredLeases: ws.expired,
+			LastSeenSec:   now.Sub(ws.lastSeen).Seconds(),
+		})
+	}
+	sort.Slice(s.Workers, func(i, j int) bool { return s.Workers[i].Worker < s.Workers[j].Worker })
+	return s
+}
+
+func badRows(mean [][]float64, algorithms int) bool {
+	for _, row := range mean {
+		if len(row) != algorithms {
+			return true
+		}
+	}
+	return false
+}
+
+// noWork answers a lease request when nothing is grantable right now.
+func noWork(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "1")
+	http.Error(w, "no work available", http.StatusServiceUnavailable)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // best-effort response write
+}

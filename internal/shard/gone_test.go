@@ -1,0 +1,28 @@
+package shard
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestWorkerExitsWhenCoordinatorVanishes(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "no work", http.StatusServiceUnavailable)
+	}))
+	w := &Worker{Base: srv.URL, ID: "w", Client: srv.Client(), Backoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond}
+	done := make(chan error, 1)
+	go func() { done <- w.Run(context.Background()) }()
+	time.Sleep(50 * time.Millisecond) // let it contact (503s)
+	srv.Close()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("worker returned %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker did not exit after coordinator vanished")
+	}
+}

@@ -1,0 +1,84 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"rumr/internal/experiment"
+)
+
+// TestMeasureScaling produces the worker-scaling numbers quoted in
+// EXPERIMENTS.md ("Distributed sweeps"). It is a measurement, not a gate —
+// wall times depend on the machine — so it only runs when asked:
+//
+//	SHARD_SCALING=1 go test -run TestMeasureScaling -v ./internal/shard/
+//
+// Two measurements are taken on the Table 2 (reduced) grid:
+//
+//  1. Coordination overhead: real compute through coordinator + 1 worker
+//     vs the local single-proc Runner. This is what the distributed layer
+//     costs; it is meaningful on any machine.
+//
+//  2. Worker scaling: wall time for 1, 2 and 4 workers where each
+//     configuration's compute occupies the worker for a fixed 20ms —
+//     real computation plus, when the host has fewer cores than workers,
+//     a blocking stand-in for the remainder (each worker process on real
+//     deployments owns its own core; a shared-core host would otherwise
+//     time-slice the workers and hide the executor's overlap). The
+//     speedup shows how well the lease pipeline keeps N workers busy
+//     simultaneously.
+func TestMeasureScaling(t *testing.T) {
+	if os.Getenv("SHARD_SCALING") == "" {
+		t.Skip("set SHARD_SCALING=1 to run the scaling measurement")
+	}
+	g := experiment.ReducedGrid()
+	g.Reps = 1
+	job := SweepJob{Grid: g, Algorithms: []string{"RUMR", "UMR", "Factoring"}}
+	fmt.Printf("host: GOMAXPROCS=%d\n", runtime.GOMAXPROCS(0))
+
+	// Measurement 1: coordination overhead at one worker, real compute.
+	algos, err := experiment.AlgorithmsByName(job.Algorithms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := (&experiment.Runner{Algorithms: algos, Workers: 1}).Sweep(g); err != nil {
+		t.Fatal(err)
+	}
+	local := time.Since(start)
+	distributed := runTopology(t, job, 1, 0)
+	fmt.Printf("local 1-proc runner:        %v\n", local.Round(10*time.Millisecond))
+	fmt.Printf("coordinator + 1 worker:     %v (overhead %.1f%%)\n",
+		distributed.Round(10*time.Millisecond),
+		100*(distributed.Seconds()-local.Seconds())/local.Seconds())
+
+	// Measurement 2: worker scaling at 20ms per-configuration compute.
+	const cellCost = 20 * time.Millisecond
+	base := runTopology(t, job, 1, cellCost)
+	fmt.Printf("| 1 | %v | 1.00x |\n", base.Round(10*time.Millisecond))
+	for _, workers := range []int{2, 4} {
+		wall := runTopology(t, job, workers, cellCost)
+		fmt.Printf("| %d | %v | %.2fx |\n", workers,
+			wall.Round(10*time.Millisecond), base.Seconds()/wall.Seconds())
+	}
+}
+
+// runTopology times one distributed sweep with the given worker count.
+// Each worker runs with Procs=1 — one configuration at a time, the way a
+// single-core worker machine would.
+func runTopology(t *testing.T, job SweepJob, workers int, cellDelay time.Duration) time.Duration {
+	t.Helper()
+	coord := NewCoordinator()
+	cl := startCluster(t, coord, workers, 1, cellDelay)
+	begin := time.Now()
+	if _, err := coord.Run(context.Background(), job, RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	wall := time.Since(begin)
+	cl.shutdown(t, workers)
+	return wall
+}
