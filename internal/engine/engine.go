@@ -158,6 +158,15 @@ type FaultAware interface {
 }
 
 // Options tune a simulation run.
+//
+// Reuse contract: an Options value is read during Run and never retained,
+// so batch callers may reuse one value — and the objects its fields point
+// to — across any number of runs. The perturbation models are the only
+// stateful members: CommModel/CompModel advance their RNG source on every
+// draw, so callers that need reproducible repetitions must reseed the
+// models' sources between runs (the experiment package's batched cell
+// path does exactly that). Metrics is safe to share across concurrent
+// runs; a Faults schedule is replayed read-only.
 type Options struct {
 	// CommModel perturbs transfer durations; nil means perfect prediction.
 	CommModel perferr.Model

@@ -48,7 +48,7 @@ func ComputeWinTable(res *Results, margin float64, buckets []Bucket) *WinTable {
 		Margin:     margin,
 		Buckets:    buckets,
 		Algorithms: res.Algorithms[1:],
-		Percent:    make([][]float64, nAlg-1),
+		Percent:    NewCellBlock(nAlg-1, len(buckets)),
 	}
 	rates := make([][]stats.WinRate, nAlg-1)
 	for a := range rates {
@@ -80,7 +80,6 @@ func ComputeWinTable(res *Results, margin float64, buckets []Bucket) *WinTable {
 		}
 	}
 	for a := range rates {
-		wt.Percent[a] = make([]float64, len(buckets))
 		for b := range buckets {
 			wt.Percent[a][b] = rates[a][b].Percent()
 		}
@@ -131,11 +130,10 @@ func ComputeCurves(res *Results, filter func(Config) bool) *Curves {
 	cv := &Curves{
 		Errors:     res.Grid.Errors,
 		Algorithms: res.Algorithms[1:],
-		Ratio:      make([][]float64, nAlg-1),
+		Ratio:      NewCellBlock(nAlg-1, len(res.Grid.Errors)),
 		N:          make([][]int, nAlg-1),
 	}
-	for a := range cv.Ratio {
-		cv.Ratio[a] = make([]float64, len(res.Grid.Errors))
+	for a := range cv.N {
 		cv.N[a] = make([]int, len(res.Grid.Errors))
 	}
 	for ci, cfg := range res.Configs {

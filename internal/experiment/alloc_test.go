@@ -1,0 +1,41 @@
+package experiment
+
+import (
+	"context"
+	"testing"
+)
+
+// TestComputeCellIntoZeroAllocSteadyState pins the batch path's headline
+// property: once a CellState is warm (prototypes built, pools populated,
+// slices grown), recomputing the same cell allocates nothing. This is the
+// test-level twin of the BenchmarkSweepCell allocs/op gate in
+// BENCH_baseline.json.
+func TestComputeCellIntoZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	g := Grid{
+		Ns:       []int{20},
+		Rs:       []float64{1.5},
+		CLats:    []float64{0.3},
+		NLats:    []float64{0.3},
+		Errors:   []float64{0, 0.3},
+		Reps:     3,
+		Total:    1000,
+		BaseSeed: 2003,
+	}
+	cfg := g.Configs()[0]
+	r := &Runner{Algorithms: StandardAlgorithms(), Workers: 1}
+	cs := NewCellState()
+	dst := NewCellBlock(len(g.Errors), len(r.Algorithms))
+	ctx := context.Background()
+	run := func() {
+		if err := r.ComputeCellInto(ctx, g, cfg, cs, dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm: build prototypes, grow trace buffers and engine pools
+	if allocs := testing.AllocsPerRun(10, run); allocs != 0 {
+		t.Fatalf("steady-state cell computation allocated %v times per run, want 0", allocs)
+	}
+}

@@ -7,10 +7,12 @@ import (
 )
 
 // BenchmarkSweepCell runs one sweep cell — every standard algorithm x 10
-// repetitions on one (N, R, latency, error) point — through the real
-// Runner. This is the end-to-end number the PR-4 optimisation targets
-// (>=2x vs the committed pre-optimization baseline): it combines the
-// allocation-free engine hot path with plan memoization across
+// repetitions on one (N, R, latency, error) point — through the batched
+// ComputeCellInto core with a reused CellState, the way the sweep loop
+// runs it at steady state. The committed target is 0 allocs/op (gated by
+// cmd/rumrbench in CI) on top of the PR-4 >=2x throughput mark vs the
+// pre-optimization baseline: the cell combines the allocation-free
+// engine hot path, plan memoization and dispatcher replay across
 // repetitions. The body lives in internal/bench so cmd/rumrbench can
 // run the identical measurement for BENCH_baseline.json.
 func BenchmarkSweepCell(b *testing.B) { bench.SweepCell(b) }

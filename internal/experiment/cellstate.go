@@ -1,0 +1,300 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"rumr/internal/engine"
+	"rumr/internal/perferr"
+	"rumr/internal/platform"
+	"rumr/internal/rng"
+	"rumr/internal/sched"
+	"rumr/internal/stats"
+)
+
+// CellState is the reusable scaffolding for computing one sweep cell —
+// all Reps × Errors × Algorithms runs of a single configuration — as a
+// batch. It owns the platform (refilled in place per configuration), the
+// plan memo, one dispatcher prototype per (error, algorithm) that is
+// Reset between repetitions instead of reconstructed, the RNG sources the
+// error streams are drawn from (reseeded in place per repetition), the
+// error-model values fed to the engine, and the per-algorithm makespan
+// accumulators. At steady state — the same cell computed repeatedly, as
+// in BenchmarkSweepCell — a cell executes with zero heap allocations.
+//
+// A CellState serves one goroutine at a time. Runner keeps a sync.Pool of
+// them; external callers (the benchmark harness) create one with
+// NewCellState and pass it to ComputeCellInto.
+type CellState struct {
+	p    *platform.Platform
+	memo *sched.Memo
+
+	// Prototype identity: prototypes are rebuilt only when the runner,
+	// configuration or the problem-shaping grid fields change; repeating
+	// the same cell (the benchmark steady state) skips preparation
+	// entirely.
+	prepared bool
+	owner    *Runner
+	cfg      Config
+	total    float64
+	unknown  bool
+	errs     []float64
+
+	// probs[ei] is the problem instance for error level ei; prototypes
+	// hold pointers into it, so it is indexed, never reallocated, while
+	// prepared.
+	probs []sched.Problem
+	// protos[ei*nAlg+ai] is the dispatcher prototype, nil when
+	// construction failed — which short-circuits the algorithm for the
+	// whole (configuration, error) block instead of retrying the
+	// construction on every repetition.
+	protos []engine.Dispatcher
+	// replay[i] is protos[i]'s Reset handle when it supports replay;
+	// prototypes without one are rebuilt per repetition.
+	replay []sched.Replayable
+	// expected[i] is the ExpectedChunks hint: the prototype's planned
+	// chunk count at first, then the observed count of the previous run.
+	expected []int
+	acc      []stats.Welford
+
+	// src is the per-(config, error, rep) stream; the engine's comm and
+	// comp streams are split from it exactly as the unbatched path did.
+	src, commSrc, compSrc rng.Source
+	seed                  [7]uint64
+	commTN, compTN        perferr.TruncNormal
+	commUni, compUni      perferr.Uniform
+}
+
+// NewCellState returns an empty CellState; all storage is sized lazily on
+// first use.
+func NewCellState() *CellState {
+	return &CellState{p: &platform.Platform{}}
+}
+
+// NewCellBlock allocates a rows × cols matrix backed by one contiguous
+// float64 slab — the shape of a cell's [error][algorithm] mean block and
+// of the aggregation tables derived from it.
+func NewCellBlock(rows, cols int) [][]float64 {
+	block := make([][]float64, rows)
+	slab := make([]float64, rows*cols)
+	for i := range block {
+		block[i] = slab[i*cols : (i+1)*cols : (i+1)*cols]
+	}
+	return block
+}
+
+// resize returns s with length n, reusing its storage when possible and
+// zeroing every element.
+func resize[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// buildDispatcher constructs algo's dispatcher for pr, through the memo
+// when the algorithm supports it.
+func buildDispatcher(algo sched.Scheduler, pr *sched.Problem, memo *sched.Memo) (engine.Dispatcher, error) {
+	if mz, ok := algo.(sched.Memoizer); ok {
+		return mz.NewDispatcherMemo(pr, memo)
+	}
+	return algo.NewDispatcher(pr)
+}
+
+// preparedFor reports whether the current prototypes are valid for
+// (r, g, cfg). BaseSeed and Reps are deliberately not part of the
+// identity: they only enter through the per-repetition reseeding, which
+// reads the grid passed to ComputeCellInto directly.
+func (cs *CellState) preparedFor(r *Runner, g Grid, cfg Config) bool {
+	if !cs.prepared || cs.owner != r || cs.cfg != cfg ||
+		cs.total != g.Total || cs.unknown != r.UnknownError ||
+		len(cs.errs) != len(g.Errors) {
+		return false
+	}
+	for i, e := range g.Errors {
+		if cs.errs[i] != e {
+			return false
+		}
+	}
+	return true
+}
+
+// prepare refills the platform, resets the memo and builds one dispatcher
+// prototype per (error, algorithm). Construction is deterministic and
+// consumes no randomness, so hoisting it out of the repetition loop
+// cannot change results; a construction failure marks the prototype nil,
+// failing the algorithm for the whole (configuration, error) block in one
+// attempt instead of Reps identical ones.
+func (cs *CellState) prepare(r *Runner, g Grid, cfg Config) {
+	nAlg := len(r.Algorithms)
+	nErr := len(g.Errors)
+	cs.p.FillHomogeneous(cfg.N, 1, cfg.R*float64(cfg.N), cfg.CLat, cfg.NLat)
+	// One memo per configuration: plan construction (UMR's round
+	// optimisation, MI's linear solve) is repetition- and mostly
+	// error-independent, so memoizing schedulers solve once and share the
+	// cached plan across the whole (error × repetition) block. Entries
+	// must not outlive the platform fill, hence the reset.
+	if cs.memo == nil {
+		cs.memo = sched.NewMemo(cs.p)
+	} else {
+		cs.memo.Reset(cs.p)
+	}
+	cs.probs = resize(cs.probs, nErr)
+	cs.protos = resize(cs.protos, nErr*nAlg)
+	cs.replay = resize(cs.replay, nErr*nAlg)
+	cs.expected = resize(cs.expected, nErr*nAlg)
+	cs.acc = resize(cs.acc, nAlg)
+	cs.errs = resize(cs.errs, nErr)
+	copy(cs.errs, g.Errors)
+	for ei, errMag := range g.Errors {
+		known := errMag
+		if r.UnknownError {
+			known = -1
+		}
+		cs.probs[ei] = sched.Problem{
+			Platform:   cs.p,
+			Total:      g.Total,
+			KnownError: known,
+			MinUnit:    1,
+		}
+	}
+	for ei := range g.Errors {
+		pr := &cs.probs[ei]
+		for ai, algo := range r.Algorithms {
+			idx := ei*nAlg + ai
+			d, err := buildDispatcher(algo, pr, cs.memo)
+			if err != nil {
+				continue // protos[idx] stays nil: NaN for the block
+			}
+			cs.protos[idx] = d
+			cs.replay[idx], _ = d.(sched.Replayable)
+			if pl, ok := d.(sched.Planned); ok {
+				cs.expected[idx] = pl.PlannedChunks()
+			}
+		}
+	}
+	cs.owner = r
+	cs.cfg = cfg
+	cs.total = g.Total
+	cs.unknown = r.UnknownError
+	cs.prepared = true
+}
+
+// reseedCell re-derives the per-(config, error, rep) stream into cs.src
+// in place. It must stay bit-identical to cellSeed (see its doc for the
+// cache-invalidation contract).
+func (cs *CellState) reseedCell(g Grid, cfg Config, errMag float64, rep int) {
+	cs.seed[0] = g.BaseSeed
+	cs.seed[1] = uint64(cfg.N)
+	cs.seed[2] = math.Float64bits(cfg.R)
+	cs.seed[3] = math.Float64bits(cfg.CLat)
+	cs.seed[4] = math.Float64bits(cfg.NLat)
+	cs.seed[5] = math.Float64bits(errMag)
+	cs.seed[6] = uint64(rep)
+	cs.src.ReseedFrom(cs.seed[:]...)
+}
+
+// ComputeCellInto computes configuration cfg's [error][algorithm] mean
+// block into dst, batching all Reps × Errors × Algorithms runs against
+// cs's pooled platform, memo and dispatcher prototypes. It is the
+// allocation-free core that both computeCell (and through it Sweep and
+// the shard worker's ComputeCell) and BenchmarkSweepCell drive; results
+// are bit-identical to constructing everything per repetition, which
+// TestBatchedCellMatchesReference pins. dst must have len(g.Errors) rows
+// of len(r.Algorithms) columns.
+func (r *Runner) ComputeCellInto(ctx context.Context, g Grid, cfg Config, cs *CellState, dst [][]float64) error {
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	if len(r.Algorithms) == 0 {
+		return errNoAlgorithms
+	}
+	nAlg := len(r.Algorithms)
+	if !cellShapeOK(dst, len(g.Errors), nAlg) {
+		return fmt.Errorf("experiment: destination block is not %d x %d", len(g.Errors), nAlg)
+	}
+	if !cs.preparedFor(r, g, cfg) {
+		cs.prepare(r, g, cfg)
+	}
+	for ei, errMag := range g.Errors {
+		for ai := range cs.acc {
+			cs.acc[ai] = stats.Welford{}
+		}
+		// Bind this error level's perturbation models once; per repetition
+		// only their sources are reseeded. Interface conversions of the
+		// pointers (and of zero-width Perfect) do not allocate.
+		var commM, compM perferr.Model
+		switch {
+		case errMag <= 0:
+			commM, compM = perferr.Perfect{}, perferr.Perfect{}
+		case r.ErrorModel == UniformError:
+			cs.commUni = perferr.Uniform{Err: errMag, Src: &cs.commSrc}
+			cs.compUni = perferr.Uniform{Err: errMag, Src: &cs.compSrc}
+			commM, compM = &cs.commUni, &cs.compUni
+		default:
+			cs.commTN = perferr.TruncNormal{Err: errMag, Src: &cs.commSrc}
+			cs.compTN = perferr.TruncNormal{Err: errMag, Src: &cs.compSrc}
+			commM, compM = &cs.commTN, &cs.compTN
+		}
+		for rep := 0; rep < g.Reps; rep++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			for ai := range r.Algorithms {
+				idx := ei*nAlg + ai
+				d := cs.protos[idx]
+				if d == nil {
+					continue // construction failed once; whole block is NaN
+				}
+				if rp := cs.replay[idx]; rp != nil {
+					rp.Reset()
+				} else {
+					// No replay contract: rebuild per repetition, exactly
+					// like the unbatched path. Construction is deterministic,
+					// so it cannot fail here after succeeding in prepare.
+					var err error
+					d, err = buildDispatcher(r.Algorithms[ai], &cs.probs[ei], cs.memo)
+					if err != nil {
+						return fmt.Errorf("experiment: %s on %s: construction failed after succeeding: %w",
+							r.Algorithms[ai].Name(), cfg, err)
+					}
+				}
+				// Each algorithm sees identical fresh streams per
+				// (error, rep) — common random numbers, same split order as
+				// the unbatched path: comm first, then comp.
+				cs.reseedCell(g, cfg, errMag, rep)
+				cs.src.SplitInto(&cs.commSrc)
+				cs.src.SplitInto(&cs.compSrc)
+				out, err := engine.Run(cs.p, d, engine.Options{
+					CommModel:      commM,
+					CompModel:      compM,
+					Metrics:        r.Metrics,
+					ExpectedChunks: cs.expected[idx],
+				})
+				if err != nil {
+					return fmt.Errorf("experiment: %s on %s: %w", r.Algorithms[ai].Name(), cfg, err)
+				}
+				if math.Abs(out.DispatchedWork-g.Total) > 1e-6*g.Total {
+					return fmt.Errorf("experiment: %s on %s dispatched %g of %g",
+						r.Algorithms[ai].Name(), cfg, out.DispatchedWork, g.Total)
+				}
+				cs.expected[idx] = out.Chunks
+				cs.acc[ai].Add(out.Makespan)
+			}
+		}
+		for ai := range r.Algorithms {
+			if cs.protos[ei*nAlg+ai] == nil {
+				dst[ei][ai] = math.NaN()
+			} else {
+				// Sum()/Reps is plain left-to-right accumulation — bit-
+				// identical to the sums-slice arithmetic of the unbatched
+				// path, unlike the Welford streaming mean.
+				dst[ei][ai] = cs.acc[ai].Sum() / float64(g.Reps)
+			}
+		}
+	}
+	return nil
+}

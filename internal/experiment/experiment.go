@@ -21,7 +21,6 @@ import (
 	"sync"
 	"time"
 
-	"rumr/internal/engine"
 	"rumr/internal/metrics"
 	"rumr/internal/perferr"
 	"rumr/internal/platform"
@@ -87,6 +86,27 @@ func (g Grid) Configs() []Config {
 // algorithms.
 func (g Grid) Runs(k int) int {
 	return len(g.Configs()) * len(g.Errors) * g.Reps * k
+}
+
+// Validate checks that the grid describes a runnable sweep: at least one
+// value on every axis, a positive repetition count and a positive
+// workload. Every sweep entry point (the local Runner pool, ComputeCell
+// on a shard worker, the coordinator via OpenSweepState) validates up
+// front, because a malformed grid otherwise fails confusingly deep in the
+// sweep — most subtly Total <= 0, which degrades the dispatched-work
+// conservation check |dispatched-Total| > 1e-6·Total to exact equality.
+func (g Grid) Validate() error {
+	switch {
+	case len(g.Ns) == 0, len(g.Rs) == 0, len(g.CLats) == 0, len(g.NLats) == 0:
+		return fmt.Errorf("%w: every platform axis (Ns, Rs, CLats, NLats) needs at least one value", errEmptyGrid)
+	case len(g.Errors) == 0:
+		return fmt.Errorf("%w: no error magnitudes", errEmptyGrid)
+	case g.Reps <= 0:
+		return fmt.Errorf("experiment: Reps=%d, need at least one repetition", g.Reps)
+	case g.Total <= 0:
+		return fmt.Errorf("experiment: Total=%g, the workload must be positive", g.Total)
+	}
+	return nil
 }
 
 // seq returns {from, from+step, ..., to} inclusive (within fp tolerance).
@@ -259,6 +279,13 @@ type Runner struct {
 	// completed, DES events, chunks dispatched, configurations done — that
 	// callers can snapshot concurrently for progress display.
 	Metrics *metrics.Collector
+
+	// cells pools CellStates across the configurations this runner
+	// computes, so the platform, memo, dispatcher prototypes and RNG
+	// buffers of a finished cell are recycled by the next one instead of
+	// reallocated. sync.Pool is concurrency-safe, matching the worker-pool
+	// fan-out; each CellState is used by one goroutine at a time.
+	cells sync.Pool
 }
 
 func (r *Runner) model(errMag float64, src *rng.Source) perferr.Model {
@@ -422,76 +449,18 @@ func cellSeed(g Grid, cfg Config, errMag float64, rep int) *rng.Source {
 		math.Float64bits(errMag), uint64(rep))
 }
 
+// computeCell allocates a fresh mean block and fills it through the
+// batched cell path, recycling a pooled CellState for the heavy per-cell
+// scaffolding (platform, memo, dispatcher prototypes, RNG buffers).
 func (r *Runner) computeCell(ctx context.Context, g Grid, cfg Config) ([][]float64, error) {
-	p := cfg.Platform()
-	// One memo per configuration: plan construction (UMR's round
-	// optimisation, MI's linear solve) is repetition- and mostly
-	// error-independent, so memoizing schedulers solve once and replay the
-	// cached plan across the whole (error x repetition) block. The memo is
-	// confined to this goroutine, and memoized dispatchers are contractually
-	// byte-identical to freshly built ones, so results are unchanged.
-	memo := sched.NewMemo(p)
-	memoizers := make([]sched.Memoizer, len(r.Algorithms))
-	for ai, algo := range r.Algorithms {
-		memoizers[ai], _ = algo.(sched.Memoizer)
+	cs, _ := r.cells.Get().(*CellState)
+	if cs == nil {
+		cs = NewCellState()
 	}
-	cell := make([][]float64, len(g.Errors))
-	for ei := range g.Errors {
-		cell[ei] = make([]float64, len(r.Algorithms))
-	}
-	for ei, errMag := range g.Errors {
-		sums := make([]float64, len(r.Algorithms))
-		fails := make([]bool, len(r.Algorithms))
-		known := errMag
-		if r.UnknownError {
-			known = -1
-		}
-		pr := &sched.Problem{
-			Platform:   p,
-			Total:      g.Total,
-			KnownError: known,
-			MinUnit:    1,
-		}
-		for rep := 0; rep < g.Reps; rep++ {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			for ai, algo := range r.Algorithms {
-				var d engine.Dispatcher
-				var err error
-				if mz := memoizers[ai]; mz != nil {
-					d, err = mz.NewDispatcherMemo(pr, memo)
-				} else {
-					d, err = algo.NewDispatcher(pr)
-				}
-				if err != nil {
-					fails[ai] = true
-					continue
-				}
-				src := cellSeed(g, cfg, errMag, rep)
-				opts := engine.Options{
-					CommModel: r.model(errMag, src.Split()),
-					CompModel: r.model(errMag, src.Split()),
-					Metrics:   r.Metrics,
-				}
-				out, err := engine.Run(p, d, opts)
-				if err != nil {
-					return nil, fmt.Errorf("experiment: %s on %s: %w", algo.Name(), cfg, err)
-				}
-				if math.Abs(out.DispatchedWork-g.Total) > 1e-6*g.Total {
-					return nil, fmt.Errorf("experiment: %s on %s dispatched %g of %g",
-						algo.Name(), cfg, out.DispatchedWork, g.Total)
-				}
-				sums[ai] += out.Makespan
-			}
-		}
-		for ai := range r.Algorithms {
-			if fails[ai] {
-				cell[ei][ai] = math.NaN()
-			} else {
-				cell[ei][ai] = sums[ai] / float64(g.Reps)
-			}
-		}
+	defer r.cells.Put(cs)
+	cell := NewCellBlock(len(g.Errors), len(r.Algorithms))
+	if err := r.ComputeCellInto(ctx, g, cfg, cs, cell); err != nil {
+		return nil, err
 	}
 	return cell, nil
 }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package experiment
+
+const raceEnabled = false

@@ -186,22 +186,54 @@ feed:
 	return res, nil
 }
 
+// resilienceProtos constructs one dispatcher prototype per algorithm for
+// pr, once per sweep leg instead of once per repetition. protos[ai] is
+// nil when construction failed (the algorithm is NaN for the leg);
+// replay[ai] is the Reset handle of prototypes that support replay —
+// dispatchers without one are rebuilt per repetition, the pre-batch
+// behaviour. Construction is deterministic and draws no randomness, so
+// the hoisting cannot change results.
+func (r *Runner) resilienceProtos(pr *sched.Problem) (protos []engine.Dispatcher, replay []sched.Replayable) {
+	protos = make([]engine.Dispatcher, len(r.Algorithms))
+	replay = make([]sched.Replayable, len(r.Algorithms))
+	for ai, algo := range r.Algorithms {
+		d, err := algo.NewDispatcher(pr)
+		if err != nil {
+			continue
+		}
+		protos[ai] = d
+		replay[ai], _ = d.(sched.Replayable)
+	}
+	return protos, replay
+}
+
+// resilienceDispatcher returns the dispatcher for one repetition: the
+// reset prototype when it is replayable, a fresh build otherwise.
+func resilienceDispatcher(algo sched.Scheduler, proto engine.Dispatcher, rp sched.Replayable, pr *sched.Problem) (engine.Dispatcher, error) {
+	if rp != nil {
+		rp.Reset()
+		return proto, nil
+	}
+	return algo.NewDispatcher(pr)
+}
+
 // resilienceBaselines fills res.Baseline with fault-free mean makespans.
 func (r *Runner) resilienceBaselines(ctx context.Context, g ResilienceGrid, res *ResilienceResults) error {
 	p := g.Config.Platform()
+	pr := &sched.Problem{Platform: p, Total: g.Total, KnownError: g.Error, MinUnit: 1}
+	protos, replay := r.resilienceProtos(pr)
 	sums := make([]float64, len(r.Algorithms))
-	fails := make([]bool, len(r.Algorithms))
 	for rep := 0; rep < g.Reps; rep++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		for ai, algo := range r.Algorithms {
-			d, err := algo.NewDispatcher(&sched.Problem{
-				Platform: p, Total: g.Total, KnownError: g.Error, MinUnit: 1,
-			})
-			if err != nil {
-				fails[ai] = true
+			if protos[ai] == nil {
 				continue
+			}
+			d, err := resilienceDispatcher(algo, protos[ai], replay[ai], pr)
+			if err != nil {
+				return fmt.Errorf("experiment: baseline %s: construction failed after succeeding: %w", algo.Name(), err)
 			}
 			src := rng.NewFrom(g.BaseSeed, uint64(rep))
 			out, err := engine.Run(p, d, engine.Options{
@@ -216,7 +248,7 @@ func (r *Runner) resilienceBaselines(ctx context.Context, g ResilienceGrid, res 
 		}
 	}
 	for ai := range r.Algorithms {
-		if fails[ai] {
+		if protos[ai] == nil {
 			res.Baseline[ai] = math.NaN()
 		} else {
 			res.Baseline[ai] = sums[ai] / float64(g.Reps)
@@ -235,10 +267,11 @@ func (r *Runner) runCrashRate(ctx context.Context, g ResilienceGrid, horizon flo
 	p := g.Config.Platform()
 	rate := g.CrashRates[ri]
 	k := len(r.Algorithms)
+	pr := &sched.Problem{Platform: p, Total: g.Total, KnownError: g.Error, MinUnit: 1}
+	protos, replay := r.resilienceProtos(pr)
 	sums := make([]float64, k)
 	comp := make([]float64, k)
 	redisp := make([]float64, k)
-	fails := make([]bool, k)
 	rec := g.recovery()
 	for rep := 0; rep < g.Reps; rep++ {
 		if err := ctx.Err(); err != nil {
@@ -254,12 +287,13 @@ func (r *Runner) runCrashRate(ctx context.Context, g ResilienceGrid, horizon flo
 		}
 		faults := scenario.Generate(p.N(), rng.NewFrom(g.BaseSeed, uint64(ri), uint64(rep), 0xFA))
 		for ai, algo := range r.Algorithms {
-			d, err := algo.NewDispatcher(&sched.Problem{
-				Platform: p, Total: g.Total, KnownError: g.Error, MinUnit: 1,
-			})
-			if err != nil {
-				fails[ai] = true
+			if protos[ai] == nil {
 				continue
+			}
+			d, err := resilienceDispatcher(algo, protos[ai], replay[ai], pr)
+			if err != nil {
+				return fmt.Errorf("experiment: %s at crash rate %g: construction failed after succeeding: %w",
+					algo.Name(), rate, err)
 			}
 			src := rng.NewFrom(g.BaseSeed, uint64(rep))
 			out, err := engine.Run(p, d, engine.Options{
@@ -282,7 +316,7 @@ func (r *Runner) runCrashRate(ctx context.Context, g ResilienceGrid, horizon flo
 	cf := make([]float64, k)
 	rd := make([]float64, k)
 	for ai := range r.Algorithms {
-		if fails[ai] {
+		if protos[ai] == nil {
 			mean[ai], deg[ai], cf[ai], rd[ai] = math.NaN(), math.NaN(), math.NaN(), math.NaN()
 			continue
 		}

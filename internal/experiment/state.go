@@ -46,10 +46,10 @@ func OpenSweepState(g Grid, algorithms []string, model ErrorModelKind, unknownEr
 	if len(algorithms) == 0 {
 		return nil, errNoAlgorithms
 	}
-	configs := g.Configs()
-	if len(configs) == 0 || len(g.Errors) == 0 || g.Reps <= 0 || g.Total <= 0 {
-		return nil, errEmptyGrid
+	if err := g.Validate(); err != nil {
+		return nil, err
 	}
+	configs := g.Configs()
 	res := &Results{
 		Grid:       g,
 		Configs:    configs,

@@ -120,11 +120,25 @@ func (p *Platform) Clone() *Platform {
 // two latencies. tLat is taken as zero there; use the Worker slice directly
 // for platforms that need it.
 func Homogeneous(n int, s, b, cLat, nLat float64) *Platform {
-	ws := make([]Worker, n)
-	for i := range ws {
-		ws[i] = Worker{S: s, B: b, CLat: cLat, NLat: nLat}
+	p := &Platform{}
+	p.FillHomogeneous(n, s, b, cLat, nLat)
+	return p
+}
+
+// FillHomogeneous overwrites p in place with n identical workers — the
+// allocation-free form of Homogeneous used by batch sweeps that recycle
+// one Platform value across configurations. The Workers slice is resized
+// in place, growing only when n exceeds its capacity, and every entry is
+// rewritten, so no state from a previous fill survives.
+func (p *Platform) FillHomogeneous(n int, s, b, cLat, nLat float64) {
+	if cap(p.Workers) < n {
+		p.Workers = make([]Worker, n)
 	}
-	return &Platform{Workers: ws}
+	p.Workers = p.Workers[:n]
+	w := Worker{S: s, B: b, CLat: cLat, NLat: nLat}
+	for i := range p.Workers {
+		p.Workers[i] = w
+	}
 }
 
 // HeterogeneousSpec bounds the random platform generator.

@@ -181,3 +181,41 @@ func TestSelectUtilizableProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestFillHomogeneousMatchesHomogeneous(t *testing.T) {
+	var p Platform
+	shapes := []struct {
+		n                int
+		s, b, cLat, nLat float64
+	}{
+		{4, 1, 10, 0.3, 0.9},
+		{20, 1, 30, 0, 0.3},
+		{3, 2, 5, 0.1, 0.2},
+		{20, 1, 36, 0.3, 0.9},
+	}
+	for _, sh := range shapes {
+		p.FillHomogeneous(sh.n, sh.s, sh.b, sh.cLat, sh.nLat)
+		want := Homogeneous(sh.n, sh.s, sh.b, sh.cLat, sh.nLat)
+		if len(p.Workers) != len(want.Workers) {
+			t.Fatalf("n=%d: got %d workers, want %d", sh.n, len(p.Workers), len(want.Workers))
+		}
+		for i := range p.Workers {
+			if p.Workers[i] != want.Workers[i] {
+				t.Fatalf("n=%d: worker %d = %+v, want %+v", sh.n, i, p.Workers[i], want.Workers[i])
+			}
+		}
+	}
+}
+
+func TestFillHomogeneousReusesStorage(t *testing.T) {
+	var p Platform
+	p.FillHomogeneous(32, 1, 10, 0.3, 0.9)
+	ptr := &p.Workers[0]
+	p.FillHomogeneous(8, 2, 20, 0.1, 0.2)
+	if &p.Workers[0] != ptr {
+		t.Fatal("shrinking refill reallocated the worker slice")
+	}
+	if len(p.Workers) != 8 {
+		t.Fatalf("len = %d, want 8", len(p.Workers))
+	}
+}

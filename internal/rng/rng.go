@@ -33,24 +33,44 @@ func splitmix64(x *uint64) uint64 {
 // give streams that do not visibly correlate.
 func New(seed uint64) *Source {
 	s := &Source{}
+	s.Reseed(seed)
+	return s
+}
+
+// Reseed resets s in place to the stream New(seed) produces, without
+// allocating. Batch loops that re-derive a per-repetition stream into a
+// long-lived Source use it in place of New on the hot path.
+func (s *Source) Reseed(seed uint64) {
 	x := seed
 	s.s0 = splitmix64(&x)
 	s.s1 = splitmix64(&x)
 	s.s2 = splitmix64(&x)
 	s.s3 = splitmix64(&x)
-	return s
+}
+
+// hashParts folds seed components into the single 64-bit seed NewFrom and
+// ReseedFrom derive their stream from.
+func hashParts(parts []uint64) uint64 {
+	var x uint64 = 0x243f6a8885a308d3 // pi, for lack of anything better
+	for _, p := range parts {
+		x ^= p + 0x9e3779b97f4a7c15 + (x << 6) + (x >> 2)
+		x = splitmix64(&x)
+	}
+	return x
 }
 
 // NewFrom derives a Source from several components, typically a base seed
 // plus experiment coordinates. It hashes the components together so that
 // (1,2) and (2,1) produce unrelated streams.
 func NewFrom(parts ...uint64) *Source {
-	var x uint64 = 0x243f6a8885a308d3 // pi, for lack of anything better
-	for _, p := range parts {
-		x ^= p + 0x9e3779b97f4a7c15 + (x << 6) + (x >> 2)
-		x = splitmix64(&x)
-	}
-	return New(x)
+	return New(hashParts(parts))
+}
+
+// ReseedFrom resets s in place to the stream NewFrom(parts...) produces.
+// Callers on allocation-free paths should pass an existing slice
+// (buf[:]...) so the variadic argument does not allocate.
+func (s *Source) ReseedFrom(parts ...uint64) {
+	s.Reseed(hashParts(parts))
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
@@ -73,6 +93,14 @@ func (s *Source) Uint64() uint64 {
 // also advances the parent.
 func (s *Source) Split() *Source {
 	return New(s.Uint64())
+}
+
+// SplitInto is Split writing the derived stream into dst instead of
+// allocating a new Source: dst is reseeded from the receiver's next
+// output, advancing the parent exactly as Split does, so the two forms
+// produce bit-identical child streams.
+func (s *Source) SplitInto(dst *Source) {
+	dst.Reseed(s.Uint64())
 }
 
 // Float64 returns a uniform sample in [0, 1) with 53 bits of precision.

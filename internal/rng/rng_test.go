@@ -244,3 +244,50 @@ func BenchmarkTruncNormal(b *testing.B) {
 		_ = s.TruncNormal(1, 0.3, 0)
 	}
 }
+
+func TestReseedMatchesNew(t *testing.T) {
+	var s Source
+	for _, seed := range []uint64{0, 1, 42, 0xdeadbeef, math.MaxUint64} {
+		s.Reseed(seed)
+		fresh := New(seed)
+		for i := 0; i < 100; i++ {
+			if got, want := s.Uint64(), fresh.Uint64(); got != want {
+				t.Fatalf("seed %d: Reseed diverged from New at draw %d", seed, i)
+			}
+		}
+	}
+}
+
+func TestReseedFromMatchesNewFrom(t *testing.T) {
+	var s Source
+	cases := [][]uint64{
+		{},
+		{7},
+		{1, 2, 3},
+		{2003, 20, math.Float64bits(1.5), math.Float64bits(0.3)},
+	}
+	for _, parts := range cases {
+		s.ReseedFrom(parts...)
+		fresh := NewFrom(parts...)
+		for i := 0; i < 100; i++ {
+			if got, want := s.Uint64(), fresh.Uint64(); got != want {
+				t.Fatalf("parts %v: ReseedFrom diverged from NewFrom at draw %d", parts, i)
+			}
+		}
+	}
+}
+
+func TestSplitIntoMatchesSplit(t *testing.T) {
+	a := New(99)
+	b := New(99)
+	var child Source
+	for round := 0; round < 10; round++ {
+		a.SplitInto(&child)
+		want := b.Split()
+		for i := 0; i < 50; i++ {
+			if child.Uint64() != want.Uint64() {
+				t.Fatalf("round %d: SplitInto diverged from Split at draw %d", round, i)
+			}
+		}
+	}
+}

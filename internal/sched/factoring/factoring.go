@@ -88,6 +88,14 @@ func (s *Sizer) NextSize(remaining float64) float64 {
 // dispatcher uses it to emit batch-boundary events.
 func (s *Sizer) Batches() int { return s.batches }
 
+// Reset implements sched.ResettableSizer: the batch progression restarts
+// from the first batch, as if freshly constructed.
+func (s *Sizer) Reset() {
+	s.batch = 0
+	s.left = 0
+	s.batches = 0
+}
+
 // Scheduler adapts Factoring to the sched.Scheduler interface.
 //
 // The standalone competitor floors chunks only at the workload's minimal

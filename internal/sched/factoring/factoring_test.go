@@ -186,3 +186,23 @@ func TestPlainSchedulerInvalidProblem(t *testing.T) {
 		t.Fatal("invalid problem accepted")
 	}
 }
+
+func TestSizerResetReplays(t *testing.T) {
+	s := NewSizer(4, 0)
+	var first []float64
+	remaining := 100.0
+	for i := 0; i < 12; i++ {
+		sz := s.NextSize(remaining)
+		first = append(first, sz)
+		remaining -= sz
+	}
+	s.Reset()
+	remaining = 100.0
+	for i, want := range first {
+		sz := s.NextSize(remaining)
+		if sz != want {
+			t.Fatalf("size %d after Reset = %v, want %v", i, sz, want)
+		}
+		remaining -= sz
+	}
+}

@@ -1,0 +1,103 @@
+package sched
+
+import (
+	"testing"
+
+	"rumr/internal/engine"
+)
+
+// drainStatic collects every chunk a Static dispatcher yields against a
+// permanently idle view.
+func drainStatic(s *Static, workers int) []engine.Chunk {
+	v := staticView(make([]engine.WorkerState, workers))
+	var out []engine.Chunk
+	for {
+		c, ok := s.Next(v)
+		if !ok {
+			return out
+		}
+		out = append(out, c)
+	}
+}
+
+func TestStaticResetReplays(t *testing.T) {
+	plan := []engine.Chunk{
+		{Worker: 0, Size: 1}, {Worker: 1, Size: 2},
+		{Worker: 0, Size: 3}, {Worker: 1, Size: 4},
+	}
+	s := NewStatic(plan, true)
+	first := drainStatic(s, 2)
+	s.Reset()
+	second := drainStatic(s, 2)
+	if len(first) != len(plan) || len(second) != len(plan) {
+		t.Fatalf("drained %d then %d chunks, want %d", len(first), len(second), len(plan))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("chunk %d differs after Reset: %+v vs %+v", i, first[i], second[i])
+		}
+	}
+}
+
+func TestStaticResetRestoresTrimmedTail(t *testing.T) {
+	plan := []engine.Chunk{
+		{Worker: 0, Size: 1}, {Worker: 1, Size: 2}, {Worker: 0, Size: 3},
+	}
+	s := NewStatic(plan, false)
+	if got := s.TrimTail(3); got != 3 {
+		t.Fatalf("TrimTail withdrew %v, want 3", got)
+	}
+	if got := drainStatic(s, 2); len(got) != 2 {
+		t.Fatalf("trimmed plan yielded %d chunks, want 2", len(got))
+	}
+	s.Reset()
+	if got := drainStatic(s, 2); len(got) != 3 {
+		t.Fatalf("Reset did not restore the trimmed tail: %d chunks, want 3", len(got))
+	}
+}
+
+// drainDemand collects chunk sizes from a Demand dispatcher, always
+// offering worker 0 as idle.
+func drainDemand(d *Demand) []float64 {
+	v := staticView(make([]engine.WorkerState, 1))
+	var out []float64
+	for len(out) < 1000 {
+		c, ok := d.Next(v)
+		if !ok {
+			return out
+		}
+		out = append(out, c.Size)
+	}
+	return out
+}
+
+func TestDemandResetReplays(t *testing.T) {
+	d := NewDemand(100, halver{}, 1, 0)
+	first := drainDemand(d)
+	if len(first) == 0 {
+		t.Fatal("demand dispatcher yielded nothing")
+	}
+	d.Reset()
+	second := drainDemand(d)
+	if len(first) != len(second) {
+		t.Fatalf("drained %d then %d chunks", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("size %d differs after Reset: %v vs %v", i, first[i], second[i])
+		}
+	}
+}
+
+func TestDemandResetUndoesAdd(t *testing.T) {
+	d := NewDemand(50, halver{}, 1, 0)
+	d.Add(25) // TrimTail handoff grows the pool...
+	d.Reset() // ...and Reset must rewind to the constructed total.
+	var sum float64
+	for _, s := range drainDemand(d) {
+		sum += s
+	}
+	if sum != 50 {
+		t.Fatalf("post-Reset demand dispatched %v, want the original 50", sum)
+	}
+}

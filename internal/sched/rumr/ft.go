@@ -40,6 +40,7 @@ func (s FaultTolerant) NewDispatcher(pr *sched.Problem) (engine.Dispatcher, erro
 	}
 	return &ftDispatcher{
 		dispatcher: *base.(*dispatcher),
+		orig:       *base.(*dispatcher),
 		pr:         *pr,
 		variant:    s.Variant,
 		down:       make(map[int]bool),
@@ -50,9 +51,23 @@ func (s FaultTolerant) NewDispatcher(pr *sched.Problem) (engine.Dispatcher, erro
 // re-planning.
 type ftDispatcher struct {
 	dispatcher
+	// orig keeps the post-construction phases: replan replaces the phase
+	// pointers outright, so Reset must restore these before rewinding.
+	orig    dispatcher
 	pr      sched.Problem // copy; Platform is shared read-only
 	variant Scheduler
 	down    map[int]bool
+}
+
+// Reset implements sched.Replayable. The embedded dispatcher's promoted
+// Reset would be wrong here — re-planning may have swapped the phases for
+// different objects — so the post-construction phases are restored first,
+// then rewound, and the crash bookkeeping clears. Event sinks need no
+// care: the engine re-attaches them at the start of every traced run.
+func (d *ftDispatcher) Reset() {
+	d.dispatcher = d.orig
+	d.dispatcher.Reset()
+	clear(d.down)
 }
 
 // OnWorkerDown implements engine.FaultAware.

@@ -151,6 +151,30 @@ func (d *dispatcher) AttachEvents(sink obs.Sink) {
 	}
 }
 
+// Reset implements sched.Replayable: both phases rewind to their
+// post-construction state (the phase-2 factoring sizer included) and the
+// handoff flag clears, so one dispatcher can replay across the
+// repetitions of a sweep cell.
+func (d *dispatcher) Reset() {
+	if d.phase1 != nil {
+		d.phase1.Reset()
+	}
+	if d.phase2 != nil {
+		d.phase2.Reset()
+	}
+	d.inPhase2 = false
+}
+
+// PlannedChunks implements sched.Planned with a lower bound: the phase-1
+// plan's length. Phase 2 is demand driven, so its chunk count is only
+// known after a run.
+func (d *dispatcher) PlannedChunks() int {
+	if d.phase1 == nil {
+		return 0
+	}
+	return d.phase1.PlannedChunks()
+}
+
 // Next implements engine.Dispatcher.
 func (d *dispatcher) Next(v *engine.View) (engine.Chunk, bool) {
 	if d.phase1 != nil && d.phase1.Remaining() > 0 {

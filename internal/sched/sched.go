@@ -105,6 +105,15 @@ type Memo struct {
 // NewMemo returns a memo bound to p.
 func NewMemo(p *platform.Platform) *Memo { return &Memo{platform: p} }
 
+// Reset rebinds the memo to p and drops every cached entry (keeping the
+// map's storage), so one Memo allocation can serve successive sweep cells
+// on a recycled platform value. Entries must be dropped even when p is
+// the same pointer: the caller may have refilled the platform in place.
+func (m *Memo) Reset(p *platform.Platform) {
+	m.platform = p
+	clear(m.entries)
+}
+
 // Do returns the cached result for key, invoking build and caching its
 // result — value or error — on first use. A nil Memo, or one bound to a
 // platform other than pr.Platform, degrades to calling build directly,
@@ -132,6 +141,41 @@ func (m *Memo) Do(pr *Problem, key MemoKey, build func() (any, error)) (any, err
 type Memoizer interface {
 	Scheduler
 	NewDispatcherMemo(pr *Problem, m *Memo) (engine.Dispatcher, error)
+}
+
+// Replayable is implemented by dispatchers that can rewind to their
+// just-constructed state. The contract: after Reset, the dispatcher's
+// observable behaviour — the exact chunk sequence under identical View
+// inputs — must be indistinguishable from a freshly constructed
+// dispatcher for the same problem. The sweep batch path uses it to build
+// one prototype per (configuration, error) and replay it across every
+// repetition instead of reconstructing Reps times; dispatchers that do
+// not implement Replayable are simply rebuilt per repetition (the
+// pre-batch behaviour — always correct, just slower). Composite
+// dispatchers must reset every phase, and demand dispatchers can only
+// satisfy the contract when their stateful sizers implement
+// ResettableSizer.
+type Replayable interface {
+	engine.Dispatcher
+	// Reset rewinds the dispatcher to its post-construction state.
+	Reset()
+}
+
+// ResettableSizer is a ChunkSizer (or WorkerSizer) whose batch/sequence
+// progression can rewind to its initial state. Every stateful sizer used
+// by a Replayable demand dispatcher must implement it — Demand.Reset
+// silently assumes a sizer without Reset is stateless.
+type ResettableSizer interface {
+	Reset()
+}
+
+// Planned is implemented by dispatchers that know before the run how many
+// chunks they will dispatch, at least as a lower bound (a static plan's
+// length; a two-phase dispatcher's phase-1 share). Batch callers feed the
+// count to engine.Options.ExpectedChunks so trace buffers and chunk
+// arenas are sized up front instead of regrown chunk by chunk.
+type Planned interface {
+	PlannedChunks() int
 }
 
 // Static plays a precalculated plan. With OutOfOrder set, the head of the
@@ -234,6 +278,18 @@ func (s *Static) Next(v *engine.View) (engine.Chunk, bool) {
 // Remaining returns how many planned chunks have not been dispatched.
 func (s *Static) Remaining() int { return s.remaining }
 
+// Reset implements Replayable: the plan rewinds to fully unsent,
+// including entries withdrawn by TrimTail.
+func (s *Static) Reset() {
+	clear(s.sent)
+	s.remaining = len(s.Plan)
+	s.started = false
+	s.firstUnsent = 0
+}
+
+// PlannedChunks implements Planned: the plan's length.
+func (s *Static) PlannedChunks() int { return len(s.Plan) }
+
 // RemainingWork sums the sizes of the undispatched chunks.
 func (s *Static) RemainingWork() float64 {
 	total := 0.0
@@ -295,8 +351,11 @@ type Demand struct {
 	Phase     int
 	remaining float64
 	total     float64
-	batch     int
-	events    obs.Sink
+	// initial is the constructed pool size, recorded so Reset can rewind
+	// past any units transferred in via Add.
+	initial float64
+	batch   int
+	events  obs.Sink
 	// lastBatches tracks the sizer's batch counter so batch boundaries can
 	// be emitted as dispatch decisions.
 	lastBatches int
@@ -315,11 +374,26 @@ func (d *Demand) AttachEvents(sink obs.Sink) { d.events = sink }
 
 // NewDemand returns a demand-driven dispatcher over total units.
 func NewDemand(total float64, sizer ChunkSizer, minChunk float64, phase int) *Demand {
-	return &Demand{Sizer: sizer, MinChunk: minChunk, Phase: phase, remaining: total, total: total}
+	return &Demand{Sizer: sizer, MinChunk: minChunk, Phase: phase, remaining: total, total: total, initial: total}
 }
 
 // Remaining returns the work not yet dispatched.
 func (d *Demand) Remaining() float64 { return d.remaining }
+
+// Reset implements Replayable: the pool rewinds to its constructed size
+// (units later transferred in via Add are forgotten) and the sizer's
+// progression restarts. A sizer that carries state must implement
+// ResettableSizer for the replay contract to hold; sizers without a Reset
+// are assumed stateless.
+func (d *Demand) Reset() {
+	d.remaining = d.initial
+	d.total = d.initial
+	d.batch = 0
+	d.lastBatches = 0
+	if rs, ok := d.Sizer.(ResettableSizer); ok {
+		rs.Reset()
+	}
+}
 
 // Add transfers extra workload units into the demand-driven pool.
 // Fault-tolerant schedulers use it to re-route work withdrawn from a

@@ -19,9 +19,10 @@ import (
 
 // sizer walks the arithmetic sequence from first to last.
 type sizer struct {
-	next float64
-	step float64
-	last float64
+	first float64
+	next  float64
+	step  float64
+	last  float64
 }
 
 // NextSize implements sched.ChunkSizer.
@@ -33,6 +34,10 @@ func (s *sizer) NextSize(remaining float64) float64 {
 	s.next -= s.step
 	return size
 }
+
+// Reset implements sched.ResettableSizer: the sequence restarts at the
+// first chunk size.
+func (s *sizer) Reset() { s.next = s.first }
 
 // Scheduler adapts TSS to the sched.Scheduler interface.
 type Scheduler struct {
@@ -66,6 +71,6 @@ func (s Scheduler) NewDispatcher(pr *sched.Problem) (engine.Dispatcher, error) {
 	if k > 1 {
 		step = (first - last) / (k - 1)
 	}
-	return sched.NewDemand(pr.Total, &sizer{next: first, step: step, last: last},
+	return sched.NewDemand(pr.Total, &sizer{first: first, next: first, step: step, last: last},
 		pr.EffectiveMinUnit(), 0), nil
 }

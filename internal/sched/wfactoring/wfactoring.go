@@ -67,6 +67,14 @@ func (s *sizer) NextSize(remaining float64) float64 {
 // dispatcher uses it to emit batch-boundary events.
 func (s *sizer) Batches() int { return s.batches }
 
+// Reset implements sched.ResettableSizer: the batch progression restarts
+// from the first batch (the weights are construction-time constants).
+func (s *sizer) Reset() {
+	s.batch = 0
+	s.left = 0
+	s.batches = 0
+}
+
 // Scheduler adapts Weighted Factoring to the sched.Scheduler interface.
 type Scheduler struct {
 	// Factor overrides the batch divisor; zero selects 2.

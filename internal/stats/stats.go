@@ -18,11 +18,13 @@ type Welford struct {
 	m2   float64
 	min  float64
 	max  float64
+	sum  float64
 }
 
 // Add folds x into the accumulator.
 func (w *Welford) Add(x float64) {
 	w.n++
+	w.sum += x
 	if w.n == 1 {
 		w.min, w.max = x, x
 	} else {
@@ -59,6 +61,7 @@ func (w *Welford) Merge(o Welford) {
 		w.max = o.max
 	}
 	w.n = n
+	w.sum += o.sum
 }
 
 // N returns the number of samples.
@@ -66,6 +69,13 @@ func (w *Welford) N() int64 { return w.n }
 
 // Mean returns the sample mean (0 if empty).
 func (w *Welford) Mean() float64 { return w.mean }
+
+// Sum returns the plain left-to-right total of the samples. Unlike the
+// incrementally updated Mean, Sum()/N() is bit-identical to accumulating
+// the samples into a float64 and dividing — which is what lets batch
+// consumers replace an explicit sums slice with an accumulator without
+// perturbing golden results.
+func (w *Welford) Sum() float64 { return w.sum }
 
 // Variance returns the unbiased sample variance (0 for n < 2).
 func (w *Welford) Variance() float64 {

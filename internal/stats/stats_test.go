@@ -216,3 +216,41 @@ func TestCI95ShrinksWithN(t *testing.T) {
 		t.Fatalf("CI95 should shrink with n: small=%v large=%v", small.CI95(), large.CI95())
 	}
 }
+
+func TestWelfordSumBitIdentical(t *testing.T) {
+	// Sum must be plain left-to-right accumulation, bit for bit — callers
+	// use it to reproduce legacy sums-slice arithmetic exactly.
+	src := rng.New(7)
+	var w Welford
+	var plain float64
+	for i := 0; i < 1000; i++ {
+		x := src.Float64() * 1e3
+		w.Add(x)
+		plain += x
+		if math.Float64bits(w.Sum()) != math.Float64bits(plain) {
+			t.Fatalf("after %d adds: Sum() = %x, plain sum = %x",
+				i+1, math.Float64bits(w.Sum()), math.Float64bits(plain))
+		}
+	}
+}
+
+func TestWelfordMergeSum(t *testing.T) {
+	src := rng.New(11)
+	var a, b Welford
+	var plain float64
+	for i := 0; i < 100; i++ {
+		x := src.Float64()
+		a.Add(x)
+		plain += x
+	}
+	var sub float64
+	for i := 0; i < 57; i++ {
+		x := src.Float64()
+		b.Add(x)
+		sub += x
+	}
+	a.Merge(b)
+	if math.Float64bits(a.Sum()) != math.Float64bits(plain+sub) {
+		t.Fatalf("merged Sum() = %v, want %v", a.Sum(), plain+sub)
+	}
+}
