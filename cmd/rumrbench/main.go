@@ -23,6 +23,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -155,6 +156,29 @@ func appendTrajectory(path, mode, note string, results map[string]Measurement) e
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// printCounters renders bench.CounterReport as a table: where one sweep
+// cell's engine work goes, algorithm by algorithm. Counts are per run
+// (totals divided by the report's repetition count), so rows compare
+// directly even if the central configuration's repetition count changes.
+func printCounters() error {
+	report, err := bench.CounterReport(context.Background())
+	if err != nil {
+		return err
+	}
+	fmt.Println("Engine hot-path counters, central configuration (N=20, r=1.5, cLat=nLat=0.3, err=0.3), per simulated run:")
+	fmt.Printf("%-14s %8s %8s %8s %6s %9s %12s %8s %7s\n",
+		"algorithm", "pushed", "popped", "cancels", "depth", "syncViews", "syncBytes", "draws", "redisp")
+	for _, r := range report {
+		per := func(v int64) float64 { return float64(v) / float64(r.Runs) }
+		c := r.Counters
+		fmt.Printf("%-14s %8.0f %8.0f %8.0f %6d %9.0f %12.0f %8.0f %7.1f\n",
+			r.Algorithm, per(c.EventsPushed), per(c.EventsPopped), per(c.LazyCancels),
+			c.MaxHeapDepth, per(c.SyncViewCopies), per(c.SyncViewBytes),
+			per(c.TruncNormalDraws+c.UniformDraws+c.OtherDraws), per(c.Redispatches))
+	}
+	return nil
+}
+
 func main() {
 	testing.Init()
 	var (
@@ -167,8 +191,16 @@ func main() {
 		slackFrac  = flag.Float64("slack-frac", 0.10, "fractional allocs/op headroom before the check fails")
 		slackTime  = flag.Float64("slack-time", 0.60, "fractional ns/op headroom before the check fails (0 disables the time gate)")
 		trajectory = flag.String("trajectory", "", "append this run's measurements to this trajectory file (e.g. BENCH_trajectory.json)")
+		counters   = flag.Bool("counters", false, "print per-algorithm engine hot-path counters on the central configuration and exit")
 	)
 	flag.Parse()
+	if *counters {
+		if err := printCounters(); err != nil {
+			fmt.Fprintln(os.Stderr, "rumrbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if (*writePath == "") == (*checkPath == "") {
 		fmt.Fprintln(os.Stderr, "rumrbench: exactly one of -write or -check is required")
 		os.Exit(2)

@@ -25,11 +25,13 @@
 //
 // Status messages go through log/slog; -log json switches them (and the
 // per-second progress) to machine-readable JSON lines. For live
-// introspection of a long sweep, -debug-addr :6060 serves /metrics
-// (counter snapshot with makespan/chunk/wall-time percentiles as JSON),
-// /debug/vars (expvar) and /debug/pprof/ on that address:
+// introspection of a long sweep, -debug-addr :6060 serves /dashboard (a
+// self-contained HTML status page), /metrics (counter snapshot with
+// makespan/chunk/wall-time percentiles and engine hot-path counters as
+// JSON), /debug/vars (expvar) and /debug/pprof/ on that address:
 //
 //	rumrsweep -full -debug-addr :6060 &
+//	open localhost:6060/dashboard
 //	curl localhost:6060/metrics
 //	go tool pprof localhost:6060/debug/pprof/profile
 //
@@ -47,7 +49,10 @@
 //	rumrsweep -join localhost:9090                # terminal 2..N: workers
 //
 // While serving with -debug-addr, /shards reports per-worker lease
-// accounting next to /metrics.
+// accounting next to /metrics, and /trace serves the fused distributed
+// trace of the sweep — one Perfetto timeline with a coordinator lane and
+// one lane per worker (-trace-out writes the same trace to a file at
+// exit). The dashboard links both.
 package main
 
 import (
@@ -71,7 +76,9 @@ import (
 	"rumr"
 	"rumr/internal/experiment"
 	"rumr/internal/metrics"
+	"rumr/internal/obs/span"
 	"rumr/internal/shard"
+	"rumr/internal/trace"
 )
 
 type artifact struct {
@@ -102,7 +109,8 @@ func main() {
 		quiet   = flag.Bool("q", false, "suppress progress output")
 		logFmt  = flag.String("log", "text", "status log format: text or json")
 
-		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :6060)")
+		debugAddr = flag.String("debug-addr", "", "serve /dashboard, /metrics, /debug/vars and /debug/pprof on this address (e.g. :6060)")
+		traceOut  = flag.String("trace-out", "", "with -serve: write the fused fleet Perfetto trace to this file at exit")
 
 		serve    = flag.String("serve", "", "coordinate a distributed sweep on this address (e.g. :9090); workers join with -join")
 		join     = flag.String("join", "", "join a coordinator as a worker (e.g. localhost:9090) instead of sweeping locally")
@@ -190,6 +198,11 @@ func main() {
 		stopCPU()
 		os.Exit(2)
 	}
+	if *traceOut != "" && *serve == "" {
+		logger.Error("-trace-out requires -serve (the coordinator holds the fused trace)")
+		stopCPU()
+		os.Exit(2)
+	}
 	var coord *shard.Coordinator
 	if *serve != "" {
 		coord = shard.NewCoordinator()
@@ -217,10 +230,12 @@ func main() {
 			fatal(err)
 		}
 		var extra []metrics.Endpoint
-		endpoints := "/metrics /debug/vars /debug/pprof/"
+		endpoints := "/dashboard /metrics /debug/vars /debug/pprof/"
 		if coord != nil {
-			extra = append(extra, metrics.Endpoint{Pattern: "/shards", Handler: coord.StatusHandler()})
-			endpoints += " /shards"
+			extra = append(extra,
+				metrics.Endpoint{Pattern: "/shards", Handler: coord.StatusHandler()},
+				metrics.Endpoint{Pattern: "/trace", Handler: coord.TraceHandler()})
+			endpoints += " /shards /trace"
 		}
 		logger.Info("debug server listening", "addr", ln.Addr().String(), "endpoints", endpoints)
 		go func() {
@@ -338,6 +353,15 @@ func main() {
 	if coord != nil {
 		coord.Close() // tells polling workers to exit their loop
 	}
+	if *traceOut != "" {
+		if err := writeFleetTrace(*traceOut, coord); err != nil {
+			if !*quiet && !jsonLog {
+				fmt.Fprintln(os.Stderr)
+			}
+			stopCPU()
+			fatal(err)
+		}
+	}
 	close(progressDone)
 	<-progressIdle
 	if !*quiet {
@@ -382,6 +406,33 @@ var logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 func fatal(err error) {
 	logger.Error("fatal", "err", err)
 	os.Exit(1)
+}
+
+// writeFleetTrace validates the coordinator's fused sweep trace and writes
+// it as Perfetto JSON — the -trace-out path. Validation failure is fatal by
+// design: a trace that does not validate indicates a propagation bug, not a
+// cosmetic defect.
+func writeFleetTrace(path string, coord *shard.Coordinator) error {
+	spans := coord.Spans()
+	if len(spans) == 0 {
+		return fmt.Errorf("trace-out: no sweep was traced (did any sweep run?)")
+	}
+	if err := span.Validate(spans); err != nil {
+		return fmt.Errorf("trace-out: fused trace invalid: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteFleetPerfetto(f, spans); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	logger.Info("fused fleet trace written", "path", path, "spans", len(spans))
+	return nil
 }
 
 // logProgress emits one structured progress record from a metrics

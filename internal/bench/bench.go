@@ -19,6 +19,7 @@ import (
 	"rumr/internal/experiment"
 	"rumr/internal/fault"
 	"rumr/internal/platform"
+	"rumr/internal/sched"
 )
 
 // Case names one benchmark body for the rumrbench harness.
@@ -31,6 +32,7 @@ type Case struct {
 func Cases() []Case {
 	return []Case{
 		{Name: "EngineRun", Func: EngineRun},
+		{Name: "EngineRunCounters", Func: EngineRunCounters},
 		{Name: "EngineRunFaulty", Func: EngineRunFaulty},
 		{Name: "SweepCell", Func: SweepCell},
 	}
@@ -68,6 +70,48 @@ func enginePlatform() *platform.Platform {
 	return platform.Homogeneous(20, 1, 30, 0.3, 0.3)
 }
 
+// AlgoCounters is one algorithm's engine hot-path telemetry over the
+// counter report's central configuration.
+type AlgoCounters struct {
+	Algorithm string
+	Runs      int64 // simulated runs behind the counters (reps × errors)
+	Counters  engine.Counters
+}
+
+// CounterReport runs each standard algorithm alone on the paper's central
+// configuration (N=20, r=1.5, cLat=nLat=0.3, err=0.3, 10 repetitions) and
+// returns its engine counters — the per-algorithm breakdown behind
+// `rumrbench -counters` and the EXPERIMENTS.md "where does the SweepCell
+// time go" table. One algorithm per cell keeps attribution exact: every
+// counter in a row was accumulated by that scheduler's runs only.
+func CounterReport(ctx context.Context) ([]AlgoCounters, error) {
+	g := experiment.Grid{
+		Ns:       []int{20},
+		Rs:       []float64{1.5},
+		CLats:    []float64{0.3},
+		NLats:    []float64{0.3},
+		Errors:   []float64{0.3},
+		Reps:     10,
+		Total:    1000,
+		BaseSeed: 2003,
+	}
+	cfg := g.Configs()[0]
+	var out []AlgoCounters
+	for _, a := range experiment.StandardAlgorithms() {
+		_, ctrs, err := experiment.ComputeCellWithCounters(
+			ctx, g, cfg, []sched.Scheduler{a}, experiment.NormalError, false, nil)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AlgoCounters{
+			Algorithm: a.Name(),
+			Runs:      int64(g.Reps * len(g.Errors)),
+			Counters:  ctrs,
+		})
+	}
+	return out, nil
+}
+
 // EngineRun measures one fault-free simulated run — the unit of work a
 // sweep multiplies by millions — on the paper's central platform
 // (N=20, r=1.5), 200 chunks per run. Steady state must be 0 allocs/op.
@@ -85,6 +129,31 @@ func EngineRun(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		run()
+	}
+}
+
+// EngineRunCounters is EngineRun with the hot-path telemetry counters
+// enabled. Counter accumulation is plain integer adds on caller-owned
+// state, so this must also be 0 allocs/op — the baseline entry gates
+// instrumentation from ever growing an allocation.
+func EngineRunCounters(b *testing.B) {
+	p := enginePlatform()
+	d := &fixedDemand{total: 1000, size: 5}
+	var ctrs engine.Counters
+	run := func() {
+		d.reset()
+		if _, err := engine.Run(p, d, engine.Options{Counters: &ctrs}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	run() // warm pools and grow slices outside the measured region
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+	if ctrs.EventsPopped == 0 {
+		b.Fatal("counters stayed zero with instrumentation enabled")
 	}
 }
 

@@ -88,6 +88,28 @@ type Simulator struct {
 	stopped bool
 	// processed counts events executed, for tests and diagnostics.
 	processed uint64
+	// pushes/cancels/maxDepth are the always-on kernel counters behind
+	// Stats(): plain integer adds on state the hot path already touches,
+	// so they cost nothing measurable and never allocate.
+	pushes   uint64
+	cancels  uint64
+	maxDepth int
+}
+
+// Stats are the kernel's cheap always-on counters, reset by Reset. Fired
+// is the same count Processed returns; MaxDepth is the largest physical
+// heap size observed (live + lazily-cancelled slots), the quantity that
+// bounds sift cost.
+type Stats struct {
+	Pushed    uint64
+	Fired     uint64
+	Cancelled uint64
+	MaxDepth  int
+}
+
+// Stats returns the counters accumulated since the last Reset.
+func (s *Simulator) Stats() Stats {
+	return Stats{Pushed: s.pushes, Fired: s.processed, Cancelled: s.cancels, MaxDepth: s.maxDepth}
 }
 
 // New returns a fresh simulator with the clock at zero.
@@ -110,6 +132,9 @@ func (s *Simulator) Reset() {
 	s.dead = 0
 	s.stopped = false
 	s.processed = 0
+	s.pushes = 0
+	s.cancels = 0
+	s.maxDepth = 0
 }
 
 // Now returns the current virtual time.
@@ -165,6 +190,10 @@ func (s *Simulator) schedule(t float64, fn func(), argFn func(any, int), arg any
 	s.seq++
 	s.siftUp(len(s.q) - 1)
 	s.live++
+	s.pushes++
+	if len(s.q) > s.maxDepth {
+		s.maxDepth = len(s.q)
+	}
 	return Handle{ev: e, gen: e.gen}
 }
 
@@ -210,6 +239,7 @@ func (s *Simulator) Cancel(h Handle) {
 	e.cancelled = true
 	s.live--
 	s.dead++
+	s.cancels++
 	if s.dead > compactMin && s.dead > len(s.q)/2 {
 		s.compact()
 	}

@@ -16,6 +16,11 @@ import (
 // gates on the committed baseline.
 func BenchmarkEngineRun(b *testing.B) { bench.EngineRun(b) }
 
+// BenchmarkEngineRunCounters is the same run with hot-path telemetry
+// enabled (Options.Counters); it must also hold 0 allocs/op, so counter
+// instrumentation can never sneak an allocation into the hot path.
+func BenchmarkEngineRunCounters(b *testing.B) { bench.EngineRunCounters(b) }
+
 // BenchmarkEngineRunFaulty covers the recovery path: crashes, rejoins
 // and re-dispatch with completion timeouts (cancel-heavy event queue).
 func BenchmarkEngineRunFaulty(b *testing.B) { bench.EngineRunFaulty(b) }

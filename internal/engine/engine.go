@@ -196,6 +196,12 @@ type Options struct {
 	// makespan. The sweep runner shares one collector across its worker
 	// pool.
 	Metrics *metrics.Collector
+	// Counters, when non-nil, accumulates the engine's hot-path telemetry
+	// into the pointed-to struct with plain (non-atomic) integer adds —
+	// zero overhead when nil, zero allocations when set. Unlike Metrics it
+	// must not be shared across concurrent runs; batch callers keep one
+	// per cell and fold the batches with metrics.AddEngineCounters.
+	Counters *Counters
 	// Events, when non-nil, receives one obs.Event per state change —
 	// send start/end, arrival, compute start/end, faults, losses,
 	// re-dispatches and the run's end — and is attached to the dispatcher
@@ -292,6 +298,12 @@ type run struct {
 	tr         *trace.Trace
 	faults     []fault.Event
 
+	// ctr is Options.Counters; commDraws/compDraws point at the counter
+	// field matching each model's distribution (classified once per run by
+	// drawCounter), so the per-draw cost is a nil check and an add.
+	ctr                  *Counters
+	commDraws, compDraws *int64
+
 	n         int
 	slots     int
 	maxChunks int
@@ -369,6 +381,9 @@ func (r *run) exec(p *platform.Platform, d Dispatcher, opts Options) (Result, er
 	if r.comp == nil {
 		r.comp = perferr.Perfect{}
 	}
+	r.ctr = opts.Counters
+	r.commDraws = drawCounter(r.ctr, r.comm)
+	r.compDraws = drawCounter(r.ctr, r.comp)
 	r.maxChunks = opts.MaxChunks
 	if r.maxChunks <= 0 {
 		r.maxChunks = 10_000_000
@@ -444,6 +459,18 @@ func (r *run) exec(p *platform.Platform, d Dispatcher, opts Options) (Result, er
 		r.res.LostWork += pc.chunk.Size
 	}
 	r.res.Events = r.sim.Processed()
+	if r.ctr != nil {
+		// The DES kernel keeps its own always-on counters; fold them in
+		// once per run rather than branching per event in the inner loop.
+		st := r.sim.Stats()
+		r.ctr.EventsPushed += int64(st.Pushed)
+		r.ctr.EventsPopped += int64(st.Fired)
+		r.ctr.LazyCancels += int64(st.Cancelled)
+		if d := int64(st.MaxDepth); d > r.ctr.MaxHeapDepth {
+			r.ctr.MaxHeapDepth = d
+		}
+		r.ctr.Redispatches += int64(r.res.Redispatches)
+	}
 	if r.tr != nil {
 		r.tr.Makespan = r.res.Makespan
 		r.res.Trace = r.tr
@@ -496,6 +523,9 @@ func (r *run) release() {
 	r.ev = nil
 	r.tr = nil
 	r.faults = nil
+	r.ctr = nil
+	r.commDraws = nil
+	r.compDraws = nil
 	r.dispatchErr = nil
 	r.res = Result{}
 }
@@ -519,6 +549,10 @@ func (r *run) syncView() {
 	r.view.Time = r.sim.Now()
 	for i := range r.workers {
 		r.view.Workers[i] = r.workers[i].state
+	}
+	if r.ctr != nil {
+		r.ctr.SyncViewCopies++
+		r.ctr.SyncViewBytes += int64(r.n) * workerStateBytes
 	}
 }
 
@@ -572,6 +606,9 @@ func (r *run) startCompute(wi int) {
 	pc.phase = chComputing
 	spec := r.p.Workers[wi]
 	pc.predicted = spec.CLat + pc.chunk.Size/spec.S
+	if r.compDraws != nil {
+		*r.compDraws++
+	}
 	pc.effective = r.comp.Perturb(pc.predicted) * w.slow
 	start := r.sim.Now()
 	if r.tr != nil && pc.record >= 0 {
@@ -799,6 +836,9 @@ func (r *run) send(pc *pendingChunk) {
 	c := pc.chunk
 	wi := c.Worker
 	spec := r.p.Workers[wi]
+	if r.commDraws != nil {
+		*r.commDraws++
+	}
 	sendDur := r.comm.Perturb(spec.NLat + c.Size/spec.B)
 	r.sending++
 	pc.phase = chSending

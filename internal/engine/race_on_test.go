@@ -1,0 +1,8 @@
+//go:build race
+
+package engine
+
+// raceEnabled relaxes allocation assertions: the race detector instruments
+// allocations and synchronization, so AllocsPerRun is not meaningful under
+// -race.
+const raceEnabled = true

@@ -64,6 +64,12 @@ type CellState struct {
 	seed                  [7]uint64
 	commTN, compTN        perferr.TruncNormal
 	commUni, compUni      perferr.Uniform
+
+	// counters accumulates the cell's engine hot-path telemetry: zeroed at
+	// the top of ComputeCellInto, fed by every run via Options.Counters
+	// (plain adds — the cell is single-goroutine), flushed once per cell
+	// into Runner.Metrics.
+	counters engine.Counters
 }
 
 // NewCellState returns an empty CellState; all storage is sized lazily on
@@ -219,6 +225,7 @@ func (r *Runner) ComputeCellInto(ctx context.Context, g Grid, cfg Config, cs *Ce
 	if !cs.preparedFor(r, g, cfg) {
 		cs.prepare(r, g, cfg)
 	}
+	cs.counters = engine.Counters{}
 	for ei, errMag := range g.Errors {
 		for ai := range cs.acc {
 			cs.acc[ai] = stats.Welford{}
@@ -272,6 +279,7 @@ func (r *Runner) ComputeCellInto(ctx context.Context, g Grid, cfg Config, cs *Ce
 					CommModel:      commM,
 					CompModel:      compM,
 					Metrics:        r.Metrics,
+					Counters:       &cs.counters,
 					ExpectedChunks: cs.expected[idx],
 				})
 				if err != nil {
@@ -296,5 +304,13 @@ func (r *Runner) ComputeCellInto(ctx context.Context, g Grid, cfg Config, cs *Ce
 			}
 		}
 	}
+	if r.Metrics != nil {
+		r.Metrics.AddEngineCounters(cs.counters)
+	}
 	return nil
 }
+
+// Counters returns the engine hot-path telemetry of the last
+// ComputeCellInto call — the per-cell breakdown the shard worker ships to
+// the coordinator and rumrbench -counters reports per algorithm.
+func (cs *CellState) Counters() engine.Counters { return cs.counters }

@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"rumr/internal/engine"
 	"rumr/internal/metrics"
 	"rumr/internal/perferr"
 	"rumr/internal/platform"
@@ -436,6 +437,21 @@ func cellShapeOK(cell [][]float64, errors, algos int) bool {
 func ComputeCell(ctx context.Context, g Grid, cfg Config, algorithms []sched.Scheduler, model ErrorModelKind, unknownError bool, met *metrics.Collector) ([][]float64, error) {
 	r := &Runner{Algorithms: algorithms, ErrorModel: model, UnknownError: unknownError, Metrics: met}
 	return r.computeCell(ctx, g, cfg)
+}
+
+// ComputeCellWithCounters is ComputeCell returning also the cell's engine
+// hot-path counters, so a shard worker can ship per-cell telemetry back
+// to the coordinator alongside the result block. The counters cover
+// exactly this cell (they are zeroed per ComputeCellInto call); the mean
+// block is bit-identical to ComputeCell's.
+func ComputeCellWithCounters(ctx context.Context, g Grid, cfg Config, algorithms []sched.Scheduler, model ErrorModelKind, unknownError bool, met *metrics.Collector) ([][]float64, engine.Counters, error) {
+	r := &Runner{Algorithms: algorithms, ErrorModel: model, UnknownError: unknownError, Metrics: met}
+	cs := NewCellState()
+	cell := NewCellBlock(len(g.Errors), len(algorithms))
+	if err := r.ComputeCellInto(ctx, g, cfg, cs, cell); err != nil {
+		return nil, engine.Counters{}, err
+	}
+	return cell, cs.Counters(), nil
 }
 
 // cellSeed derives the per-(config, error, rep) RNG source from values

@@ -3,9 +3,11 @@ package metrics
 import (
 	"encoding/json"
 	"expvar"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"sync"
+	"sync/atomic"
 )
 
 // Endpoint is an extra route mounted on DebugHandler's mux — e.g. the
@@ -19,13 +21,15 @@ type Endpoint struct {
 // long-running sweep:
 //
 //	/metrics        the collector's Snapshot as indented JSON
+//	/dashboard      a self-contained HTML page polling the JSON endpoints
 //	/debug/vars     expvar (includes the collector when PublishExpvar ran)
 //	/debug/pprof/   the standard pprof index, profiles and traces
 //
 // plus any extra endpoints the caller mounts alongside (rumrsweep -serve
-// adds /shards with the coordinator's per-worker lease stats). The handler
-// has no state beyond the collector, so it can be mounted on any server;
-// rumrsweep serves it on -debug-addr.
+// adds /shards with the coordinator's per-worker lease stats and /trace
+// with the fused sweep trace). The handler has no state beyond the
+// collector, so it can be mounted on any server; rumrsweep serves it on
+// -debug-addr.
 func DebugHandler(c *Collector, extra ...Endpoint) http.Handler {
 	mux := http.NewServeMux()
 	for _, e := range extra {
@@ -33,9 +37,19 @@ func DebugHandler(c *Collector, extra ...Endpoint) http.Handler {
 	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Cache-Control", "no-store")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		enc.Encode(c.Snapshot()) //nolint:errcheck // best-effort response write
+		if err := enc.Encode(c.Snapshot()); err != nil {
+			slog.Debug("metrics: response encode failed", "err", err)
+		}
+	})
+	mux.HandleFunc("/dashboard", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Header().Set("Cache-Control", "no-store")
+		if _, err := w.Write([]byte(dashboardHTML)); err != nil {
+			slog.Debug("metrics: dashboard write failed", "err", err)
+		}
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -46,14 +60,25 @@ func DebugHandler(c *Collector, extra ...Endpoint) http.Handler {
 	return mux
 }
 
-var publishOnce sync.Once
+var (
+	publishOnce sync.Once
+	published   atomic.Pointer[Collector]
+)
 
 // PublishExpvar publishes the collector's snapshot as the expvar "sweep",
-// so generic expvar scrapers see the same numbers as /metrics. Only the
-// first call publishes (expvar names are process-global and re-publishing
-// panics); later calls are no-ops.
+// so generic expvar scrapers see the same numbers as /metrics. Expvar
+// names are process-global and re-publishing panics, so the expvar.Func
+// is registered once and reads through a pointer: a second call (a second
+// debug server in one process, or tests standing up several collectors)
+// re-points the published variable to its collector instead of panicking.
 func PublishExpvar(c *Collector) {
+	published.Store(c)
 	publishOnce.Do(func() {
-		expvar.Publish("sweep", expvar.Func(func() any { return c.Snapshot() }))
+		expvar.Publish("sweep", expvar.Func(func() any {
+			if cur := published.Load(); cur != nil {
+				return cur.Snapshot()
+			}
+			return nil
+		}))
 	})
 }

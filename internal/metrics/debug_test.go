@@ -88,3 +88,93 @@ func TestDebugHandlerExpvarAndPprof(t *testing.T) {
 		t.Fatalf("/debug/pprof/cmdline status = %d", code)
 	}
 }
+
+// /metrics must be unambiguous for scrapers and the dashboard's poller:
+// JSON-typed, never cached, and carrying the engine counter aggregates.
+func TestMetricsEndpointHeaders(t *testing.T) {
+	c := New()
+	c.AddRun(5, 100, 2.5)
+	c.AddEngineCounters(EngineCounters{EventsPopped: 100, MaxHeapDepth: 7})
+	srv := httptest.NewServer(DebugHandler(c))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+		t.Fatalf("Cache-Control = %q", cc)
+	}
+	var s Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Simulations != 1 || s.Engine.EventsPopped != 100 || s.Engine.MaxHeapDepth != 7 {
+		t.Fatalf("snapshot over HTTP lost counters: %+v", s)
+	}
+}
+
+// /dashboard is a self-contained page — HTML-typed, never cached — that
+// polls the sibling JSON endpoints rather than embedding data.
+func TestDashboardEndpoint(t *testing.T) {
+	srv := httptest.NewServer(DebugHandler(New()))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/dashboard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+		t.Fatalf("Cache-Control = %q", cc)
+	}
+	for _, want := range []string{"<!doctype html>", `fetch("/metrics"`, `fetch("/shards"`, `href="/trace"`} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("dashboard page lacks %q", want)
+		}
+	}
+}
+
+// Publishing a second collector (sequential sweeps, or tests standing up
+// several debug servers in one process) must not panic and must re-point
+// the process-global expvar at the most recent collector.
+func TestPublishExpvarRepoints(t *testing.T) {
+	a, b := New(), New()
+	a.AddRun(1, 10, 1)
+	PublishExpvar(a)
+	PublishExpvar(b)
+	b.AddRun(3, 30, 1)
+	b.AddRun(4, 40, 2)
+
+	srv := httptest.NewServer(DebugHandler(b))
+	defer srv.Close()
+	code, body := debugGet(t, srv, "/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars status = %d", code)
+	}
+	var vars struct {
+		Sweep Snapshot `json:"sweep"`
+	}
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	if vars.Sweep.Simulations != 2 {
+		t.Fatalf("expvar tracks the wrong collector: %+v", vars.Sweep)
+	}
+}

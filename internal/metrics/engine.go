@@ -1,0 +1,101 @@
+package metrics
+
+import "sync/atomic"
+
+// EngineCounters are the simulation engine's hot-path telemetry: where the
+// DES inner loop spends its work, broken down by mechanism. The engine
+// accumulates them with plain integer adds on its pooled run state (see
+// engine.Options.Counters — the alias engine.Counters is this type), the
+// experiment layer flushes one batch per sweep cell via AddEngineCounters,
+// and Snapshot surfaces the fleet-wide aggregate.
+//
+// All fields are totals except MaxHeapDepth, which merges by maximum: it
+// is the largest physical event-queue size any single run reached, the
+// quantity that bounds heap sift cost.
+type EngineCounters struct {
+	// EventsPushed/EventsPopped count DES schedule and fire operations;
+	// LazyCancels counts completion timers cancelled before firing.
+	EventsPushed int64 `json:"events_pushed"`
+	EventsPopped int64 `json:"events_popped"`
+	LazyCancels  int64 `json:"lazy_cancels"`
+	MaxHeapDepth int64 `json:"max_heap_depth"`
+	// SyncViewCopies/SyncViewBytes measure the per-dispatch worker-state
+	// copy into the scheduler-visible View.
+	SyncViewCopies int64 `json:"sync_view_copies"`
+	SyncViewBytes  int64 `json:"sync_view_bytes"`
+	// RNG draws by perturbation model: one draw per perturbed transfer or
+	// computation. OtherDraws covers models beyond the two standard ones
+	// (e.g. random walks); perfect (error-free) runs draw nothing.
+	TruncNormalDraws int64 `json:"trunc_normal_draws"`
+	UniformDraws     int64 `json:"uniform_draws"`
+	OtherDraws       int64 `json:"other_draws"`
+	// Redispatches counts chunks re-sent after a loss or timeout under
+	// fault injection.
+	Redispatches int64 `json:"redispatches"`
+}
+
+// Merge folds o into c: sums everywhere, maximum for MaxHeapDepth.
+func (c *EngineCounters) Merge(o EngineCounters) {
+	c.EventsPushed += o.EventsPushed
+	c.EventsPopped += o.EventsPopped
+	c.LazyCancels += o.LazyCancels
+	if o.MaxHeapDepth > c.MaxHeapDepth {
+		c.MaxHeapDepth = o.MaxHeapDepth
+	}
+	c.SyncViewCopies += o.SyncViewCopies
+	c.SyncViewBytes += o.SyncViewBytes
+	c.TruncNormalDraws += o.TruncNormalDraws
+	c.UniformDraws += o.UniformDraws
+	c.OtherDraws += o.OtherDraws
+	c.Redispatches += o.Redispatches
+}
+
+// engineAtomics is the Collector's concurrent accumulator for
+// EngineCounters — adds everywhere, CAS-max for the depth.
+type engineAtomics struct {
+	pushed, popped, cancels          atomic.Int64
+	maxDepth                         atomic.Int64
+	viewCopies, viewBytes            atomic.Int64
+	truncNormal, uniform, otherDraws atomic.Int64
+	redispatches                     atomic.Int64
+}
+
+func (e *engineAtomics) add(ec EngineCounters) {
+	e.pushed.Add(ec.EventsPushed)
+	e.popped.Add(ec.EventsPopped)
+	e.cancels.Add(ec.LazyCancels)
+	for {
+		cur := e.maxDepth.Load()
+		if ec.MaxHeapDepth <= cur || e.maxDepth.CompareAndSwap(cur, ec.MaxHeapDepth) {
+			break
+		}
+	}
+	e.viewCopies.Add(ec.SyncViewCopies)
+	e.viewBytes.Add(ec.SyncViewBytes)
+	e.truncNormal.Add(ec.TruncNormalDraws)
+	e.uniform.Add(ec.UniformDraws)
+	e.otherDraws.Add(ec.OtherDraws)
+	e.redispatches.Add(ec.Redispatches)
+}
+
+func (e *engineAtomics) snapshot() EngineCounters {
+	return EngineCounters{
+		EventsPushed:     e.pushed.Load(),
+		EventsPopped:     e.popped.Load(),
+		LazyCancels:      e.cancels.Load(),
+		MaxHeapDepth:     e.maxDepth.Load(),
+		SyncViewCopies:   e.viewCopies.Load(),
+		SyncViewBytes:    e.viewBytes.Load(),
+		TruncNormalDraws: e.truncNormal.Load(),
+		UniformDraws:     e.uniform.Load(),
+		OtherDraws:       e.otherDraws.Load(),
+		Redispatches:     e.redispatches.Load(),
+	}
+}
+
+// AddEngineCounters folds one batch of engine counters (typically one
+// sweep cell's worth) into the collector. Safe for concurrent use; cost is
+// ten atomic adds per cell, far off the hot path.
+func (c *Collector) AddEngineCounters(ec EngineCounters) {
+	c.eng.add(ec)
+}

@@ -99,6 +99,55 @@ func TestHistogramConcurrent(t *testing.T) {
 	}
 }
 
+// Quantile's edges: q <= 0 and q >= 1 return the exact observed extremes
+// (including out-of-range q), never a bucket midpoint.
+func TestHistogramQuantileEdges(t *testing.T) {
+	h := NewHistogram()
+	// 7.3 and 123.456 sit strictly inside their buckets, so a midpoint
+	// answer would differ from the exact extreme.
+	for _, v := range []float64{7.3, 50, 123.456} {
+		h.Observe(v)
+	}
+	for _, q := range []float64{0, -0.5, math.Inf(-1)} {
+		if got := h.Quantile(q); got != 7.3 {
+			t.Errorf("Quantile(%v) = %v, want exact min 7.3", q, got)
+		}
+	}
+	for _, q := range []float64{1, 1.5, math.Inf(1)} {
+		if got := h.Quantile(q); got != 123.456 {
+			t.Errorf("Quantile(%v) = %v, want exact max 123.456", q, got)
+		}
+	}
+}
+
+// Values on exact bucket boundaries (powers of two, where Log2 lands on
+// an integer) must stay inside the clamped [min, max] envelope for every
+// quantile — the boundary bucket's midpoint lies above the value itself.
+func TestHistogramQuantileBucketBoundaries(t *testing.T) {
+	for _, v := range []float64{0.25, 0.5, 1, 2, 4, 1024} {
+		h := NewHistogram()
+		for i := 0; i < 10; i++ {
+			h.Observe(v)
+		}
+		for _, q := range []float64{0, 0.5, 0.99, 1} {
+			if got := h.Quantile(q); got != v {
+				t.Errorf("all-%v histogram: Quantile(%v) = %v (clamp to extremes failed)", v, q, got)
+			}
+		}
+	}
+	// Two adjacent powers of two: every quantile stays within [lo, hi].
+	h := NewHistogram()
+	for i := 0; i < 5; i++ {
+		h.Observe(2)
+		h.Observe(4)
+	}
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 1} {
+		if got := h.Quantile(q); got < 2 || got > 4 {
+			t.Errorf("Quantile(%v) = %v, outside observed [2, 4]", q, got)
+		}
+	}
+}
+
 func BenchmarkHistogramObserve(b *testing.B) {
 	h := NewHistogram()
 	b.ReportAllocs()

@@ -33,6 +33,8 @@ type Collector struct {
 	makespans    *Histogram // per-run makespan
 	chunksPerRun *Histogram // per-run dispatched chunk count
 	configWall   *Histogram // per-configuration wall time, seconds
+
+	eng engineAtomics // engine hot-path counters, see AddEngineCounters
 }
 
 // New returns a Collector whose clock starts now.
@@ -105,6 +107,9 @@ type Snapshot struct {
 	RunMakespan   HistSummary `json:"run_makespan"`
 	ChunksPerRun  HistSummary `json:"chunks_per_run"`
 	ConfigWallSec HistSummary `json:"config_wall_seconds"`
+	// Engine aggregates the engine hot-path counters fed through
+	// AddEngineCounters — in a distributed sweep, across every worker.
+	Engine EngineCounters `json:"engine"`
 }
 
 // Snapshot captures the current counter values and derived rates.
@@ -121,6 +126,7 @@ func (c *Collector) Snapshot() Snapshot {
 		RunMakespan:   c.makespans.Summary(),
 		ChunksPerRun:  c.chunksPerRun.Summary(),
 		ConfigWallSec: c.configWall.Summary(),
+		Engine:        c.eng.snapshot(),
 	}
 	if s.ElapsedSec > 0 {
 		s.RunsPerSec = float64(s.Simulations) / s.ElapsedSec

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// A Ring is documented safe for concurrent use, and a Fanout of
+// concurrency-safe sinks inherits that safety (it holds no state of its
+// own). This test exists to run under -race: concurrent emitters against
+// a shared Fanout[counter, Ring] while a reader snapshots the ring.
+func TestFanoutRingConcurrent(t *testing.T) {
+	var count atomic.Int64
+	ring := NewRing(64)
+	sink := Fanout{
+		Func(func(Event) { count.Add(1) }),
+		Filter{Mask: MaskOf(KindCompEnd, KindRunDone), Next: ring},
+	}
+
+	const emitters, perEmitter = 8, 500
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() { // concurrent reader: snapshots must not race with emits
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				ring.Events()
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for g := 0; g < emitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perEmitter; i++ {
+				k := KindCompStart
+				if i%2 == 0 {
+					k = KindCompEnd
+				}
+				sink.Emit(Event{Kind: k, Worker: g, Seq: i})
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	<-readerDone
+
+	if got := count.Load(); got != emitters*perEmitter {
+		t.Fatalf("counter sink saw %d events, want %d", got, emitters*perEmitter)
+	}
+	evs := ring.Events()
+	if len(evs) != 64 {
+		t.Fatalf("full ring holds %d events, want 64", len(evs))
+	}
+	for _, e := range evs {
+		if e.Kind != KindCompEnd {
+			t.Fatalf("filter leaked kind %v into the ring", e.Kind)
+		}
+	}
+}

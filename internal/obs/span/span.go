@@ -1,0 +1,307 @@
+// Package span provides seeded, deterministic cross-process tracing for
+// distributed sweeps. A sweep is one trace: the coordinator opens a
+// sweep-level span, stamps every lease response with a Context (trace ID
+// plus the lease span's ID), and workers record lease/compute/report/
+// heartbeat/backoff spans against that context, shipping completed spans
+// back with their result and lease posts. The coordinator fuses its own
+// spans with everything the workers deliver into one timeline, which
+// trace.WriteFleetPerfetto renders with one Perfetto process lane per
+// participant.
+//
+// IDs are deterministic: the trace ID is derived from the sweep
+// fingerprint and each Recorder's span IDs are drawn from an rng stream
+// seeded by (trace, process name), so re-running the same sweep with the
+// same worker names produces the same IDs — spans are reproducible
+// identities, not random tags. Timestamps are wall-clock microseconds;
+// in-process fleets share a clock exactly, cross-machine fleets are as
+// aligned as their clocks (the usual distributed-tracing caveat).
+package span
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"rumr/internal/rng"
+)
+
+// ID identifies a trace or a span. The zero ID means "none" (a span
+// without a parent). IDs cross the wire as 16-digit hex strings: JSON
+// numbers lose uint64 precision in JavaScript consumers.
+type ID uint64
+
+// MarshalJSON renders the ID as a fixed-width hex string.
+func (id ID) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf("%q", id.String())), nil
+}
+
+// UnmarshalJSON parses the hex-string form MarshalJSON produces.
+func (id *ID) UnmarshalJSON(data []byte) error {
+	var s string
+	if _, err := fmt.Sscanf(string(data), "%q", &s); err != nil {
+		return fmt.Errorf("span: malformed ID %s", data)
+	}
+	var v uint64
+	if _, err := fmt.Sscanf(s, "%016x", &v); err != nil {
+		return fmt.Errorf("span: malformed ID %q", s)
+	}
+	*id = ID(v)
+	return nil
+}
+
+// String renders the ID as 16 hex digits.
+func (id ID) String() string { return fmt.Sprintf("%016x", uint64(id)) }
+
+// Span kinds. Kind is an open string on the wire; these are the ones the
+// sweep fleet emits.
+const (
+	KindSweep     = "sweep"     // coordinator: one per Coordinator.Run
+	KindLease     = "lease"     // coordinator: grant to completion/expiry; worker: processing one lease
+	KindCompute   = "compute"   // worker: one sweep cell (Config is the configuration index)
+	KindReport    = "report"    // worker: posting one cell's result (including retries)
+	KindHeartbeat = "heartbeat" // worker: one lease-renewal exchange
+	KindBackoff   = "backoff"   // worker: idle wait between lease polls
+)
+
+// CoordinatorProc is the Proc lane name of the coordinator's spans; the
+// fused Perfetto export pins it to pid 1, ahead of the worker lanes.
+const CoordinatorProc = "coordinator"
+
+// Span is one timed operation of a distributed sweep.
+type Span struct {
+	Trace  ID     `json:"trace"`
+	ID     ID     `json:"id"`
+	Parent ID     `json:"parent,omitempty"` // zero for root spans (the sweep span, worker backoff)
+	Kind   string `json:"kind"`
+	Name   string `json:"name"`
+	// Proc is the emitting process's lane name — "coordinator" or the
+	// worker ID. The fused Perfetto export maps each Proc to a process.
+	Proc    string `json:"proc"`
+	StartUS int64  `json:"start_us"`
+	EndUS   int64  `json:"end_us"`
+	// Lease is the lease the span belongs to, 0 when none (sweep, backoff).
+	Lease uint64 `json:"lease,omitempty"`
+	// Config is the configuration index for compute/report spans, -1
+	// otherwise (0 is a valid index, so absence needs a sentinel).
+	Config int `json:"config"`
+}
+
+// Context is the cross-process propagation payload stamped into lease
+// responses: which trace the sweep is, and which coordinator span the
+// worker's spans should hang off.
+type Context struct {
+	Trace ID `json:"trace"`
+	Span  ID `json:"span"`
+}
+
+// hashString folds a string into a uint64 (FNV-1a) for ID seeding.
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// TraceID derives the sweep's trace ID from its fingerprint — the same
+// sweep always traces under the same ID.
+func TraceID(fingerprint string) ID {
+	src := rng.NewFrom(hashString(fingerprint))
+	for {
+		if v := src.Uint64(); v != 0 {
+			return ID(v)
+		}
+	}
+}
+
+// nowMicros is the production clock; tests may substitute theirs via
+// NewRecorderAt.
+func nowMicros() int64 { return time.Now().UnixMicro() }
+
+// Recorder accumulates one process's spans for one trace. It is safe for
+// concurrent use (a worker's parallel compute goroutines share one).
+// Span IDs are drawn deterministically from (trace, proc): two runs of
+// the same sweep with the same process names produce identical IDs.
+type Recorder struct {
+	mu    sync.Mutex
+	trace ID
+	proc  string
+	gen   *rng.Source
+	now   func() int64
+	open  map[ID]Span
+	done  []Span
+	seen  map[ID]bool // IDs fused via Add, for duplicate-delivery dedup
+}
+
+// NewRecorder returns a recorder for proc's spans within trace.
+func NewRecorder(trace ID, proc string) *Recorder {
+	return NewRecorderAt(trace, proc, nowMicros)
+}
+
+// NewRecorderAt is NewRecorder with an injected clock (unix microseconds),
+// for deterministic tests.
+func NewRecorderAt(trace ID, proc string, now func() int64) *Recorder {
+	return &Recorder{
+		trace: trace,
+		proc:  proc,
+		gen:   rng.NewFrom(uint64(trace), hashString(proc)),
+		now:   now,
+		open:  make(map[ID]Span),
+		seen:  make(map[ID]bool),
+	}
+}
+
+// Trace returns the recorder's trace ID.
+func (r *Recorder) Trace() ID { return r.trace }
+
+// Proc returns the recorder's lane name.
+func (r *Recorder) Proc() string { return r.proc }
+
+// nextIDLocked draws the next deterministic, non-zero span ID.
+func (r *Recorder) nextIDLocked() ID {
+	for {
+		if v := r.gen.Uint64(); v != 0 {
+			return ID(v)
+		}
+	}
+}
+
+// Start opens a span and returns its ID. The caller fills Kind, Name,
+// Parent, Lease and Config; Trace, ID, Proc and StartUS are stamped by
+// the recorder. Non-compute spans should carry Config -1.
+func (r *Recorder) Start(s Span) ID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s.Trace = r.trace
+	s.ID = r.nextIDLocked()
+	s.Proc = r.proc
+	s.StartUS = r.now()
+	r.open[s.ID] = s
+	return s.ID
+}
+
+// End closes an open span, moving it to the completed set. Ending an
+// unknown (or already ended) ID is a no-op.
+func (r *Recorder) End(id ID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.open[id]
+	if !ok {
+		return
+	}
+	delete(r.open, id)
+	s.EndUS = r.now()
+	if s.EndUS < s.StartUS {
+		s.EndUS = s.StartUS // clock stepped backwards; keep the span valid
+	}
+	r.done = append(r.done, s)
+}
+
+// Drain returns the completed spans and clears them — the shipping
+// primitive: workers drain into their result and lease posts.
+func (r *Recorder) Drain() []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := r.done
+	r.done = nil
+	return out
+}
+
+// Add fuses completed spans from another process (the coordinator adds
+// worker-shipped spans). Spans from a different trace are dropped — they
+// belong to a previous sweep — and spans already fused are dropped by ID,
+// so a worker retrying a post whose first delivery actually landed cannot
+// duplicate spans in the fused trace.
+func (r *Recorder) Add(spans []Span) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, s := range spans {
+		if s.Trace != r.trace || r.seen[s.ID] {
+			continue
+		}
+		r.seen[s.ID] = true
+		r.done = append(r.done, s)
+	}
+}
+
+// Restash returns previously Drained spans to the completed set — the
+// undo of a failed shipment. Unlike Add it never dedups: the spans came
+// from this recorder's own Drain, so they are not in the fused-ID set.
+func (r *Recorder) Restash(spans []Span) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, s := range spans {
+		if s.Trace == r.trace {
+			r.done = append(r.done, s)
+		}
+	}
+}
+
+// Snapshot returns every span recorded so far — completed ones verbatim,
+// still-open ones closed at the current time — sorted by (StartUS, ID).
+// The recorder is not modified, so a live /trace download does not steal
+// spans from the next Drain.
+func (r *Recorder) Snapshot() []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Span, 0, len(r.done)+len(r.open))
+	out = append(out, r.done...)
+	now := r.now()
+	for _, s := range r.open {
+		s.EndUS = now
+		if s.EndUS < s.StartUS {
+			s.EndUS = s.StartUS
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].StartUS != out[j].StartUS {
+			return out[i].StartUS < out[j].StartUS
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Validate checks the structural invariants of a fused span set: at least
+// one span, exactly one non-zero trace, unique non-zero IDs, non-negative
+// durations, named kinds and procs, and parents that either resolve
+// within the set or are zero (roots). The /trace endpoint and -trace-out
+// validate before serving, so an HTTP 200 (or a written file) proves the
+// trace is well-formed.
+func Validate(spans []Span) error {
+	if len(spans) == 0 {
+		return fmt.Errorf("span: empty trace")
+	}
+	ids := make(map[ID]bool, len(spans))
+	trace := spans[0].Trace
+	if trace == 0 {
+		return fmt.Errorf("span: zero trace ID")
+	}
+	for i, s := range spans {
+		if s.Trace != trace {
+			return fmt.Errorf("span: %s: trace %s != %s (mixed sweeps fused?)", s.Name, s.Trace, trace)
+		}
+		if s.ID == 0 {
+			return fmt.Errorf("span: span %d (%s) has a zero ID", i, s.Name)
+		}
+		if ids[s.ID] {
+			return fmt.Errorf("span: duplicate span ID %s (%s)", s.ID, s.Name)
+		}
+		ids[s.ID] = true
+		if s.EndUS < s.StartUS {
+			return fmt.Errorf("span: %s ends %dµs before it starts", s.Name, s.StartUS-s.EndUS)
+		}
+		if s.Kind == "" || s.Proc == "" {
+			return fmt.Errorf("span: span %s lacks a kind or proc", s.ID)
+		}
+	}
+	for _, s := range spans {
+		if s.Parent != 0 && !ids[s.Parent] {
+			return fmt.Errorf("span: %s (%s) has dangling parent %s", s.Name, s.ID, s.Parent)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,186 @@
+package span
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// testRecorder returns a recorder with a hand-cranked clock.
+func testRecorder(trace ID, proc string) (*Recorder, *int64) {
+	clock := new(int64)
+	return NewRecorderAt(trace, proc, func() int64 { return *clock }), clock
+}
+
+// Span IDs are a deterministic function of (trace, proc): re-running a
+// sweep reproduces them, and distinct procs never collide in practice.
+func TestDeterministicIDs(t *testing.T) {
+	if TraceID("fp") != TraceID("fp") {
+		t.Fatal("TraceID not deterministic")
+	}
+	if TraceID("fp") == TraceID("fq") {
+		t.Fatal("distinct fingerprints share a trace ID")
+	}
+	mk := func(proc string) []ID {
+		r, _ := testRecorder(TraceID("fp"), proc)
+		ids := make([]ID, 8)
+		for i := range ids {
+			ids[i] = r.Start(Span{Kind: KindCompute, Config: i})
+		}
+		return ids
+	}
+	a, b, c := mk("w0"), mk("w0"), mk("w1")
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("span ID %d differs across identical recorders: %s vs %s", i, a[i], b[i])
+		}
+		if a[i] == c[i] {
+			t.Fatalf("span ID %d collides across procs", i)
+		}
+	}
+}
+
+// IDs cross the wire as 16-digit hex strings (uint64s lose precision as
+// JSON numbers in JavaScript consumers) and must round-trip.
+func TestIDJSONRoundTrip(t *testing.T) {
+	for _, id := range []ID{0, 1, 0xdeadbeefcafef00d, 1<<64 - 1} {
+		blob, err := json.Marshal(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := `"` + id.String() + `"`; string(blob) != want {
+			t.Fatalf("marshal = %s, want %s", blob, want)
+		}
+		var back ID
+		if err := json.Unmarshal(blob, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != id {
+			t.Fatalf("round trip %s -> %s", id, back)
+		}
+	}
+	var id ID
+	if err := json.Unmarshal([]byte(`"xyz"`), &id); err == nil {
+		t.Fatal("malformed ID accepted")
+	}
+	if err := json.Unmarshal([]byte(`42`), &id); err == nil {
+		t.Fatal("numeric ID accepted")
+	}
+}
+
+func TestRecorderLifecycle(t *testing.T) {
+	r, clock := testRecorder(TraceID("fp"), "w0")
+	*clock = 100
+	id := r.Start(Span{Kind: KindCompute, Name: "config 3", Config: 3, Lease: 7})
+	if got := r.Drain(); len(got) != 0 {
+		t.Fatalf("open span drained: %v", got)
+	}
+	*clock = 250
+	r.End(id)
+	r.End(id)        // double-End is a no-op
+	r.End(ID(12345)) // unknown ID is a no-op
+	got := r.Drain()
+	if len(got) != 1 {
+		t.Fatalf("drained %d spans, want 1", len(got))
+	}
+	s := got[0]
+	if s.ID != id || s.Trace != r.Trace() || s.Proc != "w0" ||
+		s.StartUS != 100 || s.EndUS != 250 || s.Config != 3 || s.Lease != 7 {
+		t.Fatalf("bad drained span: %+v", s)
+	}
+	if again := r.Drain(); len(again) != 0 {
+		t.Fatalf("second drain returned %d spans", len(again))
+	}
+
+	// A clock stepping backwards must not produce a negative duration.
+	*clock = 300
+	id2 := r.Start(Span{Kind: KindReport, Config: -1})
+	*clock = 200
+	r.End(id2)
+	if s := r.Drain()[0]; s.EndUS != s.StartUS {
+		t.Fatalf("backwards clock: end %d, start %d", s.EndUS, s.StartUS)
+	}
+}
+
+// Add dedups by span ID (a worker retrying a post whose first delivery
+// landed must not duplicate spans) and drops foreign traces; Restash is
+// the worker-side undo of a failed shipment and never dedups.
+func TestAddDedupAndRestash(t *testing.T) {
+	coord, _ := testRecorder(TraceID("fp"), CoordinatorProc)
+	w, clock := testRecorder(TraceID("fp"), "w0")
+	*clock = 10
+	id := w.Start(Span{Kind: KindCompute, Config: 0})
+	*clock = 20
+	w.End(id)
+	shipped := w.Drain()
+
+	coord.Add(shipped)
+	coord.Add(shipped) // duplicate delivery
+	other := []Span{{Trace: TraceID("other"), ID: 99, Kind: KindCompute, Proc: "w9"}}
+	coord.Add(other)
+	if got := coord.Drain(); len(got) != 1 {
+		t.Fatalf("coordinator fused %d spans, want 1", len(got))
+	}
+
+	// A failed shipment is restashed and rides the next drain.
+	w.Restash(shipped)
+	if got := w.Drain(); len(got) != 1 || got[0].ID != id {
+		t.Fatalf("restash lost the span: %v", got)
+	}
+}
+
+func TestSnapshotClosesOpenSpans(t *testing.T) {
+	r, clock := testRecorder(TraceID("fp"), CoordinatorProc)
+	*clock = 5
+	sweep := r.Start(Span{Kind: KindSweep, Config: -1})
+	*clock = 9
+	lease := r.Start(Span{Kind: KindLease, Parent: sweep, Config: -1})
+	*clock = 11
+	r.End(lease)
+	*clock = 40
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d spans, want 2", len(snap))
+	}
+	// Sorted by start: the sweep span first, closed at the snapshot time.
+	if snap[0].ID != sweep || snap[0].EndUS != 40 {
+		t.Fatalf("open sweep span not closed at now: %+v", snap[0])
+	}
+	if snap[1].ID != lease || snap[1].EndUS != 11 {
+		t.Fatalf("completed span altered: %+v", snap[1])
+	}
+	// Snapshot must not consume anything: the lease span still drains.
+	if got := r.Drain(); len(got) != 1 {
+		t.Fatalf("snapshot stole spans from drain: %d left", len(got))
+	}
+	if err := Validate(snap); err != nil {
+		t.Fatalf("snapshot of a live recorder invalid: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	tr := TraceID("fp")
+	ok := Span{Trace: tr, ID: 1, Kind: KindSweep, Proc: CoordinatorProc, StartUS: 1, EndUS: 2}
+	cases := []struct {
+		name  string
+		spans []Span
+	}{
+		{"empty", nil},
+		{"zero trace", []Span{{ID: 1, Kind: KindSweep, Proc: "c"}}},
+		{"mixed traces", []Span{ok, {Trace: TraceID("fq"), ID: 2, Kind: KindLease, Proc: "w"}}},
+		{"zero id", []Span{{Trace: tr, Kind: KindSweep, Proc: "c"}}},
+		{"duplicate id", []Span{ok, ok}},
+		{"negative duration", []Span{{Trace: tr, ID: 1, Kind: KindSweep, Proc: "c", StartUS: 5, EndUS: 4}}},
+		{"missing kind", []Span{{Trace: tr, ID: 1, Proc: "c"}}},
+		{"missing proc", []Span{{Trace: tr, ID: 1, Kind: KindSweep}}},
+		{"dangling parent", []Span{ok, {Trace: tr, ID: 2, Parent: 99, Kind: KindLease, Proc: "w"}}},
+	}
+	for _, c := range cases {
+		if err := Validate(c.spans); err == nil {
+			t.Errorf("%s: validated", c.name)
+		}
+	}
+	child := Span{Trace: tr, ID: 2, Parent: 1, Kind: KindLease, Proc: "w0", StartUS: 1, EndUS: 3}
+	if err := Validate([]Span{ok, child}); err != nil {
+		t.Errorf("valid set rejected: %v", err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"sync"
@@ -12,6 +13,8 @@ import (
 
 	"rumr/internal/experiment"
 	"rumr/internal/metrics"
+	"rumr/internal/obs/span"
+	"rumr/internal/trace"
 )
 
 // DefaultLeaseTTL is how long a worker may sit on a lease without
@@ -66,6 +69,15 @@ type Coordinator struct {
 	seq     uint64
 	job     *jobState
 	workers map[string]*workerStats
+
+	// rec fuses the current sweep's trace: the coordinator's own
+	// sweep/lease spans plus everything workers ship back. It outlives the
+	// jobState so spans arriving after Run returns (a worker's final lease
+	// span rides its next poll) still land, and /trace and -trace-out can
+	// serve the finished sweep; the next Run replaces it.
+	rec       *span.Recorder
+	sweepSpan span.ID
+	leaseSpan map[uint64]span.ID
 }
 
 type workerStats struct {
@@ -132,6 +144,16 @@ func (c *Coordinator) Run(ctx context.Context, job SweepJob, opts RunOptions) (*
 		opts.Metrics.AddTotalConfigs(total)
 		opts.Metrics.SkipConfigs(st.Restored())
 	}
+	rec := span.NewRecorder(span.TraceID(st.Fingerprint), span.CoordinatorProc)
+	c.mu.Lock()
+	c.rec = rec
+	c.leaseSpan = make(map[uint64]span.ID)
+	c.sweepSpan = rec.Start(span.Span{
+		Kind: span.KindSweep, Name: "sweep " + shortFP(st.Fingerprint), Config: -1,
+	})
+	sweepID := c.sweepSpan
+	c.mu.Unlock()
+	defer rec.End(sweepID)
 	if len(st.Pending) == 0 {
 		return st.Results, nil
 	}
@@ -213,6 +235,7 @@ func (c *Coordinator) reclaimLocked(js *jobState) {
 			continue
 		}
 		delete(js.leases, id)
+		c.endLeaseSpanLocked(id)
 		if ws := c.workers[l.worker]; ws != nil {
 			ws.expired++
 		}
@@ -225,6 +248,18 @@ func (c *Coordinator) reclaimLocked(js *jobState) {
 		// Reclaimed configurations jump the queue: they are the sweep's
 		// current stragglers.
 		js.queue = append(back, js.queue...)
+	}
+}
+
+// endLeaseSpanLocked closes the coordinator-side span of a lease that
+// completed or expired. Callers hold c.mu.
+func (c *Coordinator) endLeaseSpanLocked(id uint64) {
+	if c.rec == nil {
+		return
+	}
+	if sid, ok := c.leaseSpan[id]; ok {
+		c.rec.End(sid)
+		delete(c.leaseSpan, id)
 	}
 }
 
@@ -254,6 +289,44 @@ func (c *Coordinator) StatusHandler() http.Handler {
 	return http.HandlerFunc(c.handleStatus)
 }
 
+// Spans returns the fused trace of the current (or most recent) sweep:
+// the coordinator's spans plus everything workers have shipped so far,
+// with still-open spans closed at the current time. Nil before the first
+// Run.
+func (c *Coordinator) Spans() []span.Span {
+	c.mu.Lock()
+	rec := c.rec
+	c.mu.Unlock()
+	if rec == nil {
+		return nil
+	}
+	return rec.Snapshot()
+}
+
+// TraceHandler serves the fused sweep trace as a Perfetto (Chrome
+// trace-event) JSON download — rumrsweep mounts it at /trace on
+// -debug-addr. The span set is validated before writing, so a 200 is a
+// well-formed trace; 404 means no sweep has been traced yet.
+func (c *Coordinator) TraceHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		spans := c.Spans()
+		if len(spans) == 0 {
+			http.Error(w, "no sweep traced yet", http.StatusNotFound)
+			return
+		}
+		if err := span.Validate(spans); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Cache-Control", "no-store")
+		w.Header().Set("Content-Disposition", `attachment; filename="rumr_fleet_trace.json"`)
+		if err := trace.WriteFleetPerfetto(w, spans); err != nil {
+			slog.Debug("shard: fleet trace write failed", "err", err)
+		}
+	})
+}
+
 func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	var req LeaseRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Worker == "" {
@@ -267,6 +340,11 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ws := c.touchWorker(req.Worker)
+	if c.rec != nil {
+		// Absorb piggybacked spans even between sweeps: a worker's final
+		// lease/backoff spans arrive on the poll after the sweep ended.
+		c.rec.Add(req.Spans)
+	}
 	js := c.job
 	if js == nil {
 		noWork(w)
@@ -298,7 +376,16 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	js.queue = js.queue[n:]
 	js.leases[l.id] = l
 	ws.leased += int64(n)
-	writeJSON(w, Lease{ID: l.id, Job: js.spec, Configs: l.configs, TTLMillis: ttl.Milliseconds()})
+	var tctx span.Context
+	if c.rec != nil {
+		sid := c.rec.Start(span.Span{
+			Kind: span.KindLease, Name: fmt.Sprintf("lease %d → %s (%d cfgs)", l.id, req.Worker, n),
+			Parent: c.sweepSpan, Lease: l.id, Config: -1,
+		})
+		c.leaseSpan[l.id] = sid
+		tctx = span.Context{Trace: c.rec.Trace(), Span: sid}
+	}
+	writeJSON(w, Lease{ID: l.id, Job: js.spec, Configs: l.configs, TTLMillis: ttl.Milliseconds(), Trace: tctx})
 }
 
 func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
@@ -316,6 +403,9 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ws := c.touchWorker(res.Worker)
+	if c.rec != nil {
+		c.rec.Add(res.Spans)
+	}
 	js := c.job
 	if js == nil || res.Fingerprint != js.spec.Fingerprint {
 		// The sweep this result belongs to is over (or never existed
@@ -349,9 +439,20 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 	ws.completed++
 	if l := js.leases[res.Lease]; l != nil && l.worker == res.Worker {
 		l.deadline = c.now().Add(c.ttl()) // a result is as good as a heartbeat
+		allDone := true
+		for _, ci := range l.configs {
+			if !js.done[ci] {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			c.endLeaseSpanLocked(l.id)
+		}
 	}
 	if js.opts.Metrics != nil {
 		js.opts.Metrics.ConfigDone(time.Duration(res.WallMillis) * time.Millisecond)
+		js.opts.Metrics.AddEngineCounters(res.Engine)
 	}
 	if js.opts.Progress != nil {
 		js.opts.Progress(js.doneCount, len(js.state.Results.Configs))
@@ -452,7 +553,20 @@ func noWork(w http.ResponseWriter) {
 	http.Error(w, "no work available", http.StatusServiceUnavailable)
 }
 
+// shortFP abbreviates a sweep fingerprint for span names.
+func shortFP(fp string) string {
+	if len(fp) > 12 {
+		return fp[:12]
+	}
+	return fp
+}
+
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(v) //nolint:errcheck // best-effort response write
+	w.Header().Set("Cache-Control", "no-store")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// The response write is best-effort (the client may have hung up),
+		// but an encode failure is worth a debug breadcrumb.
+		slog.Debug("shard: response encode failed", "err", err)
+	}
 }

@@ -32,6 +32,8 @@ import (
 	"encoding/json"
 
 	"rumr/internal/experiment"
+	"rumr/internal/metrics"
+	"rumr/internal/obs/span"
 )
 
 // JobSpec describes one sweep to the workers: everything a worker needs to
@@ -57,6 +59,10 @@ type LeaseRequest struct {
 	Worker string `json:"worker"`
 	// Max caps the batch size; 0 accepts the coordinator's default.
 	Max int `json:"max,omitempty"`
+	// Spans ships the worker's completed trace spans opportunistically:
+	// whatever finished since the last post rides along on the next lease
+	// poll (final lease/backoff spans have no result post to ride on).
+	Spans []span.Span `json:"spans,omitempty"`
 }
 
 // Lease grants a batch of configurations for a bounded time.
@@ -68,6 +74,10 @@ type Lease struct {
 	// TTLMillis is the lease lifetime; heartbeats renew it. A lease that
 	// outlives its TTL without a heartbeat is re-issued to other workers.
 	TTLMillis int64 `json:"ttl_ms"`
+	// Trace is the sweep's span context: the trace ID every span of this
+	// sweep carries and the coordinator-side lease span the worker's spans
+	// hang off. The zero Context disables worker tracing.
+	Trace span.Context `json:"trace"`
 }
 
 // Heartbeat renews a lease while its configurations are still computing.
@@ -96,6 +106,14 @@ type Result struct {
 	// Config is -1 on error reports. Transient worker trouble is never
 	// reported — the lease just expires and the work is re-issued.
 	Error string `json:"error,omitempty"`
+	// Engine is the cell's engine hot-path telemetry, merged into the
+	// coordinator's metrics so /metrics and /dashboard aggregate the
+	// whole fleet.
+	Engine metrics.EngineCounters `json:"engine"`
+	// Spans are the worker's completed trace spans (this cell's compute
+	// span plus anything else that finished since the last post), fused
+	// into the coordinator's sweep trace.
+	Spans []span.Span `json:"spans,omitempty"`
 }
 
 // WorkerStatus is one worker's lease accounting, served by /v1/status and

@@ -1,0 +1,229 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"rumr/internal/experiment"
+	"rumr/internal/obs/span"
+	"rumr/internal/trace"
+)
+
+// The observability acceptance test: a two-worker distributed sweep must
+// fuse into ONE valid trace — coordinator lane plus a lane per worker,
+// with a compute span for every configuration — while the sweep's results
+// stay byte-identical to the single-process run. Run under -race this
+// also proves the recorder's concurrency story (parallel compute
+// goroutines, heartbeat goroutine and result posts share one recorder).
+func TestFusedTraceTwoWorkers(t *testing.T) {
+	job := testJob()
+	want := localJSON(t, job)
+	nConfigs := len(job.Grid.Configs())
+
+	coord := NewCoordinator()
+	coord.Batch = 2
+	// A per-cell delay keeps worker 0 from draining the whole sweep before
+	// worker 1's first lease poll lands.
+	cl := startCluster(t, coord, 2, 1, 20*time.Millisecond)
+	res, err := coord.Run(context.Background(), job, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resultsJSON(t, res); !bytes.Equal(got, want) {
+		t.Fatal("traced sweep's aggregate differs from the single-process run")
+	}
+
+	// Compute spans ship with their result posts, so they are all fused by
+	// the time Run returns. Worker-side lease spans ride the NEXT lease
+	// poll after the lease completes — give the fleet a moment to deliver
+	// them before asserting.
+	deadline := time.Now().Add(5 * time.Second)
+	var spans []span.Span
+	for {
+		spans = coord.Spans()
+		if workerLeaseProcs(spans) == 2 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cl.shutdown(t, 2)
+
+	if err := span.Validate(spans); err != nil {
+		t.Fatalf("fused trace invalid: %v", err)
+	}
+
+	// Exactly one trace ID, derived deterministically from the sweep
+	// fingerprint — rerunning the same sweep reproduces it.
+	fp := experiment.Fingerprint(job.Grid, job.Algorithms, job.Model, job.UnknownError)
+	if wantTrace := span.TraceID(fp); spans[0].Trace != wantTrace {
+		t.Fatalf("trace ID %s, want TraceID(fingerprint) = %s", spans[0].Trace, wantTrace)
+	}
+
+	procs := map[string]bool{}
+	kinds := map[string]int{}
+	configSeen := make([]bool, nConfigs)
+	var sweepSpan span.Span
+	for _, s := range spans {
+		procs[s.Proc] = true
+		kinds[s.Kind]++
+		if s.Kind == span.KindSweep {
+			sweepSpan = s
+		}
+		if s.Kind == span.KindCompute {
+			if s.Proc == span.CoordinatorProc {
+				t.Fatalf("coordinator emitted a compute span: %+v", s)
+			}
+			if s.Config < 0 || s.Config >= nConfigs {
+				t.Fatalf("compute span with config %d outside [0, %d)", s.Config, nConfigs)
+			}
+			configSeen[s.Config] = true
+		}
+	}
+	for _, p := range []string{span.CoordinatorProc, "w0", "w1"} {
+		if !procs[p] {
+			t.Fatalf("fused trace lacks a %q lane (procs: %v)", p, procs)
+		}
+	}
+	for ci, seen := range configSeen {
+		if !seen {
+			t.Fatalf("no compute span for config %d", ci)
+		}
+	}
+	if kinds[span.KindSweep] != 1 {
+		t.Fatalf("%d sweep spans, want 1", kinds[span.KindSweep])
+	}
+	if sweepSpan.Proc != span.CoordinatorProc || sweepSpan.Parent != 0 {
+		t.Fatalf("sweep span not the coordinator's root: %+v", sweepSpan)
+	}
+	if kinds[span.KindLease] < 2 || kinds[span.KindReport] == 0 {
+		t.Fatalf("span kinds = %v", kinds)
+	}
+	// Every coordinator lease span hangs off the sweep span; every worker
+	// span hangs off a coordinator lease span (that is what makes the
+	// fused set resolvable even with late shipping).
+	byID := map[span.ID]span.Span{}
+	for _, s := range spans {
+		byID[s.ID] = s
+	}
+	for _, s := range spans {
+		if s.Proc == span.CoordinatorProc || s.Parent == 0 {
+			continue
+		}
+		parent := byID[s.Parent]
+		if parent.Proc != span.CoordinatorProc || parent.Kind != span.KindLease {
+			t.Fatalf("worker span %q parents on %q/%q, want a coordinator lease span",
+				s.Name, parent.Proc, parent.Kind)
+		}
+	}
+
+	// And the whole thing renders as one Perfetto timeline with all three
+	// process lanes.
+	var buf bytes.Buffer
+	if err := trace.WriteFleetPerfetto(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range []string{span.CoordinatorProc, "w0", "w1"} {
+		if !strings.Contains(out, `"name": "`+name+`"`) {
+			t.Fatalf("Perfetto export lacks the %q process lane", name)
+		}
+	}
+}
+
+// /trace 404s before any sweep ran, and serves validated Perfetto JSON
+// with download headers afterwards.
+func TestTraceHandler(t *testing.T) {
+	coord := NewCoordinator()
+	srv := httptest.NewServer(coord.TraceHandler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pre-sweep /trace status = %d, want 404", resp.StatusCode)
+	}
+
+	cl := startCluster(t, coord, 1, 2)
+	if _, err := coord.Run(context.Background(), testJob(), RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-sweep /trace status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+		t.Fatalf("Cache-Control = %q", cc)
+	}
+	if cd := resp.Header.Get("Content-Disposition"); !strings.Contains(cd, "attachment") {
+		t.Fatalf("Content-Disposition = %q", cd)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("/trace body not Perfetto JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("/trace served an empty timeline")
+	}
+	cl.shutdown(t, 1)
+}
+
+// /shards (the status handler) must carry the JSON headers the dashboard
+// poller and scrapers rely on.
+func TestStatusHandlerHeaders(t *testing.T) {
+	coord := NewCoordinator()
+	defer coord.Close()
+	srv := httptest.NewServer(coord.StatusHandler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+		t.Fatalf("Cache-Control = %q", cc)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("/shards body not a Status: %v", err)
+	}
+	if st.Active {
+		t.Fatal("idle coordinator reports an active sweep")
+	}
+}
+
+// workerLeaseProcs counts distinct non-coordinator procs that have shipped
+// a lease span.
+func workerLeaseProcs(spans []span.Span) int {
+	procs := map[string]bool{}
+	for _, s := range spans {
+		if s.Kind == span.KindLease && s.Proc != span.CoordinatorProc {
+			procs[s.Proc] = true
+		}
+	}
+	return len(procs)
+}

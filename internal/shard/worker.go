@@ -12,8 +12,10 @@ import (
 	"sync"
 	"time"
 
+	"rumr/internal/engine"
 	"rumr/internal/experiment"
 	"rumr/internal/metrics"
+	"rumr/internal/obs/span"
 	"rumr/internal/sched"
 )
 
@@ -47,6 +49,11 @@ type Worker struct {
 	// fleet of leases from one sweep parses names once.
 	algoFP string
 	algos  []sched.Scheduler
+
+	// rec records this worker's spans for the sweep trace stamped into its
+	// leases; it is created (or replaced) when a lease carries a new trace
+	// ID. Completed spans ship on result posts and lease polls.
+	rec *span.Recorder
 
 	// cellDelay is a test-only seam: extra blocking time per configuration,
 	// modelling compute happening on the worker's own core. The scaling
@@ -121,10 +128,17 @@ func (w *Worker) Run(ctx context.Context) error {
 		case retryLater:
 			// 503 (no work yet) or a transient network error; back off.
 		}
+		var backoffSpan span.ID
+		if w.rec != nil {
+			backoffSpan = w.rec.Start(span.Span{Kind: span.KindBackoff, Name: "backoff", Config: -1})
+		}
 		select {
 		case <-time.After(delay):
 		case <-ctx.Done():
 			return ctx.Err()
+		}
+		if w.rec != nil {
+			w.rec.End(backoffSpan)
 		}
 		delay *= 2
 		if delay > maxBackoff {
@@ -145,10 +159,17 @@ const (
 // HTTP (no response at all), which Run counts toward its gone-detection;
 // any received status, even an error one, proves the coordinator lives.
 func (w *Worker) requestLease(ctx context.Context) (l *Lease, d leaseDisposition, transportErr bool) {
+	req := LeaseRequest{Worker: w.ID, Max: w.Batch}
+	if w.rec != nil {
+		req.Spans = w.rec.Drain() // piggyback whatever finished since the last post
+	}
 	var lease Lease
-	status, err := w.postJSON(ctx, "/v1/lease", LeaseRequest{Worker: w.ID, Max: w.Batch}, &lease)
+	status, err := w.postJSON(ctx, "/v1/lease", req, &lease)
 	switch {
 	case err != nil:
+		if w.rec != nil {
+			w.rec.Restash(req.Spans) // nothing was delivered; retry later
+		}
 		return nil, retryLater, true
 	case status == http.StatusOK:
 		return &lease, leaseGranted, false
@@ -170,6 +191,22 @@ func (w *Worker) processLease(parent context.Context, l *Lease) error {
 	}
 	configs := l.Job.Grid.Configs()
 
+	// A lease carrying a new trace ID starts a fresh sweep: replace the
+	// recorder. All worker spans parent directly on the coordinator's
+	// lease span (l.Trace.Span) — which the coordinator always holds — so
+	// spans shipped mid-lease never dangle in the fused trace.
+	if l.Trace.Trace != 0 && (w.rec == nil || w.rec.Trace() != l.Trace.Trace) {
+		w.rec = span.NewRecorder(l.Trace.Trace, w.ID)
+	}
+	rec := w.rec
+	if rec != nil {
+		leaseSpan := rec.Start(span.Span{
+			Kind: span.KindLease, Name: fmt.Sprintf("lease %d (%d cfgs)", l.ID, len(l.Configs)),
+			Parent: l.Trace.Span, Lease: l.ID, Config: -1,
+		})
+		defer rec.End(leaseSpan)
+	}
+
 	// The heartbeat goroutine renews the lease at a third of its TTL; if
 	// the coordinator reports the lease dead, the remaining computations
 	// are cancelled (their configurations belong to someone else now).
@@ -187,7 +224,15 @@ func (w *Worker) processLease(parent context.Context, l *Lease) error {
 		for {
 			select {
 			case <-tick.C:
+				var hbSpan span.ID
+				if rec != nil {
+					hbSpan = rec.Start(span.Span{Kind: span.KindHeartbeat, Name: "heartbeat",
+						Parent: l.Trace.Span, Lease: l.ID, Config: -1})
+				}
 				status, err := w.postJSON(ctx, "/v1/heartbeat", Heartbeat{Worker: w.ID, Lease: l.ID}, nil)
+				if rec != nil {
+					rec.End(hbSpan)
+				}
 				if err == nil && status != http.StatusOK {
 					cancel() // lease expired or coordinator gone
 					return
@@ -230,8 +275,18 @@ func (w *Worker) processLease(parent context.Context, l *Lease) error {
 						continue
 					}
 				}
-				mean, err := experiment.ComputeCell(ctx, l.Job.Grid, configs[ci], algos,
+				var cellSpan span.ID
+				if rec != nil {
+					cellSpan = rec.Start(span.Span{
+						Kind: span.KindCompute, Name: fmt.Sprintf("config %d", ci),
+						Parent: l.Trace.Span, Lease: l.ID, Config: ci,
+					})
+				}
+				mean, ctrs, err := experiment.ComputeCellWithCounters(ctx, l.Job.Grid, configs[ci], algos,
 					l.Job.Model, l.Job.UnknownError, w.Metrics)
+				if rec != nil {
+					rec.End(cellSpan)
+				}
 				if err != nil {
 					if ctx.Err() == nil {
 						mu.Lock()
@@ -243,7 +298,7 @@ func (w *Worker) processLease(parent context.Context, l *Lease) error {
 					}
 					continue
 				}
-				if err := w.postResult(ctx, l, ci, mean, time.Since(start)); err != nil {
+				if err := w.postResult(ctx, l, ci, mean, ctrs, time.Since(start)); err != nil {
 					cancel() // undeliverable; abandon the lease
 				}
 			}
@@ -273,14 +328,27 @@ func (w *Worker) processLease(parent context.Context, l *Lease) error {
 
 // postResult posts one block, retrying transient failures a few times with
 // doubling delay. A 409 means the sweep moved on — drop the block.
-func (w *Worker) postResult(ctx context.Context, l *Lease, ci int, mean [][]float64, wall time.Duration) error {
+func (w *Worker) postResult(ctx context.Context, l *Lease, ci int, mean [][]float64, ctrs engine.Counters, wall time.Duration) error {
 	raw, err := experiment.EncodeCell(mean)
 	if err != nil {
 		return err
 	}
 	res := Result{
 		Worker: w.ID, Lease: l.ID, Fingerprint: l.Job.Fingerprint,
-		Config: ci, Mean: raw, WallMillis: wall.Milliseconds(),
+		Config: ci, Mean: raw, WallMillis: wall.Milliseconds(), Engine: ctrs,
+	}
+	rec := w.rec
+	if rec != nil {
+		// The report span covers the whole delivery (retries included) and
+		// ships with a later post; the spans drained here — this cell's
+		// compute span among them — ride this one. The coordinator dedups
+		// by span ID, so a retry after a lost response cannot double-add.
+		reportSpan := rec.Start(span.Span{
+			Kind: span.KindReport, Name: fmt.Sprintf("report %d", ci),
+			Parent: l.Trace.Span, Lease: l.ID, Config: ci,
+		})
+		defer rec.End(reportSpan)
+		res.Spans = rec.Drain()
 	}
 	delay := 100 * time.Millisecond
 	for attempt := 0; ; attempt++ {
@@ -294,6 +362,9 @@ func (w *Worker) postResult(ctx context.Context, l *Lease, ci int, mean [][]floa
 		if attempt >= 4 || ctx.Err() != nil {
 			if err == nil {
 				err = fmt.Errorf("shard: post result: HTTP %d", status)
+			}
+			if rec != nil {
+				rec.Restash(res.Spans) // undelivered; ship on a later post
 			}
 			return err
 		}

@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"rumr/internal/obs/span"
+)
+
+// This file renders a fused distributed-sweep trace — the coordinator's
+// spans plus everything the workers shipped back — as one Chrome
+// trace-event JSON document. The mapping extends the single-run layout
+// with a process dimension:
+//
+//   - the coordinator is pid 1; each worker gets its own pid, in sorted
+//     worker-ID order, so a whole sweep renders as one timeline with one
+//     lane per participant;
+//   - within a process, spans are packed greedily onto tracks (tids):
+//     a span goes on the first track whose previous span has ended, so
+//     overlapping spans (a worker's parallel cell computations, a lease
+//     span over its cells) never share a track;
+//   - timestamps are normalised to the sweep's first span, and slices are
+//     color-keyed by span kind.
+
+// kindColor maps span kinds onto the viewers' reserved palette names.
+func kindColor(kind string) string {
+	switch kind {
+	case span.KindSweep:
+		return "good"
+	case span.KindLease:
+		return "thread_state_runnable"
+	case span.KindCompute:
+		return "thread_state_running"
+	case span.KindReport:
+		return "thread_state_iowait"
+	case span.KindHeartbeat:
+		return "grey"
+	case span.KindBackoff:
+		return "yellow"
+	default:
+		return "generic_work"
+	}
+}
+
+// WriteFleetPerfetto writes the fused fleet trace for spans, which should
+// already satisfy span.Validate. Load the output in ui.perfetto.dev.
+func WriteFleetPerfetto(w io.Writer, spans []span.Span) error {
+	if len(spans) == 0 {
+		return fmt.Errorf("trace: empty fleet trace")
+	}
+	byProc := make(map[string][]span.Span)
+	var procs []string
+	t0 := spans[0].StartUS
+	for _, s := range spans {
+		if _, seen := byProc[s.Proc]; !seen {
+			procs = append(procs, s.Proc)
+		}
+		byProc[s.Proc] = append(byProc[s.Proc], s)
+		if s.StartUS < t0 {
+			t0 = s.StartUS
+		}
+	}
+	// Coordinator first, then workers in sorted ID order: stable pids for
+	// a given participant set, regardless of span arrival order.
+	sort.Slice(procs, func(i, j int) bool {
+		if (procs[i] == span.CoordinatorProc) != (procs[j] == span.CoordinatorProc) {
+			return procs[i] == span.CoordinatorProc
+		}
+		return procs[i] < procs[j]
+	})
+
+	events := make([]perfettoEvent, 0, 2*len(spans))
+	for pi, proc := range procs {
+		pid := pi + 1
+		events = append(events, processMeta(pid, proc))
+		ps := byProc[proc]
+		sort.Slice(ps, func(i, j int) bool {
+			if ps[i].StartUS != ps[j].StartUS {
+				return ps[i].StartUS < ps[j].StartUS
+			}
+			return ps[i].ID < ps[j].ID
+		})
+		// laneEnd[tid] is the end time of the track's last span; greedy
+		// first-fit keeps concurrent spans on separate tracks.
+		var laneEnd []int64
+		for _, s := range ps {
+			tid := -1
+			for t, end := range laneEnd {
+				if end <= s.StartUS {
+					tid = t
+					break
+				}
+			}
+			if tid < 0 {
+				tid = len(laneEnd)
+				laneEnd = append(laneEnd, 0)
+				events = append(events, perfettoEvent{
+					Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+					Args: map[string]any{"name": fmt.Sprintf("track %d", tid)},
+				})
+			}
+			laneEnd[tid] = s.EndUS
+			dur := s.EndUS - s.StartUS
+			if dur < 1 {
+				dur = 1 // zero-length spans stay visible
+			}
+			args := map[string]any{
+				"kind": s.Kind, "span": s.ID.String(), "trace": s.Trace.String(),
+			}
+			if s.Parent != 0 {
+				args["parent"] = s.Parent.String()
+			}
+			if s.Lease != 0 {
+				args["lease"] = s.Lease
+			}
+			if s.Config >= 0 {
+				args["config"] = s.Config
+			}
+			events = append(events, perfettoEvent{
+				Name: s.Name, Ph: "X", Ts: s.StartUS - t0, Dur: dur,
+				Pid: pid, Tid: tid, Cname: kindColor(s.Kind), Args: args,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		TraceEvents []perfettoEvent `json:"traceEvents"`
+	}{events})
+}

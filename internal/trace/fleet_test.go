@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"rumr/internal/obs/span"
+)
+
+// fleetSpans builds a minimal three-process sweep trace: a coordinator
+// sweep span over two lease spans, and one worker apiece with
+// overlapping compute spans (to force multi-track packing).
+func fleetSpans() []span.Span {
+	tr := span.TraceID("fleet-test")
+	return []span.Span{
+		{Trace: tr, ID: 1, Kind: span.KindSweep, Name: "sweep", Proc: span.CoordinatorProc, StartUS: 0, EndUS: 100, Config: -1},
+		{Trace: tr, ID: 2, Parent: 1, Kind: span.KindLease, Name: "lease 1", Proc: span.CoordinatorProc, StartUS: 5, EndUS: 60, Lease: 1, Config: -1},
+		{Trace: tr, ID: 3, Parent: 1, Kind: span.KindLease, Name: "lease 2", Proc: span.CoordinatorProc, StartUS: 10, EndUS: 90, Lease: 2, Config: -1},
+		// w0: two compute spans that overlap in time → separate tracks.
+		{Trace: tr, ID: 4, Parent: 2, Kind: span.KindCompute, Name: "config 0", Proc: "w0", StartUS: 10, EndUS: 50, Lease: 1, Config: 0},
+		{Trace: tr, ID: 5, Parent: 2, Kind: span.KindCompute, Name: "config 1", Proc: "w0", StartUS: 20, EndUS: 55, Lease: 1, Config: 1},
+		{Trace: tr, ID: 6, Parent: 3, Kind: span.KindCompute, Name: "config 2", Proc: "w1", StartUS: 15, EndUS: 80, Lease: 2, Config: 2},
+	}
+}
+
+type fleetDoc struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Ts   int64          `json:"ts"`
+		Dur  int64          `json:"dur"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func TestWriteFleetPerfetto(t *testing.T) {
+	spans := fleetSpans()
+	if err := span.Validate(spans); err != nil {
+		t.Fatalf("fixture invalid: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFleetPerfetto(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	var doc fleetDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+
+	// One process lane per participant, coordinator pinned to pid 1.
+	procPid := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "M" && e.Name == "process_name" {
+			procPid[e.Args["name"].(string)] = e.Pid
+		}
+	}
+	if procPid[span.CoordinatorProc] != 1 || procPid["w0"] != 2 || procPid["w1"] != 3 {
+		t.Fatalf("process lanes = %v, want coordinator=1 w0=2 w1=3", procPid)
+	}
+
+	// Every span renders as one X slice; overlapping spans of one process
+	// never share a (pid, tid) track at the same time.
+	type lane struct{ pid, tid int }
+	laneSpans := map[lane][][2]int64{}
+	slices := 0
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" {
+			continue
+		}
+		slices++
+		if e.Ts < 0 || e.Dur < 1 {
+			t.Fatalf("slice %q has ts %d dur %d", e.Name, e.Ts, e.Dur)
+		}
+		laneSpans[lane{e.Pid, e.Tid}] = append(laneSpans[lane{e.Pid, e.Tid}], [2]int64{e.Ts, e.Ts + e.Dur})
+	}
+	if slices != len(spans) {
+		t.Fatalf("%d slices for %d spans", slices, len(spans))
+	}
+	for l, ivs := range laneSpans {
+		for i := 0; i < len(ivs); i++ {
+			for j := i + 1; j < len(ivs); j++ {
+				if ivs[i][0] < ivs[j][1] && ivs[j][0] < ivs[i][1] {
+					t.Fatalf("lane %v holds overlapping slices %v and %v", l, ivs[i], ivs[j])
+				}
+			}
+		}
+	}
+
+	if err := WriteFleetPerfetto(&bytes.Buffer{}, nil); err == nil {
+		t.Fatal("empty span set accepted")
+	}
+}

@@ -53,17 +53,17 @@ func phaseColor(phase int) string {
 	}
 }
 
-func processMeta() perfettoEvent {
-	return perfettoEvent{Name: "process_name", Ph: "M", Pid: perfettoPid,
-		Args: map[string]any{"name": "rumr run"}}
+func processMeta(pid int, name string) perfettoEvent {
+	return perfettoEvent{Name: "process_name", Ph: "M", Pid: pid,
+		Args: map[string]any{"name": name}}
 }
 
-func threadMeta(tid int) perfettoEvent {
+func threadMeta(pid, tid int) perfettoEvent {
 	name := "master port"
 	if tid > 0 {
 		name = fmt.Sprintf("worker %d", tid-1)
 	}
-	return perfettoEvent{Name: "thread_name", Ph: "M", Pid: perfettoPid, Tid: tid,
+	return perfettoEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
 		Args: map[string]any{"name": name}}
 }
 
@@ -72,9 +72,9 @@ func threadMeta(tid int) perfettoEvent {
 // schedule interactively; Gantt remains the terminal-friendly view.
 func (tr *Trace) WritePerfetto(w io.Writer, n int) error {
 	events := make([]perfettoEvent, 0, 3*len(tr.Records)+n+2)
-	events = append(events, processMeta(), threadMeta(0))
+	events = append(events, processMeta(perfettoPid, "rumr run"), threadMeta(perfettoPid, 0))
 	for wi := 0; wi < n; wi++ {
-		events = append(events, threadMeta(wi+1))
+		events = append(events, threadMeta(perfettoPid, wi+1))
 	}
 	for i, r := range tr.Records {
 		args := map[string]any{
@@ -117,16 +117,26 @@ func (tr *Trace) WritePerfetto(w io.Writer, n int) error {
 // single-goroutine event loop.
 type PerfettoSink struct {
 	w       io.Writer
+	pid     int
 	err     error
 	any     bool
 	threads map[int]bool // tids whose metadata has been written
 }
 
-// NewPerfettoSink starts a trace-event document on w.
+// NewPerfettoSink starts a trace-event document on w as pid 1 named
+// "rumr run" — the single-run layout.
 func NewPerfettoSink(w io.Writer) *PerfettoSink {
-	s := &PerfettoSink{w: w, threads: make(map[int]bool)}
+	return NewPerfettoSinkProcess(w, perfettoPid, "rumr run")
+}
+
+// NewPerfettoSinkProcess starts a trace-event document whose events land
+// in the Perfetto process (pid, name) — the process/track dimension that
+// lets several sinks' outputs (or a sink's output and a fused fleet
+// trace) coexist in one viewer session without their tracks colliding.
+func NewPerfettoSinkProcess(w io.Writer, pid int, name string) *PerfettoSink {
+	s := &PerfettoSink{w: w, pid: pid, threads: make(map[int]bool)}
 	_, s.err = io.WriteString(w, "{\"traceEvents\":[\n")
-	s.emit(processMeta())
+	s.emit(processMeta(pid, name))
 	return s
 }
 
@@ -150,13 +160,13 @@ func (s *PerfettoSink) emit(e perfettoEvent) {
 func (s *PerfettoSink) thread(tid int) {
 	if !s.threads[tid] {
 		s.threads[tid] = true
-		s.emit(threadMeta(tid))
+		s.emit(threadMeta(s.pid, tid))
 	}
 }
 
 func (s *PerfettoSink) slice(ph string, tid int, e obs.Event, name string) {
 	s.thread(tid)
-	ev := perfettoEvent{Name: name, Ph: ph, Ts: usec(e.Time), Pid: perfettoPid, Tid: tid}
+	ev := perfettoEvent{Name: name, Ph: ph, Ts: usec(e.Time), Pid: s.pid, Tid: tid}
 	if ph == "B" {
 		ev.Cname = phaseColor(e.Phase)
 		ev.Args = map[string]any{
@@ -168,7 +178,7 @@ func (s *PerfettoSink) slice(ph string, tid int, e obs.Event, name string) {
 }
 
 func (s *PerfettoSink) instant(e obs.Event, name string) {
-	s.emit(perfettoEvent{Name: name, Ph: "i", Ts: usec(e.Time), Pid: perfettoPid,
+	s.emit(perfettoEvent{Name: name, Ph: "i", Ts: usec(e.Time), Pid: s.pid,
 		Scope: "g", Args: map[string]any{"reason": e.Reason, "phase": e.Phase}})
 }
 
