@@ -132,6 +132,7 @@ func main() {
 		umrBase    = flag.Bool("umrbase", false, "UMR-vs-MI baseline claim of §3.2")
 		hetero     = flag.Bool("hetero", false, "heterogeneity study (beyond the paper)")
 		resilience = flag.Bool("resilience", false, "resilience study: makespan degradation vs crash rate (beyond the paper)")
+		multijob   = flag.Bool("multijob", false, "multi-job study: slowdown and fairness under link contention (beyond the paper)")
 	)
 	flag.Parse()
 
@@ -288,13 +289,13 @@ func main() {
 		{"fig4a", runFig4a}, {"fig4b", runFig4b}, {"fig5", runFig5},
 		{"fig6", runFig6}, {"fig7", runFig7},
 		{"fsc", runFSC}, {"umrbase", runUMRBase}, {"hetero", runHetero},
-		{"resilience", runResilience},
+		{"resilience", runResilience}, {"multijob", runMultiJob},
 	}
 	selected := map[string]bool{
 		"table2": *table2, "table3": *table3,
 		"fig4a": *fig4a, "fig4b": *fig4b, "fig5": *fig5,
 		"fig6": *fig6, "fig7": *fig7, "fsc": *fsc, "umrbase": *umrBase,
-		"hetero": *hetero, "resilience": *resilience,
+		"hetero": *hetero, "resilience": *resilience, "multijob": *multijob,
 	}
 	any := false
 	for _, v := range selected {
@@ -739,6 +740,59 @@ func runResilience(sc *sweepCtx) error {
 					res.Degradation[ri][ai], res.Completion[ri][ai],
 					res.Redispatches[ri][ai]); err != nil {
 					return err
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func runMultiJob(sc *sweepCtx) error {
+	g := experiment.DefaultMultiJobGrid()
+	if sc.grid.Reps > 0 && sc.grid.Reps < g.Reps {
+		g.Reps = sc.grid.Reps // -smoke / -reps shrink the study too
+	}
+	r := &experiment.Runner{
+		Algorithms: []rumr.Scheduler{rumr.RUMR(), rumr.Factoring(), rumr.MI(1)},
+		Workers:    sc.opts.Workers,
+		Metrics:    sc.opts.Metrics,
+	}
+	res, err := r.MultiJobContext(sc.ctx, g)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nMulti-job study (beyond the paper): %d jobs x %g units on %s\n",
+		g.Jobs, g.Total, g.Config)
+	fmt.Println("mean slowdown (response / isolated lower bound) and Jain fairness")
+	for pi, pol := range res.Policies {
+		fmt.Printf("\nlink policy: %s\n", pol)
+		fmt.Printf("%-10s", "rate")
+		for _, a := range res.Algorithms {
+			fmt.Printf("  %10s  %6s", a, "fair")
+		}
+		fmt.Println()
+		for ri, rate := range g.ArrivalRates {
+			fmt.Printf("%-10.3g", rate)
+			for ai := range res.Algorithms {
+				fmt.Printf("  %10.3f  %6.3f",
+					res.MeanSlowdown[pi][ri][ai], res.MeanFairness[pi][ri][ai])
+			}
+			fmt.Println()
+		}
+	}
+	return sc.writeCSV("multijob.csv", func(f *os.File) error {
+		if _, err := fmt.Fprintln(f, "policy,arrival_rate,algorithm,mean_response,mean_slowdown,mean_fairness,mean_makespan"); err != nil {
+			return err
+		}
+		for pi, pol := range res.Policies {
+			for ri, rate := range g.ArrivalRates {
+				for ai, a := range res.Algorithms {
+					if _, err := fmt.Fprintf(f, "%s,%g,%s,%g,%g,%g,%g\n",
+						pol, rate, a,
+						res.MeanResponse[pi][ri][ai], res.MeanSlowdown[pi][ri][ai],
+						res.MeanFairness[pi][ri][ai], res.MeanMakespan[pi][ri][ai]); err != nil {
+						return err
+					}
 				}
 			}
 		}

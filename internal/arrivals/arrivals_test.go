@@ -1,0 +1,115 @@
+package arrivals
+
+import (
+	"math"
+	"testing"
+
+	"rumr/internal/rng"
+)
+
+func TestPoissonDeterministicAndValid(t *testing.T) {
+	a := Poisson(2).Times(100, rng.New(42))
+	b := Poisson(2).Times(100, rng.New(42))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+	if err := Validate(a); err != nil {
+		t.Fatal(err)
+	}
+	c := Poisson(2).Times(100, rng.New(7))
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical arrivals")
+	}
+}
+
+func TestPoissonMeanGap(t *testing.T) {
+	// With rate λ the mean inter-arrival gap is 1/λ; over 20k draws the
+	// sample mean lands within a few percent.
+	const rate, n = 4.0, 20000
+	ts := Poisson(rate).Times(n, rng.New(1))
+	mean := ts[n-1] / n
+	if math.Abs(mean-1/rate) > 0.02/rate {
+		t.Fatalf("mean gap %g, want ~%g", mean, 1/rate)
+	}
+}
+
+func TestPeriodic(t *testing.T) {
+	ts := Periodic(1.5, 0.5).Times(4, nil)
+	want := []float64{0.5, 2, 3.5, 5}
+	for i := range want {
+		if ts[i] != want[i] {
+			t.Fatalf("periodic times = %v, want %v", ts, want)
+		}
+	}
+	batch := Periodic(0, 3).Times(3, nil)
+	for _, v := range batch {
+		if v != 3 {
+			t.Fatalf("batch arrival times = %v", batch)
+		}
+	}
+}
+
+func TestTraceSortsAndExtends(t *testing.T) {
+	p := Trace(5, 1, 3)
+	ts := p.Times(5, nil)
+	want := []float64{1, 3, 5, 5, 5}
+	for i := range want {
+		if ts[i] != want[i] {
+			t.Fatalf("trace times = %v, want %v", ts, want)
+		}
+	}
+	if got := p.Times(2, nil); got[0] != 1 || got[1] != 3 {
+		t.Fatalf("truncated trace = %v", got)
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	cases := []func(){
+		func() { Poisson(0) },
+		func() { Poisson(math.NaN()) },
+		func() { Periodic(-1, 0) },
+		func() { Periodic(1, math.Inf(1)) },
+		func() { Trace() },
+		func() { Trace(1, -2) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate([]float64{0, 0, 1, 2.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate([]float64{1, 0.5}); err == nil {
+		t.Fatal("decreasing times accepted")
+	}
+	if err := Validate([]float64{-1}); err == nil {
+		t.Fatal("negative time accepted")
+	}
+	if err := Validate([]float64{math.NaN()}); err == nil {
+		t.Fatal("NaN accepted")
+	}
+}
+
+func TestNames(t *testing.T) {
+	if Poisson(1).Name() != "poisson" || Periodic(1, 0).Name() != "periodic" || Trace(0).Name() != "trace" {
+		t.Fatal("process names changed")
+	}
+}

@@ -1,0 +1,489 @@
+package engine
+
+// Multi-job simulation: one DES run hosting N divisible loads that share
+// the star platform. Each job brings its own dispatcher, workload and
+// perturbation streams; all contend for the serialised master port under a
+// pluggable LinkPolicy and for the workers' CPUs (chunks from different
+// jobs queue FIFO at each worker, in arrival order, exactly as in the
+// single-job model). Jobs enter the system at their Arrival time — before
+// it, a job's dispatcher is never consulted — which is what open-arrival
+// scenarios are built from.
+//
+// The single-job Run keeps its own pooled, allocation-free implementation;
+// RunMulti is a separate path over the same DES kernel, platform model and
+// trace/event vocabulary, so the single-job hot path stays byte-identical
+// (the goldens pin it) while the multi-job path favours clarity. Faults
+// are not injected into multi-job runs yet; traces are therefore
+// fault-free and every dispatch attempt is attempt 0.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rumr/internal/des"
+	"rumr/internal/metrics"
+	"rumr/internal/obs"
+	"rumr/internal/perferr"
+	"rumr/internal/platform"
+	"rumr/internal/trace"
+)
+
+// Job is one divisible load of a multi-job run.
+type Job struct {
+	// Name labels the job in traces and reports ("" is allowed).
+	Name string
+	// Arrival is the virtual time the job enters the system; its
+	// dispatcher is first consulted when the port is free at or after it.
+	Arrival float64
+	// Priority is the job's class under StrictPriority (lower = more
+	// urgent).
+	Priority int
+	// Weight is the job's link share under WeightedShare; zero selects 1.
+	Weight float64
+	// Total is the job's intended workload in units — bookkeeping only
+	// (the dispatcher decides what is actually sent); callers should check
+	// the job's DispatchedWork against it, as with Result.DispatchedWork.
+	Total float64
+	// Dispatcher decides the job's chunks. It sees the shared platform:
+	// Queued/InFlight/Computing in its View include every job's chunks
+	// (contention is visible), while CompletedChunks/CompletedWork count
+	// only this job's completions.
+	Dispatcher Dispatcher
+	// CommModel and CompModel perturb this job's transfer and computation
+	// durations; nil means perfect prediction. Giving each job its own
+	// models (with independently seeded sources) is what "each job has its
+	// own RNG stream" means operationally.
+	CommModel, CompModel perferr.Model
+}
+
+// JobResult summarises one job of a multi-job run.
+type JobResult struct {
+	// Name echoes the job's label.
+	Name string
+	// Arrival echoes the job's arrival time.
+	Arrival float64
+	// Start is the first time the master began transferring for this job
+	// (equal to Arrival at the earliest); it is Arrival when the job never
+	// sent anything.
+	Start float64
+	// Finish is the completion time of the job's last chunk (Arrival when
+	// nothing completed).
+	Finish float64
+	// Response is Finish - Arrival: the job's makespan as its owner
+	// experiences it.
+	Response float64
+	// Chunks is the number of chunks the job dispatched.
+	Chunks int
+	// DispatchedWork and CompletedWork account the job's workload units
+	// (equal in fault-free multi-job runs once the run drains).
+	DispatchedWork float64
+	CompletedWork  float64
+}
+
+// MultiOptions tune a multi-job run.
+type MultiOptions struct {
+	// Policy arbitrates the master's port between jobs; nil selects FCFS.
+	Policy LinkPolicy
+	// ParallelSends is the master's port capacity (0 or 1 = the paper's
+	// serialised port). Multi-job contention is most meaningful at 1.
+	ParallelSends int
+	// RecordTrace makes RunMulti return a full per-chunk trace with
+	// job-tagged records (ChunkRecord.Job).
+	RecordTrace bool
+	// ExpectedChunks, when positive, pre-sizes the trace record buffer.
+	ExpectedChunks int
+	// MaxChunks aborts runaway dispatchers, counted across all jobs
+	// (default 10 million).
+	MaxChunks int
+	// Metrics, when non-nil, receives one AddRun for the whole multi-job
+	// run (total chunks, DES events, overall makespan).
+	Metrics *metrics.Collector
+	// Events, when non-nil, receives every state change tagged with the
+	// job it belongs to; dispatchers implementing obs.Emitter are attached
+	// to their job's tagged stream.
+	Events obs.JobSink
+}
+
+// MultiResult summarises one multi-job run.
+type MultiResult struct {
+	// Jobs holds one result per input job, in input order.
+	Jobs []JobResult
+	// Makespan is the completion time of the last chunk of any job.
+	Makespan float64
+	// Chunks is the total number of chunks dispatched across jobs.
+	Chunks int
+	// Trace is non-nil when MultiOptions.RecordTrace was set; records
+	// carry the owning job in ChunkRecord.Job.
+	Trace *trace.Trace
+	// Events is the number of simulator events processed.
+	Events uint64
+}
+
+// mjChunk is the life-cycle state of one multi-job chunk. The chain is the
+// single-job one minus faults: send → pipeline tail → queue → compute.
+type mjChunk struct {
+	mr     *multiRun
+	job    int
+	chunk  Chunk
+	seq    int // global dispatch index across jobs
+	record int // trace record index, -1 when tracing is off
+	// predicted and effective are captured at compute start for the
+	// completion callback and the job's Observer.
+	predicted, effective float64
+}
+
+type mjWorker struct {
+	state   WorkerState // the shared ground truth every job's view sees
+	queue   []*mjChunk  // arrived, not yet computed (FIFO across jobs)
+	current *mjChunk
+}
+
+type mjJob struct {
+	spec    Job
+	comm    perferr.Model
+	comp    perferr.Model
+	obsD    Observer
+	link    LinkState
+	arrived bool
+	started bool // first send recorded
+	// Per-worker completion accounting, surfaced in this job's View in
+	// place of the shared totals.
+	doneChunks []int
+	doneWork   []float64
+	res        JobResult
+}
+
+type multiRun struct {
+	sim    *des.Simulator
+	p      *platform.Platform
+	jobs   []mjJob
+	policy LinkPolicy
+	ev     obs.JobSink
+	tr     *trace.Trace
+
+	n         int
+	slots     int
+	sending   int
+	maxChunks int
+	chunks    int // global dispatch counter
+	makespan  float64
+
+	workers []mjWorker
+	view    View
+	cand    []int // policy-ordered candidate scratch
+
+	err error
+}
+
+// Shared top-level des callbacks, mirroring the single-job ones.
+func mjActivateCB(arg any, aux int) { mr := arg.(*multiRun); mr.activate(aux) }
+func mjSendEndCB(arg any, _ int)    { pc := arg.(*mjChunk); pc.mr.onSendEnd(pc) }
+func mjArriveCB(arg any, _ int)     { pc := arg.(*mjChunk); pc.mr.onArrive(pc) }
+func mjCompEndCB(arg any, _ int)    { pc := arg.(*mjChunk); pc.mr.onCompEnd(pc) }
+
+// RunMulti simulates the concurrent execution of several divisible loads
+// on p and returns per-job and overall results. It returns an error for
+// invalid platforms, malformed job specs or misbehaving dispatchers.
+func RunMulti(p *platform.Platform, jobs []Job, opts MultiOptions) (MultiResult, error) {
+	if err := p.Validate(); err != nil {
+		return MultiResult{}, err
+	}
+	if len(jobs) == 0 {
+		return MultiResult{}, fmt.Errorf("engine: multi-job run needs at least one job")
+	}
+	for j, job := range jobs {
+		if job.Dispatcher == nil {
+			return MultiResult{}, fmt.Errorf("engine: job %d has no dispatcher", j)
+		}
+		if job.Total <= 0 || math.IsNaN(job.Total) || math.IsInf(job.Total, 0) {
+			return MultiResult{}, fmt.Errorf("engine: job %d has invalid workload %g", j, job.Total)
+		}
+		if job.Arrival < 0 || math.IsNaN(job.Arrival) || math.IsInf(job.Arrival, 0) {
+			return MultiResult{}, fmt.Errorf("engine: job %d has invalid arrival time %g", j, job.Arrival)
+		}
+		if job.Weight < 0 || math.IsNaN(job.Weight) {
+			return MultiResult{}, fmt.Errorf("engine: job %d has invalid weight %g", j, job.Weight)
+		}
+	}
+
+	mr := &multiRun{
+		sim:       des.New(),
+		p:         p,
+		policy:    opts.Policy,
+		ev:        opts.Events,
+		n:         p.N(),
+		slots:     opts.ParallelSends,
+		maxChunks: opts.MaxChunks,
+	}
+	if mr.policy == nil {
+		mr.policy = FCFS()
+	}
+	if mr.slots <= 0 {
+		mr.slots = 1
+	}
+	if mr.maxChunks <= 0 {
+		mr.maxChunks = 10_000_000
+	}
+	if opts.RecordTrace {
+		mr.tr = &trace.Trace{ParallelSends: mr.slots}
+		if opts.ExpectedChunks > 0 {
+			mr.tr.Records = make([]trace.ChunkRecord, 0, opts.ExpectedChunks)
+		}
+	}
+	mr.workers = make([]mjWorker, mr.n)
+	mr.view.Workers = make([]WorkerState, mr.n)
+	mr.cand = make([]int, 0, len(jobs))
+
+	mr.jobs = make([]mjJob, len(jobs))
+	for j := range jobs {
+		js := &mr.jobs[j]
+		js.spec = jobs[j]
+		js.comm = jobs[j].CommModel
+		if js.comm == nil {
+			js.comm = perferr.Perfect{}
+		}
+		js.comp = jobs[j].CompModel
+		if js.comp == nil {
+			js.comp = perferr.Perfect{}
+		}
+		js.obsD, _ = jobs[j].Dispatcher.(Observer)
+		js.link = LinkState{Index: j, Arrival: jobs[j].Arrival, Priority: jobs[j].Priority, Weight: jobs[j].Weight}
+		if js.link.Weight <= 0 {
+			js.link.Weight = 1
+		}
+		js.doneChunks = make([]int, mr.n)
+		js.doneWork = make([]float64, mr.n)
+		js.res = JobResult{Name: jobs[j].Name, Arrival: jobs[j].Arrival}
+		if mr.ev != nil {
+			if em, ok := jobs[j].Dispatcher.(obs.Emitter); ok {
+				em.AttachEvents(obs.ForJob(j, mr.ev))
+			}
+		}
+		mr.sim.AtCall(jobs[j].Arrival, mjActivateCB, mr, j)
+	}
+
+	mr.sim.Run()
+	if mr.err != nil {
+		return MultiResult{}, mr.err
+	}
+
+	res := MultiResult{
+		Jobs:     make([]JobResult, len(jobs)),
+		Makespan: mr.makespan,
+		Chunks:   mr.chunks,
+		Events:   mr.sim.Processed(),
+	}
+	for j := range mr.jobs {
+		jr := mr.jobs[j].res
+		if jr.Chunks == 0 {
+			jr.Start = jr.Arrival
+		}
+		if jr.Finish < jr.Arrival {
+			jr.Finish = jr.Arrival
+		}
+		jr.Response = jr.Finish - jr.Arrival
+		res.Jobs[j] = jr
+		if mr.ev != nil {
+			mr.ev.EmitJob(j, obs.Event{Kind: obs.KindRunDone, Time: jr.Finish, Worker: -1,
+				Seq: jr.Chunks, Size: jr.DispatchedWork})
+		}
+	}
+	if mr.tr != nil {
+		mr.tr.Makespan = mr.makespan
+		res.Trace = mr.tr
+	}
+	if opts.Metrics != nil {
+		opts.Metrics.AddRun(res.Chunks, res.Events, res.Makespan)
+	}
+	return res, nil
+}
+
+func (mr *multiRun) fail(err error) {
+	if mr.err == nil {
+		mr.err = err
+	}
+	mr.sim.Stop()
+}
+
+func (mr *multiRun) emit(job int, e obs.Event) {
+	if mr.ev != nil {
+		mr.ev.EmitJob(job, e)
+	}
+}
+
+func (mr *multiRun) activate(j int) {
+	mr.jobs[j].arrived = true
+	mr.kick()
+}
+
+// syncViewFor refreshes the scratch view as job j sees it: shared
+// occupancy, per-job completion accounting.
+func (mr *multiRun) syncViewFor(j int) {
+	js := &mr.jobs[j]
+	mr.view.Time = mr.sim.Now()
+	for i := range mr.workers {
+		ws := mr.workers[i].state
+		ws.CompletedChunks = js.doneChunks[i]
+		ws.CompletedWork = js.doneWork[i]
+		mr.view.Workers[i] = ws
+	}
+}
+
+// orderCandidates fills mr.cand with the arrived jobs sorted by the link
+// policy (ties on job index), the order the free port is offered in.
+func (mr *multiRun) orderCandidates() {
+	mr.cand = mr.cand[:0]
+	for j := range mr.jobs {
+		if mr.jobs[j].arrived {
+			mr.cand = append(mr.cand, j)
+		}
+	}
+	sort.SliceStable(mr.cand, func(x, y int) bool {
+		return mr.policy.Less(&mr.jobs[mr.cand[x]].link, &mr.jobs[mr.cand[y]].link)
+	})
+}
+
+// kick offers free port slots to the jobs in policy order until either the
+// port is saturated or every arrived job declines.
+func (mr *multiRun) kick() {
+	for mr.sending < mr.slots && mr.err == nil {
+		mr.orderCandidates()
+		dispatched := false
+		for _, j := range mr.cand {
+			mr.syncViewFor(j)
+			c, ok := mr.jobs[j].spec.Dispatcher.Next(&mr.view)
+			if !ok {
+				continue
+			}
+			if c.Worker < 0 || c.Worker >= mr.n {
+				mr.fail(fmt.Errorf("engine: job %d dispatcher sent chunk to worker %d of %d", j, c.Worker, mr.n))
+				return
+			}
+			if c.Size <= 0 || math.IsNaN(c.Size) || math.IsInf(c.Size, 0) {
+				mr.fail(fmt.Errorf("engine: job %d dispatcher produced invalid chunk size %g", j, c.Size))
+				return
+			}
+			mr.chunks++
+			if mr.chunks > mr.maxChunks {
+				mr.fail(fmt.Errorf("engine: dispatchers exceeded %d chunks across jobs; runaway policy?", mr.maxChunks))
+				return
+			}
+			mr.send(j, c)
+			dispatched = true
+			break
+		}
+		if !dispatched {
+			return
+		}
+	}
+}
+
+// send grants the port to job j's chunk: occupies a slot, accounts the
+// grant for weighted arbitration, records the trace record and schedules
+// the transfer completion.
+func (mr *multiRun) send(j int, c Chunk) {
+	js := &mr.jobs[j]
+	wi := c.Worker
+	spec := mr.p.Workers[wi]
+	sendDur := js.comm.Perturb(spec.NLat + c.Size/spec.B)
+	now := mr.sim.Now()
+
+	pc := &mjChunk{mr: mr, job: j, chunk: c, seq: mr.chunks - 1, record: -1}
+	mr.sending++
+	mr.workers[wi].state.InFlight++
+	js.link.Granted += c.Size
+	js.res.Chunks++
+	js.res.DispatchedWork += c.Size
+	if !js.started {
+		js.started = true
+		js.res.Start = now
+	}
+	if mr.tr != nil {
+		mr.tr.Records = append(mr.tr.Records, trace.ChunkRecord{
+			ChunkID: pc.seq, Job: j,
+			Worker: wi, Size: c.Size, Round: c.Round, Phase: c.Phase,
+			SendStart: now, SendEnd: now + sendDur,
+			Arrive: now + sendDur + spec.TLat,
+		})
+		pc.record = len(mr.tr.Records) - 1
+	}
+	mr.emit(j, obs.Event{Kind: obs.KindSendStart, Time: now, Worker: wi,
+		Seq: pc.seq, Size: c.Size, Round: c.Round, Phase: c.Phase})
+	mr.sim.AfterCall(sendDur, mjSendEndCB, pc, 0)
+}
+
+func (mr *multiRun) onSendEnd(pc *mjChunk) {
+	mr.sending--
+	mr.emit(pc.job, obs.Event{Kind: obs.KindSendEnd, Time: mr.sim.Now(), Worker: pc.chunk.Worker,
+		Seq: pc.seq, Size: pc.chunk.Size, Round: pc.chunk.Round, Phase: pc.chunk.Phase})
+	mr.sim.AfterCall(mr.p.Workers[pc.chunk.Worker].TLat, mjArriveCB, pc, 0)
+	mr.kick()
+}
+
+func (mr *multiRun) onArrive(pc *mjChunk) {
+	wi := pc.chunk.Worker
+	w := &mr.workers[wi]
+	w.state.InFlight--
+	w.state.Queued++
+	w.queue = append(w.queue, pc)
+	mr.emit(pc.job, obs.Event{Kind: obs.KindArrive, Time: mr.sim.Now(), Worker: wi,
+		Seq: pc.seq, Size: pc.chunk.Size, Round: pc.chunk.Round, Phase: pc.chunk.Phase})
+	mr.startCompute(wi)
+	mr.kick()
+}
+
+func (mr *multiRun) startCompute(wi int) {
+	w := &mr.workers[wi]
+	if w.state.Computing || len(w.queue) == 0 {
+		return
+	}
+	pc := w.queue[0]
+	copy(w.queue, w.queue[1:])
+	w.queue[len(w.queue)-1] = nil
+	w.queue = w.queue[:len(w.queue)-1]
+	w.state.Queued--
+	w.state.Computing = true
+	w.current = pc
+	js := &mr.jobs[pc.job]
+	spec := mr.p.Workers[wi]
+	pc.predicted = spec.CLat + pc.chunk.Size/spec.S
+	pc.effective = js.comp.Perturb(pc.predicted)
+	start := mr.sim.Now()
+	if mr.tr != nil && pc.record >= 0 {
+		mr.tr.Records[pc.record].CompStart = start
+	}
+	mr.emit(pc.job, obs.Event{Kind: obs.KindCompStart, Time: start, Worker: wi,
+		Seq: pc.seq, Size: pc.chunk.Size, Round: pc.chunk.Round, Phase: pc.chunk.Phase})
+	mr.sim.AfterCall(pc.effective, mjCompEndCB, pc, 0)
+}
+
+func (mr *multiRun) onCompEnd(pc *mjChunk) {
+	wi := pc.chunk.Worker
+	w := &mr.workers[wi]
+	w.current = nil
+	w.state.Computing = false
+	w.state.CompletedChunks++
+	w.state.CompletedWork += pc.chunk.Size
+	js := &mr.jobs[pc.job]
+	js.doneChunks[wi]++
+	js.doneWork[wi] += pc.chunk.Size
+	js.res.CompletedWork += pc.chunk.Size
+	end := mr.sim.Now()
+	if end > js.res.Finish {
+		js.res.Finish = end
+	}
+	if end > mr.makespan {
+		mr.makespan = end
+	}
+	if mr.tr != nil && pc.record >= 0 {
+		mr.tr.Records[pc.record].CompEnd = end
+	}
+	mr.emit(pc.job, obs.Event{Kind: obs.KindCompEnd, Time: end, Worker: wi,
+		Seq: pc.seq, Size: pc.chunk.Size, Round: pc.chunk.Round, Phase: pc.chunk.Phase})
+	if js.obsD != nil {
+		js.obsD.OnComplete(wi, pc.chunk, end, pc.predicted, pc.effective)
+	}
+	mr.startCompute(wi)
+	mr.kick()
+}

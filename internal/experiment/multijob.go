@@ -1,0 +1,359 @@
+package experiment
+
+// Multi-job sweep: how do the schedulers behave when several divisible
+// loads share one star platform? For every (link policy, arrival rate)
+// cell the sweep runs Reps multi-job instances — job arrival times drawn
+// once per (rate, rep) and reused by every algorithm and policy (common
+// random numbers, like the single-job sweeps) — where all jobs run the
+// same scheduler and contend for the serialised master link. The headline
+// outputs are mean response time, mean slowdown against the isolated
+// lower bound, and the mean Jain fairness index: robustness-oriented
+// schedulers should degrade other jobs less than aggressive ones.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"rumr/internal/arrivals"
+	"rumr/internal/dlt"
+	"rumr/internal/engine"
+	"rumr/internal/metrics"
+	"rumr/internal/rng"
+	"rumr/internal/sched"
+)
+
+// MultiJobGrid describes a multi-job sweep: one platform configuration,
+// a link-policy axis and a Poisson arrival-intensity axis.
+type MultiJobGrid struct {
+	// Config is the platform point.
+	Config Config
+	// Jobs is the number of jobs per run (all running the same algorithm,
+	// with per-job error streams). Under the priority policy job j gets
+	// priority class Jobs-1-j — the LATEST-arriving job is the most
+	// urgent, so strict priority visibly overtakes FCFS instead of
+	// coinciding with it (arrival draws are sorted ascending); weights are
+	// all 1, so the weighted policy degenerates to fair round-robin
+	// sharing of the link.
+	Jobs int
+	// ArrivalRates is the open-arrivals axis: Poisson rates in jobs per
+	// simulated second. Rate 0 means batch arrival (every job at t=0) —
+	// the pure-contention regime.
+	ArrivalRates []float64
+	// Policies is the link-policy axis by name ("fcfs", "priority",
+	// "weighted"); empty selects all built-in policies.
+	Policies []string
+	// Error is the §4.1 prediction-error magnitude (0 = perfect).
+	Error float64
+	// Reps is the number of arrival draws per (policy, rate) cell.
+	Reps int
+	// Total is each job's workload in units.
+	Total float64
+	// BaseSeed makes the whole sweep reproducible.
+	BaseSeed uint64
+}
+
+// DefaultMultiJobGrid is the multi-job counterpart of ReducedGrid: the
+// Fig. 5 platform, four jobs, arrival intensities from batch to sparse,
+// every link policy, the paper's mid-range error.
+func DefaultMultiJobGrid() MultiJobGrid {
+	return MultiJobGrid{
+		Config:       Config{N: 20, R: 1.8, CLat: 0.3, NLat: 0.9},
+		Jobs:         4,
+		ArrivalRates: []float64{0, 0.01, 0.02, 0.05},
+		Error:        0.2,
+		Reps:         10,
+		Total:        500,
+		BaseSeed:     2003,
+	}
+}
+
+// Validate rejects degenerate grids before any simulation runs.
+func (g MultiJobGrid) Validate() error {
+	if g.Jobs < 1 {
+		return fmt.Errorf("experiment: multi-job grid needs at least one job, got %d", g.Jobs)
+	}
+	if len(g.ArrivalRates) == 0 {
+		return fmt.Errorf("experiment: multi-job grid has no arrival rates")
+	}
+	for _, r := range g.ArrivalRates {
+		if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+			return fmt.Errorf("experiment: invalid arrival rate %g", r)
+		}
+	}
+	if g.Reps <= 0 {
+		return fmt.Errorf("experiment: multi-job grid needs Reps > 0, got %d", g.Reps)
+	}
+	if g.Total <= 0 {
+		return fmt.Errorf("experiment: multi-job grid needs Total > 0, got %g", g.Total)
+	}
+	for _, name := range g.Policies {
+		if engine.LinkPolicyByName(name) == nil {
+			return fmt.Errorf("experiment: unknown link policy %q", name)
+		}
+	}
+	return nil
+}
+
+func (g MultiJobGrid) policies() []engine.LinkPolicy {
+	if len(g.Policies) == 0 {
+		return engine.LinkPolicies()
+	}
+	out := make([]engine.LinkPolicy, len(g.Policies))
+	for i, name := range g.Policies {
+		out[i] = engine.LinkPolicyByName(name)
+	}
+	return out
+}
+
+// MultiJobResults holds the aggregates of a multi-job sweep, indexed
+// [policy][arrival rate][algorithm].
+type MultiJobResults struct {
+	Grid       MultiJobGrid
+	Algorithms []string
+	Policies   []string
+	// MeanResponse[p][r][a] is the mean per-job response time (finish −
+	// arrival) across jobs and repetitions; NaN marks an algorithm that
+	// failed on the configuration.
+	MeanResponse [][][]float64
+	// MeanSlowdown[p][r][a] is the mean per-job slowdown: response over
+	// the job's isolated-platform lower bound (dlt.LowerBound).
+	MeanSlowdown [][][]float64
+	// MeanFairness[p][r][a] is the mean per-run Jain index over the jobs'
+	// inverse slowdowns (1 = contention hurt every job equally).
+	MeanFairness [][][]float64
+	// MeanMakespan[p][r][a] is the mean overall makespan of the runs.
+	MeanMakespan [][][]float64
+}
+
+// MultiJob runs the multi-job sweep with a background context.
+func (r *Runner) MultiJob(g MultiJobGrid) (*MultiJobResults, error) {
+	return r.MultiJobContext(context.Background(), g)
+}
+
+// MultiJobContext runs the multi-job sweep under ctx, fanning
+// (policy, arrival rate) cells out to the runner's worker pool. The
+// shared Metrics collector (if any) sees every run's per-job responses,
+// slowdowns and fairness.
+func (r *Runner) MultiJobContext(parent context.Context, g MultiJobGrid) (*MultiJobResults, error) {
+	if len(r.Algorithms) == 0 {
+		return nil, fmt.Errorf("experiment: no algorithms")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	pols := g.policies()
+	res := &MultiJobResults{
+		Grid:         g,
+		Algorithms:   make([]string, len(r.Algorithms)),
+		Policies:     make([]string, len(pols)),
+		MeanResponse: make([][][]float64, len(pols)),
+		MeanSlowdown: make([][][]float64, len(pols)),
+		MeanFairness: make([][][]float64, len(pols)),
+		MeanMakespan: make([][][]float64, len(pols)),
+	}
+	for i, a := range r.Algorithms {
+		res.Algorithms[i] = a.Name()
+	}
+	for pi, pol := range pols {
+		res.Policies[pi] = pol.Name()
+		res.MeanResponse[pi] = make([][]float64, len(g.ArrivalRates))
+		res.MeanSlowdown[pi] = make([][]float64, len(g.ArrivalRates))
+		res.MeanFairness[pi] = make([][]float64, len(g.ArrivalRates))
+		res.MeanMakespan[pi] = make([][]float64, len(g.ArrivalRates))
+	}
+
+	type cell struct{ pi, ri int }
+	cells := make([]cell, 0, len(pols)*len(g.ArrivalRates))
+	for pi := range pols {
+		for ri := range g.ArrivalRates {
+			cells = append(cells, cell{pi, ri})
+		}
+	}
+
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	feedCh := make(chan cell)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		mu.Unlock()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range feedCh {
+				if ctx.Err() != nil {
+					continue
+				}
+				if err := r.runMultiJobCell(ctx, g, pols[c.pi], c.pi, c.ri, res); err != nil {
+					if ctx.Err() == nil {
+						fail(err)
+					}
+				}
+			}
+		}()
+	}
+feed:
+	for _, c := range cells {
+		select {
+		case feedCh <- c:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(feedCh)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := parent.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// multiJobArrivals draws the arrival times of one (rate, rep) instance.
+// The seed depends only on the grid seed, the rate value and the
+// repetition — not the policy or algorithm — so every competitor faces
+// the identical arrival history (common random numbers).
+func multiJobArrivals(g MultiJobGrid, rate float64, rep int) []float64 {
+	if rate <= 0 {
+		return make([]float64, g.Jobs) // batch arrival at t=0
+	}
+	src := rng.NewFrom(g.BaseSeed, 0x6a6f6273, // "jobs"
+		math.Float64bits(rate), uint64(rep))
+	return arrivals.Poisson(rate).Times(g.Jobs, src)
+}
+
+// multiJobSeed derives the error-stream seed of one (rate, rep) instance;
+// like the arrivals it is policy- and algorithm-independent.
+func multiJobSeed(g MultiJobGrid, rate float64, rep int) uint64 {
+	return rng.NewFrom(g.BaseSeed, 0x657272, // "err"
+		math.Float64bits(rate), uint64(rep)).Uint64()
+}
+
+// runMultiJobCell fills one (policy, rate) cell: Reps instances per
+// algorithm, means across jobs and repetitions.
+func (r *Runner) runMultiJobCell(ctx context.Context, g MultiJobGrid, pol engine.LinkPolicy, pi, ri int, res *MultiJobResults) error {
+	rate := g.ArrivalRates[ri]
+	p := g.Config.Platform()
+	lb := dlt.LowerBound(p, g.Total)
+	if lb <= 0 {
+		return fmt.Errorf("experiment: degenerate platform %v: zero lower bound", g.Config)
+	}
+	nA := len(r.Algorithms)
+	response := make([]float64, nA)
+	slowdown := make([]float64, nA)
+	fairness := make([]float64, nA)
+	makespan := make([]float64, nA)
+	failed := make([]bool, nA)
+
+	known := g.Error
+	if r.UnknownError {
+		known = -1
+	}
+	pr := &sched.Problem{Platform: p, Total: g.Total, KnownError: known, MinUnit: 1}
+	inv := make([]float64, g.Jobs)
+	for rep := 0; rep < g.Reps; rep++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		arr := multiJobArrivals(g, rate, rep)
+		seed := multiJobSeed(g, rate, rep)
+		for ai, algo := range r.Algorithms {
+			if failed[ai] {
+				continue
+			}
+			src := rng.NewFrom(seed)
+			jobs := make([]engine.Job, g.Jobs)
+			ok := true
+			for j := range jobs {
+				d, err := algo.NewDispatcher(pr)
+				if err != nil {
+					// The algorithm cannot handle the configuration at
+					// all; mark the whole cell NaN, like the other sweeps.
+					failed[ai] = true
+					ok = false
+					break
+				}
+				jobs[j] = engine.Job{
+					Name:       fmt.Sprintf("job%d", j),
+					Arrival:    arr[j],
+					Priority:   g.Jobs - 1 - j,
+					Weight:     1,
+					Total:      g.Total,
+					Dispatcher: d,
+					CommModel:  r.model(g.Error, src.Split()),
+					CompModel:  r.model(g.Error, src.Split()),
+				}
+			}
+			if !ok {
+				continue
+			}
+			out, err := engine.RunMulti(p, jobs, engine.MultiOptions{
+				Policy:  pol,
+				Metrics: r.Metrics,
+			})
+			if err != nil {
+				return fmt.Errorf("experiment: multi-job %s/%s rate %g rep %d: %w",
+					pol.Name(), algo.Name(), rate, rep, err)
+			}
+			runResp, runSlow := 0.0, 0.0
+			for j, jr := range out.Jobs {
+				runResp += jr.Response
+				s := jr.Response / lb
+				runSlow += s
+				if s > 0 {
+					inv[j] = 1 / s
+				} else {
+					inv[j] = 0
+				}
+			}
+			fair := metrics.JainIndex(inv)
+			response[ai] += runResp / float64(g.Jobs)
+			slowdown[ai] += runSlow / float64(g.Jobs)
+			fairness[ai] += fair
+			makespan[ai] += out.Makespan
+			if r.Metrics != nil {
+				resp := make([]float64, len(out.Jobs))
+				slows := make([]float64, len(out.Jobs))
+				for j, jr := range out.Jobs {
+					resp[j] = jr.Response
+					slows[j] = jr.Response / lb
+				}
+				r.Metrics.AddMultiJob(resp, slows, fair)
+			}
+		}
+	}
+
+	mean := func(v []float64) []float64 {
+		out := make([]float64, nA)
+		for ai := range v {
+			if failed[ai] {
+				out[ai] = math.NaN()
+			} else {
+				out[ai] = v[ai] / float64(g.Reps)
+			}
+		}
+		return out
+	}
+	res.MeanResponse[pi][ri] = mean(response)
+	res.MeanSlowdown[pi][ri] = mean(slowdown)
+	res.MeanFairness[pi][ri] = mean(fairness)
+	res.MeanMakespan[pi][ri] = mean(makespan)
+	return nil
+}

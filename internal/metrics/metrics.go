@@ -30,9 +30,14 @@ type Collector struct {
 	configsTotal   atomic.Int64
 	configsSkipped atomic.Int64
 
+	multiJobRuns atomic.Int64
+
 	makespans    *Histogram // per-run makespan
 	chunksPerRun *Histogram // per-run dispatched chunk count
 	configWall   *Histogram // per-configuration wall time, seconds
+	jobResponse  *Histogram // per-job response time in multi-job runs
+	jobSlowdown  *Histogram // per-job slowdown in multi-job runs
+	fairness     *Histogram // per-run Jain fairness index
 
 	eng engineAtomics // engine hot-path counters, see AddEngineCounters
 }
@@ -44,6 +49,9 @@ func New() *Collector {
 		makespans:    NewHistogram(),
 		chunksPerRun: NewHistogram(),
 		configWall:   NewHistogram(),
+		jobResponse:  NewHistogram(),
+		jobSlowdown:  NewHistogram(),
+		fairness:     NewHistogram(),
 	}
 }
 
@@ -107,6 +115,13 @@ type Snapshot struct {
 	RunMakespan   HistSummary `json:"run_makespan"`
 	ChunksPerRun  HistSummary `json:"chunks_per_run"`
 	ConfigWallSec HistSummary `json:"config_wall_seconds"`
+	// MultiJobRuns counts recorded multi-job runs; JobResponse, JobSlowdown
+	// and Fairness summarise their per-job response times, slowdowns and
+	// per-run Jain fairness indices (see Collector.AddMultiJob).
+	MultiJobRuns int64       `json:"multi_job_runs"`
+	JobResponse  HistSummary `json:"job_response"`
+	JobSlowdown  HistSummary `json:"job_slowdown"`
+	Fairness     HistSummary `json:"fairness"`
 	// Engine aggregates the engine hot-path counters fed through
 	// AddEngineCounters — in a distributed sweep, across every worker.
 	Engine EngineCounters `json:"engine"`
@@ -126,6 +141,10 @@ func (c *Collector) Snapshot() Snapshot {
 		RunMakespan:   c.makespans.Summary(),
 		ChunksPerRun:  c.chunksPerRun.Summary(),
 		ConfigWallSec: c.configWall.Summary(),
+		MultiJobRuns:  c.multiJobRuns.Load(),
+		JobResponse:   c.jobResponse.Summary(),
+		JobSlowdown:   c.jobSlowdown.Summary(),
+		Fairness:      c.fairness.Summary(),
 		Engine:        c.eng.snapshot(),
 	}
 	if s.ElapsedSec > 0 {

@@ -1,0 +1,41 @@
+package metrics
+
+// Multi-job metrics. A multi-job run yields one response time and one
+// slowdown per job plus a single fairness index for the whole run; the
+// Collector aggregates them across a sweep in the same log-bucketed
+// histograms the single-job counters use.
+
+// JainIndex computes Jain's fairness index J = (Σx)² / (n·Σx²) over the
+// per-job allocations xs (typically inverse slowdowns or throughputs). J
+// lies in (0, 1]: 1 when every job gets the same allocation, approaching
+// 1/n when one job takes everything. It returns 0 for an empty slice or
+// when every allocation is zero (no meaningful allocation to be fair
+// about).
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// AddMultiJob records the per-job outcomes of one multi-job run: each
+// job's response time (finish − arrival) and slowdown (response over the
+// job's isolated lower bound), plus the run's fairness index.
+func (c *Collector) AddMultiJob(responses, slowdowns []float64, fairness float64) {
+	c.multiJobRuns.Add(1)
+	for _, r := range responses {
+		c.jobResponse.Observe(r)
+	}
+	for _, s := range slowdowns {
+		c.jobSlowdown.Observe(s)
+	}
+	c.fairness.Observe(fairness)
+}

@@ -1,0 +1,49 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestJainIndex(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"all zero", []float64{0, 0}, 0},
+		{"perfectly fair", []float64{2, 2, 2, 2}, 1},
+		{"single job", []float64{5}, 1},
+		{"one takes all", []float64{1, 0, 0, 0}, 0.25},
+		{"two of four", []float64{1, 1, 0, 0}, 0.5},
+	}
+	for _, tc := range cases {
+		if got := JainIndex(tc.xs); math.Abs(got-tc.want) > 1e-12 {
+			t.Fatalf("%s: JainIndex = %g, want %g", tc.name, got, tc.want)
+		}
+	}
+	// General value stays in (0, 1] for any nonzero allocation.
+	if j := JainIndex([]float64{3, 1, 0.5}); j <= 0 || j > 1 {
+		t.Fatalf("index out of range: %g", j)
+	}
+}
+
+func TestAddMultiJobSnapshot(t *testing.T) {
+	c := New()
+	c.AddMultiJob([]float64{10, 12, 20}, []float64{1.2, 1.5, 2.5}, 0.9)
+	c.AddMultiJob([]float64{8, 9}, []float64{1.1, 1.05}, 0.99)
+	s := c.Snapshot()
+	if s.MultiJobRuns != 2 {
+		t.Fatalf("multi-job runs = %d", s.MultiJobRuns)
+	}
+	if s.JobResponse.Count != 5 || s.JobSlowdown.Count != 5 || s.Fairness.Count != 2 {
+		t.Fatalf("histogram counts: %+v %+v %+v", s.JobResponse, s.JobSlowdown, s.Fairness)
+	}
+	if s.JobResponse.Max != 20 || s.JobSlowdown.Min != 1.05 {
+		t.Fatalf("extremes: %+v %+v", s.JobResponse, s.JobSlowdown)
+	}
+	if s.Fairness.Max != 0.99 {
+		t.Fatalf("fairness summary: %+v", s.Fairness)
+	}
+}

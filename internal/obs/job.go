@@ -1,0 +1,39 @@
+package obs
+
+// Multi-job event delivery. A multi-job simulation hosts several loads in
+// one DES run, and their state changes interleave on a single timeline —
+// but Event deliberately carries no job field (its layout is pinned by the
+// single-job golden streams). JobSink is the multi-job counterpart: the
+// engine delivers every event together with the index of the job it
+// belongs to, and ForJob adapts a (job, JobSink) pair back into a plain
+// Sink so per-job emitters — dispatchers explaining their decisions —
+// land on the same tagged stream.
+
+// JobSink consumes events of a multi-job run, tagged with the index of
+// the job each event belongs to. Link-level events (send start/end) are
+// tagged with the job that owns the transfer. The same cheapness contract
+// as Sink applies: EmitJob is called synchronously from the simulation
+// loop.
+type JobSink interface {
+	EmitJob(job int, e Event)
+}
+
+// JobFunc adapts a function to the JobSink interface.
+type JobFunc func(job int, e Event)
+
+// EmitJob implements JobSink.
+func (f JobFunc) EmitJob(job int, e Event) { f(job, e) }
+
+// forJob tags every emitted event with a fixed job index.
+type forJob struct {
+	job  int
+	sink JobSink
+}
+
+// Emit implements Sink.
+func (f forJob) Emit(e Event) { f.sink.EmitJob(f.job, e) }
+
+// ForJob returns a Sink that forwards every event to js tagged with the
+// given job index. The engine attaches one per job to dispatchers that
+// implement Emitter, so scheduling decisions appear on the tagged stream.
+func ForJob(job int, js JobSink) Sink { return forJob{job: job, sink: js} }

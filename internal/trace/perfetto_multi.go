@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteMultiPerfetto emits a multi-job trace in Chrome trace-event JSON
+// with one lane group (Perfetto process) per job: job j becomes pid j+1,
+// named after jobNames[j] (or "job j" when unnamed or names run short),
+// with its own master-port lane (tid 0) and per-worker compute lanes
+// (tid w+1). Because every job keeps its own port lane, the serialised
+// link's interleaving across jobs reads directly off the aligned port
+// rows; chunk slices carry the owning job in their args as well.
+func (tr *Trace) WriteMultiPerfetto(w io.Writer, n, jobs int, jobNames []string) error {
+	if jobs < 1 {
+		return fmt.Errorf("trace: multi-job perfetto export needs at least one job lane")
+	}
+	events := make([]perfettoEvent, 0, 2*len(tr.Records)+jobs*(n+2))
+	for j := 0; j < jobs; j++ {
+		name := fmt.Sprintf("job %d", j)
+		if j < len(jobNames) && jobNames[j] != "" {
+			name = fmt.Sprintf("job %d: %s", j, jobNames[j])
+		}
+		events = append(events, processMeta(j+1, name), threadMeta(j+1, 0))
+		for wi := 0; wi < n; wi++ {
+			events = append(events, threadMeta(j+1, wi+1))
+		}
+	}
+	for i, r := range tr.Records {
+		if r.Job < 0 || r.Job >= jobs {
+			return fmt.Errorf("trace: record %d belongs to job %d of %d", i, r.Job, jobs)
+		}
+		pid := r.Job + 1
+		args := map[string]any{
+			"job": r.Job, "chunk": r.ChunkID, "worker": r.Worker,
+			"size": r.Size, "round": r.Round, "phase": r.Phase,
+		}
+		events = append(events, perfettoEvent{
+			Name: fmt.Sprintf("send #%d → w%d", r.ChunkID, r.Worker), Ph: "X",
+			Ts: usec(r.SendStart), Dur: usec(r.SendEnd - r.SendStart),
+			Pid: pid, Tid: 0, Cname: phaseColor(r.Phase), Args: args,
+		}, perfettoEvent{
+			Name: fmt.Sprintf("chunk #%d (%.4g units)", r.ChunkID, r.Size), Ph: "X",
+			Ts: usec(r.CompStart), Dur: usec(r.CompEnd - r.CompStart),
+			Pid: pid, Tid: r.Worker + 1, Cname: phaseColor(r.Phase), Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		TraceEvents []perfettoEvent `json:"traceEvents"`
+	}{events})
+}

@@ -28,6 +28,10 @@ type ChunkRecord struct {
 	// send and increments per fault-recovery re-dispatch.
 	ChunkID int `json:",omitempty"`
 	Attempt int `json:",omitempty"`
+	// Job is the owning job's index in a multi-job run. Single-job traces
+	// leave it zero, which omitempty keeps out of their JSON encoding so
+	// the pinned single-job goldens are unaffected.
+	Job int `json:",omitempty"`
 	// Worker is the destination worker index.
 	Worker int
 	// Size is the chunk size in workload units.
@@ -131,9 +135,19 @@ func (tr *Trace) Validate(p *platform.Platform, wantTotal float64) error {
 		return fmt.Errorf("trace: makespan %g below last completion %g", tr.Makespan, maxEnd)
 	}
 
-	// Master port capacity: at most ParallelSends transfers may overlap
-	// (1 — the paper's fully serialised port — when unset). The check
-	// sweeps send start/end events in time order and tracks concurrency.
+	if err := tr.validatePortCapacity(); err != nil {
+		return err
+	}
+	return tr.validateComputeExclusivity()
+}
+
+// validatePortCapacity enforces the master port's concurrency bound: at
+// most ParallelSends transfers may overlap (1 — the paper's fully
+// serialised port — when unset). The check sweeps send start/end events in
+// time order and tracks concurrency; in multi-job traces this is the
+// link-serialisation invariant, since transfers of all jobs share the
+// sweep.
+func (tr *Trace) validatePortCapacity() error {
 	capacity := tr.ParallelSends
 	if capacity < 1 {
 		capacity = 1
@@ -162,10 +176,14 @@ func (tr *Trace) Validate(p *platform.Platform, wantTotal float64) error {
 				active, e.t, capacity)
 		}
 	}
+	return nil
+}
 
-	// Worker compute exclusivity: every record that occupied the CPU —
-	// including attempts killed mid-compute — must not overlap another on
-	// the same worker. Attempts lost before computing never held the CPU.
+// validateComputeExclusivity enforces worker compute exclusivity: every
+// record that occupied the CPU — including attempts killed mid-compute —
+// must not overlap another on the same worker. Attempts lost before
+// computing never held the CPU.
+func (tr *Trace) validateComputeExclusivity() error {
 	perWorker := make(map[int][]ChunkRecord)
 	for _, r := range tr.Records {
 		if r.Lost && r.CompStart == 0 && r.CompEnd == 0 {

@@ -1,0 +1,220 @@
+package rumr
+
+// Multi-job invariants and regression pins. The multi-job refactor must
+// leave the single-job world bit-identical (the goldens prove it, rerun
+// here AFTER multi-job activity) and make the multi-job world obey its
+// conservation laws on random instances: per-job work conserved, every
+// job completes, slowdown never beats the isolated lower bound, fairness
+// in (0, 1].
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rumr/internal/arrivals"
+	"rumr/internal/metrics"
+	"rumr/internal/rng"
+	"rumr/internal/trace"
+)
+
+// multiSuite is the scheduler mix multi-job instances draw from — the
+// policies the sweep compares, plus a self-scheduling baseline.
+func multiSuite() []Scheduler {
+	return []Scheduler{RUMR(), Factoring(), MI(1), SelfScheduling(10)}
+}
+
+// TestGoldensSurviveMultiJobRuns is the refactor's regression pin: after
+// plenty of multi-job activity (all policies, open arrivals, traces), the
+// single-job goldens — fault-free AND faulty — must still be byte-for-byte
+// identical to the pre-refactor files. It would catch any shared state
+// leaking between the multi-job path and the pooled single-job hot path.
+func TestGoldensSurviveMultiJobRuns(t *testing.T) {
+	p := HomogeneousPlatform(8, 1, 12, 0.3, 0.3)
+	for i, pol := range []LinkPolicy{FCFSLink(), PriorityLink(), WeightedShareLink()} {
+		_, err := SimulateMulti(p, []JobSpec{
+			{Name: "a", Scheduler: RUMR(), Total: 200, Arrival: 0, Weight: 1},
+			{Name: "b", Scheduler: Factoring(), Total: 150, Arrival: 5, Priority: 1, Weight: 2},
+			{Name: "c", Scheduler: MI(1), Total: 100, Arrival: 10, Priority: 2, Weight: 3},
+		}, MultiSimOptions{Error: 0.3, Seed: uint64(i), Policy: pol, RecordTrace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, tc := range []struct {
+		name   string
+		faulty bool
+	}{{"plain", false}, {"faulty", true}} {
+		traceJSON, events := goldenRun(t, tc.faulty)
+		wantTrace, err := os.ReadFile(filepath.Join("testdata", "golden_trace_"+tc.name+".json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantEvents, err := os.ReadFile(filepath.Join("testdata", "golden_events_"+tc.name+".txt"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if traceJSON != string(wantTrace) {
+			t.Errorf("%s trace diverged after multi-job runs", tc.name)
+		}
+		if events != string(wantEvents) {
+			t.Errorf("%s event stream diverged after multi-job runs", tc.name)
+		}
+	}
+}
+
+// TestMultiJobInvariants drives random multi-job instances — random
+// platforms, job counts, schedulers, arrivals and policies — through the
+// conservation laws. Perfect predictions (Error 0) and the serialised
+// port make the slowdown bound provable: a job cannot finish faster amid
+// contention than alone on the whole platform.
+func TestMultiJobInvariants(t *testing.T) {
+	policies := []LinkPolicy{FCFSLink(), PriorityLink(), WeightedShareLink()}
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		n := 2 + src.Intn(16)
+		r := src.Uniform(1.2, 2.0)
+		p := HomogeneousPlatform(n, 1, r*float64(n), src.Uniform(0, 0.5), src.Uniform(0, 0.5))
+		nJobs := 2 + src.Intn(4)
+		suite := multiSuite()
+		jobs := make([]JobSpec, nJobs)
+		specs := make([]trace.MultiJobSpec, nJobs)
+		arrival := 0.0
+		for j := range jobs {
+			arrival += src.Float64() * 20
+			total := 100 + 100*float64(src.Intn(3))
+			jobs[j] = JobSpec{
+				Name:      fmt.Sprintf("j%d", j),
+				Scheduler: suite[src.Intn(len(suite))],
+				Total:     total,
+				Arrival:   arrival,
+				Priority:  src.Intn(3),
+				Weight:    0.5 + src.Float64()*3.5,
+			}
+			specs[j] = trace.MultiJobSpec{Arrival: arrival, Total: total}
+		}
+		pol := policies[src.Intn(len(policies))]
+		res, err := SimulateMulti(p, jobs, MultiSimOptions{
+			Seed: seed, Policy: pol, RecordTrace: true,
+		})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		for j, jr := range res.Jobs {
+			if math.Abs(jr.DispatchedWork-jobs[j].Total) > 1e-6 ||
+				math.Abs(jr.CompletedWork-jobs[j].Total) > 1e-6 {
+				t.Logf("seed %d job %d: dispatched %g completed %g of %g",
+					seed, j, jr.DispatchedWork, jr.CompletedWork, jobs[j].Total)
+				return false
+			}
+			if jr.Slowdown < 1-1e-9 || math.IsNaN(jr.Slowdown) {
+				t.Logf("seed %d job %d (%s under %s): slowdown %v beats the isolated bound",
+					seed, j, jobs[j].Name, pol.Name(), jr.Slowdown)
+				return false
+			}
+		}
+		if !(res.Fairness > 0 && res.Fairness <= 1+1e-12) {
+			t.Logf("seed %d: fairness %v out of (0,1]", seed, res.Fairness)
+			return false
+		}
+		if err := res.Trace.ValidateMultiJob(p, specs); err != nil {
+			t.Logf("seed %d (%s): %v", seed, pol.Name(), err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMultiJobRunIsByteIdentical is the acceptance pin: a seeded
+// multi-job run — 4 jobs, Poisson open arrivals, weighted link sharing,
+// error perturbation on — reproduces bit-identically (trace JSON and
+// tagged event stream), its per-job makespan/slowdown/fairness land in
+// the metrics snapshot, and its job-tagged trace passes the extended
+// validator and exports per-job Perfetto lanes. CI reruns the whole test
+// suite under -race, which covers the same guarantee there.
+func TestMultiJobRunIsByteIdentical(t *testing.T) {
+	p := HomogeneousPlatform(12, 1, 18, 0.3, 0.3)
+	arr := arrivals.Poisson(0.02).Times(4, rng.New(7))
+	specs := make([]trace.MultiJobSpec, 4)
+	jobs := make([]JobSpec, 4)
+	for j := range jobs {
+		jobs[j] = JobSpec{
+			Name:      fmt.Sprintf("j%d", j),
+			Scheduler: RUMR(),
+			Total:     250,
+			Arrival:   arr[j],
+			Weight:    float64(j + 1),
+		}
+		specs[j] = trace.MultiJobSpec{Arrival: arr[j], Total: 250}
+	}
+	run := func() (string, string, MultiSimResult) {
+		var events strings.Builder
+		res, err := SimulateMulti(p, jobs, MultiSimOptions{
+			Error: 0.2, Seed: 11, Policy: WeightedShareLink(), RecordTrace: true,
+			Events: JobEventFunc(func(job int, e Event) {
+				fmt.Fprintf(&events, "j%d %+v\n", job, e)
+			}),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		js, err := json.Marshal(res.Trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(js), events.String(), res
+	}
+	tr1, ev1, res := run()
+	tr2, ev2, _ := run()
+	if tr1 != tr2 {
+		t.Fatal("same seed produced different multi-job traces")
+	}
+	if ev1 != ev2 {
+		t.Fatal("same seed produced different multi-job event streams")
+	}
+	if err := res.Trace.ValidateMultiJob(p, specs); err != nil {
+		t.Fatalf("acceptance trace invalid: %v", err)
+	}
+
+	// Per-job outcomes land in the metrics snapshot.
+	met := metrics.New()
+	resp := make([]float64, len(res.Jobs))
+	slows := make([]float64, len(res.Jobs))
+	for j, jr := range res.Jobs {
+		resp[j], slows[j] = jr.Response, jr.Slowdown
+	}
+	met.AddMultiJob(resp, slows, res.Fairness)
+	s := met.Snapshot()
+	if s.MultiJobRuns != 1 || s.JobResponse.Count != 4 || s.JobSlowdown.Count != 4 || s.Fairness.Count != 1 {
+		t.Fatalf("metrics snapshot incomplete: %+v", s)
+	}
+
+	// The per-job-lane Perfetto export carries one process per job.
+	var buf bytes.Buffer
+	names := make([]string, len(jobs))
+	for j := range jobs {
+		names[j] = jobs[j].Name
+	}
+	if err := res.Trace.WriteMultiPerfetto(&buf, p.N(), len(jobs), names); err != nil {
+		t.Fatal(err)
+	}
+	for j := range jobs {
+		want := fmt.Sprintf("job %d: j%d", j, j)
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("perfetto export missing lane group %q", want)
+		}
+	}
+	if ev1 == "" || res.Makespan <= 0 {
+		t.Fatal("degenerate acceptance run")
+	}
+}
