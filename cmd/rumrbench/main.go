@@ -166,13 +166,13 @@ func printCounters() error {
 		return err
 	}
 	fmt.Println("Engine hot-path counters, central configuration (N=20, r=1.5, cLat=nLat=0.3, err=0.3), per simulated run:")
-	fmt.Printf("%-14s %8s %8s %8s %6s %9s %12s %8s %7s\n",
-		"algorithm", "pushed", "popped", "cancels", "depth", "syncViews", "syncBytes", "draws", "redisp")
+	fmt.Printf("%-14s %8s %8s %8s %8s %6s %9s %12s %8s %7s\n",
+		"algorithm", "pushed", "popped", "replaced", "cancels", "depth", "syncViews", "syncBytes", "draws", "redisp")
 	for _, r := range report {
 		per := func(v int64) float64 { return float64(v) / float64(r.Runs) }
 		c := r.Counters
-		fmt.Printf("%-14s %8.0f %8.0f %8.0f %6d %9.0f %12.0f %8.0f %7.1f\n",
-			r.Algorithm, per(c.EventsPushed), per(c.EventsPopped), per(c.LazyCancels),
+		fmt.Printf("%-14s %8.0f %8.0f %8.0f %8.0f %6d %9.0f %12.0f %8.0f %7.1f\n",
+			r.Algorithm, per(c.EventsPushed), per(c.EventsPopped), per(c.EventsReplaced), per(c.LazyCancels),
 			c.MaxHeapDepth, per(c.SyncViewCopies), per(c.SyncViewBytes),
 			per(c.TruncNormalDraws+c.UniformDraws+c.OtherDraws), per(c.Redispatches))
 	}

@@ -1,0 +1,85 @@
+package rumr
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rumr/internal/engine"
+	"rumr/internal/obs"
+	"rumr/internal/perferr"
+	"rumr/internal/rng"
+)
+
+// TestGoldenTracesV1ReproducibleViaPolar pins the golden-versioning
+// escape hatch: the v1 goldens (testdata/v1/, generated when Normal was
+// the polar method) must stay byte-for-byte reproducible on current code
+// by selecting perferr.TruncNormal{Polar: true} — the documented way to
+// replay results seeded on the v1 bit stream. It replicates Simulate's
+// exact model construction (seed → NewFrom → one Split per model, same
+// order) with the polar flag set.
+//
+// These fixtures are frozen history: they are never regenerated. If this
+// test fails, NormalPolar or the v1 call sequence changed — that breaks
+// the versioning contract rather than requiring new files.
+func TestGoldenTracesV1ReproducibleViaPolar(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		faulty bool
+	}{
+		{"plain", false},
+		{"faulty", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p := HomogeneousPlatform(8, 1, 12, 0.3, 0.3)
+			pr := &Problem{Platform: p, Total: 1000, KnownError: 0.3}
+			d, err := RUMR().NewDispatcher(pr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sb strings.Builder
+			src := rng.NewFrom(11)
+			opts := engine.Options{
+				CommModel:   &perferr.TruncNormal{Err: 0.3, Src: src.Split(), Polar: true},
+				CompModel:   &perferr.TruncNormal{Err: 0.3, Src: src.Split(), Polar: true},
+				RecordTrace: true,
+				Events:      obs.Func(func(e Event) { fmt.Fprintf(&sb, "%+v\n", e) }),
+			}
+			if tc.faulty {
+				scenario := FaultScenario{
+					Horizon: 300, CrashProb: 0.4, RejoinProb: 0.5,
+					RejoinDelayMin: 20, RejoinDelayMax: 120,
+					StragglerProb: 0.3, SlowMin: 2, SlowMax: 8,
+				}
+				opts.Faults = scenario.Generate(8, rng.New(99))
+				opts.Recovery = DefaultRecovery()
+				opts.ParallelSends = 2
+			}
+			res, err := engine.Run(p, d, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := res.Trace.WriteJSON(&buf); err != nil {
+				t.Fatal(err)
+			}
+			wantTrace, err := os.ReadFile(filepath.Join("testdata", "v1", "golden_trace_"+tc.name+".json"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantEvents, err := os.ReadFile(filepath.Join("testdata", "v1", "golden_events_"+tc.name+".txt"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if buf.String() != string(wantTrace) {
+				t.Errorf("polar run diverged from the frozen v1 trace — the NormalPolar escape hatch no longer reproduces the v1 stream")
+			}
+			if sb.String() != string(wantEvents) {
+				t.Errorf("polar run diverged from the frozen v1 event stream")
+			}
+		})
+	}
+}

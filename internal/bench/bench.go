@@ -18,7 +18,9 @@ import (
 	"rumr/internal/engine"
 	"rumr/internal/experiment"
 	"rumr/internal/fault"
+	"rumr/internal/perferr"
 	"rumr/internal/platform"
+	"rumr/internal/rng"
 	"rumr/internal/sched"
 )
 
@@ -33,6 +35,7 @@ func Cases() []Case {
 	return []Case{
 		{Name: "EngineRun", Func: EngineRun},
 		{Name: "EngineRunCounters", Func: EngineRunCounters},
+		{Name: "EngineRunError", Func: EngineRunError},
 		{Name: "EngineRunFaulty", Func: EngineRunFaulty},
 		{Name: "SweepCell", Func: SweepCell},
 	}
@@ -154,6 +157,33 @@ func EngineRunCounters(b *testing.B) {
 	}
 	if ctrs.EventsPopped == 0 {
 		b.Fatal("counters stayed zero with instrumentation enabled")
+	}
+}
+
+// EngineRunError is EngineRun with truncated-normal perturbation on
+// every transfer and computation — the configuration the paper's sweeps
+// actually run, and the benchmark that exercises the rng Normal sampler
+// (two draws per chunk). It pins the cost of an error draw on the hot
+// path and must stay 0 allocs/op.
+func EngineRunError(b *testing.B) {
+	p := enginePlatform()
+	d := &fixedDemand{total: 1000, size: 5}
+	src := rng.New(2003)
+	opts := engine.Options{
+		CommModel: perferr.NewTruncNormal(0.3, src.Split()),
+		CompModel: perferr.NewTruncNormal(0.3, src.Split()),
+	}
+	run := func() {
+		d.reset()
+		if _, err := engine.Run(p, d, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	run() // warm pools and grow slices outside the measured region
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
 	}
 }
 

@@ -79,9 +79,14 @@ const compactMin = 64
 // Simulator owns a virtual clock and the pending event queue. The zero
 // value is ready to use, with the clock at 0.
 type Simulator struct {
-	now     float64
-	seq     uint64
-	q       []slot
+	now float64
+	seq uint64
+	q   []slot
+	// scratch is a one-slot event cache in front of the free-list: the
+	// fire→schedule rhythm of the engine hot path retires one event and
+	// immediately allocates the next, so most alloc/recycle pairs hit
+	// this single pointer instead of an append/pop on free.
+	scratch *Event
 	free    []*Event
 	live    int // scheduled and not cancelled
 	dead    int // cancelled but still occupying a heap slot
@@ -93,23 +98,33 @@ type Simulator struct {
 	// so they cost nothing measurable and never allocate.
 	pushes   uint64
 	cancels  uint64
+	replaced uint64
 	maxDepth int
+	// rootHole is true while RunUntil is firing the former root and has
+	// left q[0] as a hole (ev == nil) instead of popping it: the first
+	// schedule issued by the callback fills the hole with one siftDown —
+	// replace-top — instead of paying pop-sift + push-sift. An unfilled
+	// hole is removed when the callback returns.
+	rootHole bool
 }
 
 // Stats are the kernel's cheap always-on counters, reset by Reset. Fired
 // is the same count Processed returns; MaxDepth is the largest physical
 // heap size observed (live + lazily-cancelled slots), the quantity that
-// bounds sift cost.
+// bounds sift cost. Replaced counts the pushes that took the replace-top
+// fast path (filled the just-fired root's slot with a single siftDown);
+// it is a subset of Pushed.
 type Stats struct {
 	Pushed    uint64
 	Fired     uint64
 	Cancelled uint64
+	Replaced  uint64
 	MaxDepth  int
 }
 
 // Stats returns the counters accumulated since the last Reset.
 func (s *Simulator) Stats() Stats {
-	return Stats{Pushed: s.pushes, Fired: s.processed, Cancelled: s.cancels, MaxDepth: s.maxDepth}
+	return Stats{Pushed: s.pushes, Fired: s.processed, Cancelled: s.cancels, Replaced: s.replaced, MaxDepth: s.maxDepth}
 }
 
 // New returns a fresh simulator with the clock at zero.
@@ -123,7 +138,9 @@ func New() *Simulator { return &Simulator{} }
 // byte-identical regardless of pooling.
 func (s *Simulator) Reset() {
 	for _, sl := range s.q {
-		s.recycle(sl.ev)
+		if sl.ev != nil {
+			s.recycle(sl.ev)
+		}
 	}
 	s.q = s.q[:0]
 	s.now = 0
@@ -134,7 +151,9 @@ func (s *Simulator) Reset() {
 	s.processed = 0
 	s.pushes = 0
 	s.cancels = 0
+	s.replaced = 0
 	s.maxDepth = 0
+	s.rootHole = false
 }
 
 // Now returns the current virtual time.
@@ -154,6 +173,10 @@ func (s *Simulator) QueueLen() int { return len(s.q) }
 func (s *Simulator) Processed() uint64 { return s.processed }
 
 func (s *Simulator) alloc() *Event {
+	if e := s.scratch; e != nil {
+		s.scratch = nil
+		return e
+	}
 	if k := len(s.free); k > 0 {
 		e := s.free[k-1]
 		s.free = s.free[:k-1]
@@ -171,6 +194,10 @@ func (s *Simulator) recycle(e *Event) {
 	e.argFn = nil
 	e.arg = nil
 	e.cancelled = false
+	if s.scratch == nil {
+		s.scratch = e
+		return
+	}
 	s.free = append(s.free, e)
 }
 
@@ -186,11 +213,26 @@ func (s *Simulator) schedule(t float64, fn func(), argFn func(any, int), arg any
 	e.argFn = argFn
 	e.arg = arg
 	e.aux = aux
-	s.q = append(s.q, slot{time: t, seq: s.seq, ev: e})
+	sl := slot{time: t, seq: s.seq, ev: e}
 	s.seq++
-	s.siftUp(len(s.q) - 1)
 	s.live++
 	s.pushes++
+	if s.rootHole {
+		// Replace-top: the firing callback's first schedule reuses the
+		// just-fired root's slot with a single siftDown, instead of the
+		// pop-sift the hole removal would cost plus a push-sift here.
+		// Safe for determinism: (time, seq) is a strict total order, so
+		// extraction order never depends on the heap's internal shape.
+		s.rootHole = false
+		s.replaced++
+		s.q[0] = sl
+		s.siftDown(0)
+		return Handle{ev: e, gen: e.gen}
+	}
+	s.q = append(s.q, sl)
+	if i := len(s.q) - 1; i > 0 && s.less(sl, s.q[(i-1)/4]) {
+		s.siftUp(i)
+	}
 	if len(s.q) > s.maxDepth {
 		s.maxDepth = len(s.q)
 	}
@@ -251,7 +293,12 @@ func (s *Simulator) Cancel(h Handle) {
 func (s *Simulator) compact() {
 	keep := s.q[:0]
 	for _, sl := range s.q {
-		if sl.ev.cancelled {
+		if sl.ev == nil {
+			// Unfilled replace-top hole (a cancellation inside a firing
+			// callback triggered this compaction): drop it here and tell
+			// RunUntil it is gone.
+			s.rootHole = false
+		} else if sl.ev.cancelled {
 			s.recycle(sl.ev)
 		} else {
 			keep = append(keep, sl)
@@ -288,26 +335,33 @@ func (s *Simulator) siftUp(i int) {
 }
 
 // siftDown restores the heap property from node i towards the leaves.
+// The sinking key and the running child minimum are held in locals so
+// the four-child scan re-reads no slot it has already compared — this
+// loop is the kernel's single hottest code, fed by every replace-top
+// fill and pop.
 func (s *Simulator) siftDown(i int) {
 	q := s.q
 	n := len(q)
 	sl := q[i]
+	st, sq := sl.time, sl.seq
 	for {
 		first := 4*i + 1
 		if first >= n {
 			break
 		}
 		min := first
+		mt, mq := q[first].time, q[first].seq
 		last := first + 4
 		if last > n {
 			last = n
 		}
 		for c := first + 1; c < last; c++ {
-			if s.less(q[c], q[min]) {
-				min = c
+			ct, cq := q[c].time, q[c].seq
+			if ct < mt || (ct == mt && cq < mq) {
+				min, mt, mq = c, ct, cq
 			}
 		}
-		if !s.less(q[min], sl) {
+		if !(mt < st || (mt == st && mq < sq)) {
 			break
 		}
 		q[i] = q[min]
@@ -369,10 +423,22 @@ func (s *Simulator) RunUntil(deadline float64) float64 {
 			s.now = deadline
 			return s.now
 		}
-		s.popTop()
+		// Leave the root in place as a hole instead of popping: the
+		// dominant pattern is "fire, then immediately schedule a
+		// successor" (send → compute → next send), and filling the hole
+		// in schedule costs one siftDown where pop-then-push would cost
+		// two sifts. The callback must not re-enter RunUntil/Step while
+		// the hole exists.
 		s.live--
 		s.now = top.time
+		s.q[0].ev = nil
+		s.rootHole = true
 		s.fire(top.ev)
+		if s.rootHole {
+			// No schedule claimed the hole; remove it like a normal pop.
+			s.rootHole = false
+			s.popTop()
+		}
 	}
 	return s.now
 }

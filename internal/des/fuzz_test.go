@@ -15,12 +15,16 @@ import (
 //     compaction slack;
 //   - the clock never goes backwards.
 //
-// Run it as a regular test (seed corpus) or with
+// Two of the schedule ops install callbacks that act when fired —
+// scheduling successors (which exercises the replace-top hole fill) or
+// cancelling a pseudo-random pending event (which can force a compaction
+// while the hole is open). Run it as a regular test (seed corpus) or with
 // `go test -fuzz=FuzzPushPopCancel ./internal/des/`.
 func FuzzPushPopCancel(f *testing.F) {
 	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
 	f.Add([]byte{10, 200, 10, 201, 10, 202, 50, 51, 52})
 	f.Add([]byte{255, 254, 253, 0, 0, 0, 128, 128})
+	f.Add([]byte{2, 66, 130, 194, 2, 66, 7, 3, 67, 131, 7, 7})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s := New()
 		type rec struct {
@@ -31,45 +35,61 @@ func FuzzPushPopCancel(f *testing.F) {
 		var handles []Handle // handles[id] belongs to scheduled[id]
 		var scheduled []rec  // by id
 		var cancelled []bool // by id
-		var done []bool      // by id
-		live := 0
+		cancelledCount := 0
+
+		// cancelPending marks + cancels handles[id] if still pending.
+		cancelPending := func(id int) {
+			if handles[id].Scheduled() {
+				cancelled[id] = true
+				cancelledCount++
+			}
+			s.Cancel(handles[id])
+		}
+		// add schedules an event at tt. spawn > 0 makes its callback
+		// schedule that many successors when fired (the first lands in
+		// the replace-top hole under RunUntil); chainCancel makes the
+		// callback also cancel a pseudo-random pending event mid-fire.
+		var add func(tt float64, spawn int, chainCancel bool)
+		add = func(tt float64, spawn int, chainCancel bool) {
+			id := len(scheduled)
+			e := rec{time: tt, id: id}
+			scheduled = append(scheduled, e)
+			cancelled = append(cancelled, false)
+			handles = append(handles, s.At(tt, func() {
+				fired = append(fired, e)
+				for k := 0; k < spawn; k++ {
+					// Successors at now+k: k=0 ties the fire time,
+					// stressing the seq tie-break through the hole path.
+					add(s.Now()+float64(k), 0, false)
+				}
+				if chainCancel && len(handles) > 0 {
+					cancelPending((id*31 + 7) % len(handles))
+				}
+			}))
+		}
 
 		for i := 0; i < len(data); i++ {
 			op := data[i] % 8
 			v := float64(data[i] >> 3)
 			switch {
-			case op < 4: // schedule (most common)
-				id := len(scheduled)
-				tt := s.Now() + v
-				e := rec{time: tt, id: id}
-				scheduled = append(scheduled, e)
-				cancelled = append(cancelled, false)
-				done = append(done, false)
-				handles = append(handles, s.At(tt, func() {
-					fired = append(fired, e)
-					done[id] = true
-				}))
-				live++
+			case op < 2: // plain schedule (most common)
+				add(s.Now()+v, 0, false)
+			case op == 2: // schedule an event that spawns successors
+				add(s.Now()+v, 1+int(data[i]>>6), false)
+			case op == 3: // schedule an event that cancels when fired
+				add(s.Now()+v, 0, true)
 			case op == 4 || op == 5: // cancel a pseudo-random prior handle
 				if len(handles) > 0 {
 					id := int(data[i]) % len(handles)
-					if handles[id].Scheduled() {
-						cancelled[id] = true
-						live--
-					}
-					s.Cancel(handles[id])
+					cancelPending(id)
 					s.Cancel(handles[id]) // double cancel must be a no-op
 				}
 			case op == 6:
-				if s.Step() {
-					live--
-				}
+				s.Step()
 			default:
-				before := len(fired)
 				s.RunUntil(s.Now() + v)
-				live -= len(fired) - before
 			}
-			if s.Pending() != live {
+			if live := len(scheduled) - len(fired) - cancelledCount; s.Pending() != live {
 				t.Fatalf("op %d: pending = %d, want %d", i, s.Pending(), live)
 			}
 			if s.QueueLen() > 2*s.Pending()+4*compactMin {
@@ -81,7 +101,13 @@ func FuzzPushPopCancel(f *testing.F) {
 		if s.Now() < prevNow {
 			t.Fatalf("clock went backwards: %v -> %v", prevNow, s.Now())
 		}
+		if st := s.Stats(); st.Replaced > st.Pushed {
+			t.Fatalf("Replaced %d exceeds Pushed %d", st.Replaced, st.Pushed)
+		}
 		// Everything uncancelled fired, in (time, insertion id) order.
+		// scheduled is in insertion order (successors included, appended
+		// when their parent fired), so a stable sort by time alone yields
+		// the expected total order.
 		var want []rec
 		for id, e := range scheduled {
 			if !cancelled[id] {

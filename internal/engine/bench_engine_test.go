@@ -21,6 +21,12 @@ func BenchmarkEngineRun(b *testing.B) { bench.EngineRun(b) }
 // instrumentation can never sneak an allocation into the hot path.
 func BenchmarkEngineRunCounters(b *testing.B) { bench.EngineRunCounters(b) }
 
+// BenchmarkEngineRunError adds truncated-normal perturbation on every
+// transfer and computation — the sweep configuration — so the cost of a
+// ziggurat error draw on the hot path is pinned alongside the perfect
+// run. Also 0 allocs/op.
+func BenchmarkEngineRunError(b *testing.B) { bench.EngineRunError(b) }
+
 // BenchmarkEngineRunFaulty covers the recovery path: crashes, rejoins
 // and re-dispatch with completion timeouts (cancel-heavy event queue).
 func BenchmarkEngineRunFaulty(b *testing.B) { bench.EngineRunFaulty(b) }

@@ -41,10 +41,19 @@ func TestCountersAccumulate(t *testing.T) {
 	if ctrs.MaxHeapDepth <= 0 {
 		t.Fatalf("MaxHeapDepth = %d", ctrs.MaxHeapDepth)
 	}
-	if ctrs.SyncViewCopies == 0 ||
-		ctrs.SyncViewBytes != ctrs.SyncViewCopies*int64(unsafe.Sizeof(WorkerState{}))*4 {
+	// SyncViewBytes counts the bytes actually copied by the incremental
+	// sync: positive (the first sync copies every worker), a whole number
+	// of worker-state structs, and strictly less than copies × n × size —
+	// the full-copy volume the dirty tracking exists to avoid.
+	wsBytes := int64(unsafe.Sizeof(WorkerState{}))
+	if ctrs.SyncViewCopies == 0 || ctrs.SyncViewBytes < 4*wsBytes ||
+		ctrs.SyncViewBytes%wsBytes != 0 ||
+		ctrs.SyncViewBytes >= ctrs.SyncViewCopies*wsBytes*4 {
 		t.Fatalf("syncView: %d copies, %d bytes (4 workers × %d B each)",
-			ctrs.SyncViewCopies, ctrs.SyncViewBytes, unsafe.Sizeof(WorkerState{}))
+			ctrs.SyncViewCopies, ctrs.SyncViewBytes, wsBytes)
+	}
+	if ctrs.EventsReplaced == 0 || ctrs.EventsReplaced > ctrs.EventsPushed {
+		t.Fatalf("EventsReplaced = %d of %d pushed", ctrs.EventsReplaced, ctrs.EventsPushed)
 	}
 	// Both models are truncated normals; each chunk draws once per leg.
 	if ctrs.TruncNormalDraws != int64(2*res.Chunks) || ctrs.UniformDraws != 0 || ctrs.OtherDraws != 0 {

@@ -1,0 +1,114 @@
+package engine
+
+import (
+	"testing"
+
+	"rumr/internal/fault"
+	"rumr/internal/perferr"
+	"rumr/internal/platform"
+	"rumr/internal/rng"
+)
+
+// TestSyncViewMatchesFullCopy is the differential property test for the
+// dirty-tracked view sync: at every single syncView call, across
+// randomized fault schedules, recovery settings and parallel-send
+// widths, the incrementally maintained View must equal the full copy it
+// replaced — view.Workers[i] == workers[i].state for every worker. A
+// missing touch() at any worker-state mutation site shows up here as
+// the first sync after that mutation serving a stale entry.
+func TestSyncViewMatchesFullCopy(t *testing.T) {
+	audits := 0
+	syncViewAudit = func(r *run) {
+		audits++
+		if r.view.Time != r.sim.Now() {
+			t.Fatalf("audit %d: view.Time = %v, now = %v", audits, r.view.Time, r.sim.Now())
+		}
+		for i := range r.workers {
+			if r.view.Workers[i] != r.workers[i].state {
+				t.Fatalf("audit %d: stale view for worker %d:\nview   %+v\ntruth  %+v",
+					audits, i, r.view.Workers[i], r.workers[i].state)
+			}
+		}
+	}
+	defer func() { syncViewAudit = nil }()
+
+	src := rng.New(2026)
+	for rep := 0; rep < 40; rep++ {
+		n := 3 + src.Intn(8)
+		p := platform.Homogeneous(n, 1, 20, 0.2, 0.2)
+		sched := fault.Scenario{
+			Horizon: 200, CrashProb: 0.4,
+			RejoinProb: 0.6, RejoinDelayMin: 5, RejoinDelayMax: 50,
+			OutageProb: 0.3, OutageMin: 1, OutageMax: 20,
+			StragglerProb: 0.3, SlowMin: 2, SlowMax: 6,
+		}.Generate(n, src.Split())
+		_, err := Run(p, &demandDispatcher{remaining: 60, size: 3}, Options{
+			CommModel:     perferr.NewTruncNormal(0.3, src.Split()),
+			CompModel:     perferr.NewTruncNormal(0.3, src.Split()),
+			Faults:        sched,
+			Recovery:      fault.Recovery{Enabled: true, TimeoutFactor: 3, TimeoutSlack: 1},
+			ParallelSends: 1 + src.Intn(3),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if audits == 0 {
+		t.Fatal("audit hook never ran")
+	}
+}
+
+// TestSyncViewForMatchesFullCopy is the multi-job counterpart: at every
+// syncViewFor(j), the scratch view must carry the shared ground truth
+// for every worker with job j's own completion accounting substituted
+// in — exactly what the pre-dirty-tracking full rebuild produced. Jobs
+// arrive staggered under every link policy, so the view flips between
+// jobs constantly, exercising the viewJob switch path.
+func TestSyncViewForMatchesFullCopy(t *testing.T) {
+	audits := 0
+	syncViewForAudit = func(mr *multiRun, j int) {
+		audits++
+		js := &mr.jobs[j]
+		if mr.view.Time != mr.sim.Now() {
+			t.Fatalf("audit %d: view.Time = %v, now = %v", audits, mr.view.Time, mr.sim.Now())
+		}
+		for i := range mr.workers {
+			want := mr.workers[i].state
+			want.CompletedChunks = js.doneChunks[i]
+			want.CompletedWork = js.doneWork[i]
+			if mr.view.Workers[i] != want {
+				t.Fatalf("audit %d: stale view for job %d worker %d:\nview   %+v\ntruth  %+v",
+					audits, j, i, mr.view.Workers[i], want)
+			}
+		}
+	}
+	defer func() { syncViewForAudit = nil }()
+
+	src := rng.New(40912)
+	for _, pol := range LinkPolicies() {
+		for rep := 0; rep < 10; rep++ {
+			n := 2 + src.Intn(6)
+			p := platform.Homogeneous(n, 1, 20, 0.2, 0.2)
+			nJobs := 2 + src.Intn(3)
+			jobs := make([]Job, nJobs)
+			for j := range jobs {
+				total := 5 + 5*float64(src.Intn(4))
+				jobs[j] = Job{
+					Arrival:    float64(src.Intn(10)) / 2,
+					Priority:   src.Intn(3),
+					Weight:     1 + float64(src.Intn(3)),
+					Total:      total,
+					Dispatcher: &demandDispatcher{remaining: total, size: 1 + float64(src.Intn(2))},
+					CommModel:  perferr.NewTruncNormal(0.3, src.Split()),
+					CompModel:  perferr.NewTruncNormal(0.3, src.Split()),
+				}
+			}
+			if _, err := RunMulti(p, jobs, MultiOptions{Policy: pol, ParallelSends: 1 + src.Intn(2)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if audits == 0 {
+		t.Fatal("audit hook never ran")
+	}
+}

@@ -40,6 +40,7 @@ package engine
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sync"
 
 	"rumr/internal/des"
@@ -309,8 +310,14 @@ type run struct {
 	maxChunks int
 	sending   int
 
-	workers   []workerRuntime
-	view      View
+	workers []workerRuntime
+	view    View
+	// dirty is a bitset over workers: bit i set means workers[i].state
+	// changed since the last syncView, so the next syncView copies only
+	// that entry into the dispatcher's View. Every state mutation calls
+	// touch(i); a run reset marks all workers dirty (the pooled view may
+	// hold a previous run's snapshot).
+	dirty     []uint64
 	lostQueue []*pendingChunk // awaiting re-dispatch, FIFO
 
 	// pcs is the arena of chunks handed out this run; pcFree holds
@@ -418,6 +425,17 @@ func (r *run) exec(p *platform.Platform, d Dispatcher, opts Options) (Result, er
 	}
 	r.view.Workers = r.view.Workers[:n]
 	r.view.Time = 0
+	words := (n + 63) / 64
+	if cap(r.dirty) < words {
+		r.dirty = make([]uint64, words)
+	}
+	r.dirty = r.dirty[:words]
+	for i := range r.dirty {
+		r.dirty[i] = ^uint64(0) // all dirty: the pooled view is stale
+	}
+	if rem := n & 63; rem != 0 {
+		r.dirty[words-1] = 1<<rem - 1
+	}
 
 	r.tr = nil
 	if opts.RecordTrace {
@@ -465,6 +483,7 @@ func (r *run) exec(p *platform.Platform, d Dispatcher, opts Options) (Result, er
 		st := r.sim.Stats()
 		r.ctr.EventsPushed += int64(st.Pushed)
 		r.ctr.EventsPopped += int64(st.Fired)
+		r.ctr.EventsReplaced += int64(st.Replaced)
 		r.ctr.LazyCancels += int64(st.Cancelled)
 		if d := int64(st.MaxDepth); d > r.ctr.MaxHeapDepth {
 			r.ctr.MaxHeapDepth = d
@@ -545,16 +564,53 @@ func (r *run) allocPC() *pendingChunk {
 	return pc
 }
 
+// touch marks worker wi's state as changed since the last syncView.
+// Every mutation of workers[wi].state must be paired with a touch — the
+// differential test TestSyncViewMatchesFullCopy audits that pairing.
+func (r *run) touch(wi int) {
+	r.dirty[wi>>6] |= 1 << (wi & 63)
+}
+
+// syncView brings the dispatcher's View up to date incrementally: only
+// workers touched since the previous sync are copied. On the dispatch
+// hot path at most one or two workers change between consecutive Next
+// calls, so this turns the former O(n) struct copy into a couple of
+// word tests plus the actual changed entries — SyncViewBytes counts the
+// bytes really copied, which is how the win shows up in -counters.
 func (r *run) syncView() {
 	r.view.Time = r.sim.Now()
-	for i := range r.workers {
-		r.view.Workers[i] = r.workers[i].state
+	copied := 0
+	for wi, word := range r.dirty {
+		if word == 0 {
+			continue
+		}
+		r.dirty[wi] = 0
+		base := wi << 6
+		for word != 0 {
+			i := base + bits.TrailingZeros64(word)
+			word &= word - 1
+			r.view.Workers[i] = r.workers[i].state
+			copied++
+		}
 	}
 	if r.ctr != nil {
 		r.ctr.SyncViewCopies++
-		r.ctr.SyncViewBytes += int64(r.n) * workerStateBytes
+		r.ctr.SyncViewBytes += int64(copied) * workerStateBytes
+	}
+	if syncViewAudit != nil {
+		syncViewAudit(r)
 	}
 }
+
+// syncViewAudit and syncViewForAudit, when non-nil, run after every view
+// sync. They exist for the differential dirty-tracking tests (which
+// compare the incremental view against a full ground-truth copy at every
+// sync point) and stay nil outside tests: the cost on the hot path is
+// one nil check.
+var (
+	syncViewAudit    func(r *run)
+	syncViewForAudit func(mr *multiRun, j int)
+)
 
 func (r *run) fail(err error) {
 	if r.dispatchErr == nil {
@@ -602,6 +658,7 @@ func (r *run) startCompute(wi int) {
 	w.queue = w.queue[:len(w.queue)-1]
 	w.state.Queued--
 	w.state.Computing = true
+	r.touch(wi)
 	w.current = pc
 	pc.phase = chComputing
 	spec := r.p.Workers[wi]
@@ -635,6 +692,7 @@ func (pc *pendingChunk) onCompEnd() {
 	w.state.Computing = false
 	w.state.CompletedChunks++
 	w.state.CompletedWork += pc.chunk.Size
+	r.touch(wi)
 	r.res.CompletedWork += pc.chunk.Size
 	end := r.sim.Now()
 	if end > r.res.Makespan {
@@ -668,6 +726,7 @@ func (r *run) killCompute(wi int, at float64) *pendingChunk {
 	w.compEvent = des.Handle{}
 	w.current = nil
 	w.state.Computing = false
+	r.touch(wi)
 	if r.tr != nil && pc.record >= 0 {
 		r.tr.Records[pc.record].CompEnd = at
 	}
@@ -745,6 +804,7 @@ func (r *run) onTimeout(pc *pendingChunk) {
 			}
 		}
 		w.state.Queued--
+		r.touch(pc.chunk.Worker)
 		r.lose(pc, now, "completion timeout while queued")
 	case chComputing:
 		r.killCompute(pc.chunk.Worker, now)
@@ -769,6 +829,7 @@ func (r *run) applyFault(fe fault.Event) {
 			return
 		}
 		w.state.Down = true
+		r.touch(fe.Worker)
 		r.emitFault(obs.KindWorkerCrash, fe.Worker, now, "worker crashed")
 		if pc := r.killCompute(fe.Worker, now); pc != nil {
 			r.lose(pc, now, "worker crashed while computing")
@@ -793,6 +854,7 @@ func (r *run) applyFault(fe fault.Event) {
 		w.state.Down = false
 		w.state.LinkDown = false
 		w.slow = 1
+		r.touch(fe.Worker)
 		r.emitFault(obs.KindWorkerRejoin, fe.Worker, now, "worker rejoined")
 		if r.faD != nil {
 			r.syncView()
@@ -804,12 +866,14 @@ func (r *run) applyFault(fe fault.Event) {
 			return
 		}
 		w.state.LinkDown = true
+		r.touch(fe.Worker)
 		r.emitFault(obs.KindLinkDown, fe.Worker, now, "link outage")
 	case fault.LinkUp:
 		if w.state.Down || !w.state.LinkDown {
 			return
 		}
 		w.state.LinkDown = false
+		r.touch(fe.Worker)
 		r.emitFault(obs.KindLinkUp, fe.Worker, now, "link restored")
 		r.kick()
 	case fault.SlowStart:
@@ -843,6 +907,7 @@ func (r *run) send(pc *pendingChunk) {
 	r.sending++
 	pc.phase = chSending
 	r.workers[wi].state.InFlight++
+	r.touch(wi)
 	pc.record = -1
 	if r.tr != nil {
 		r.tr.Records = append(r.tr.Records, trace.ChunkRecord{
@@ -885,6 +950,7 @@ func (pc *pendingChunk) onArrive(aux int) {
 	attempt, wi := unpackAux(aux)
 	w := &r.workers[wi]
 	w.state.InFlight--
+	r.touch(wi)
 	if pc.phase == chLost || pc.attempt != attempt {
 		// This attempt was written off (timeout in transit) — and
 		// possibly already re-dispatched elsewhere, which resets the

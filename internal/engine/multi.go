@@ -19,6 +19,7 @@ package engine
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 
 	"rumr/internal/des"
@@ -171,6 +172,14 @@ type multiRun struct {
 
 	workers []mjWorker
 	view    View
+	// dirty is the worker bitset behind the incremental view sync, as in
+	// the single-job run. viewJob is the job whose per-job completion
+	// fields the scratch view currently carries (-1 before the first
+	// sync): a same-job sync only copies dirty workers, while a job
+	// switch re-derives the two per-job fields for every worker but
+	// still copies the full shared state only for dirty ones.
+	dirty   []uint64
+	viewJob int
 	cand    []int // policy-ordered candidate scratch
 
 	err error
@@ -233,6 +242,14 @@ func RunMulti(p *platform.Platform, jobs []Job, opts MultiOptions) (MultiResult,
 	}
 	mr.workers = make([]mjWorker, mr.n)
 	mr.view.Workers = make([]WorkerState, mr.n)
+	mr.dirty = make([]uint64, (mr.n+63)/64)
+	for i := range mr.dirty {
+		mr.dirty[i] = ^uint64(0)
+	}
+	if rem := mr.n & 63; rem != 0 {
+		mr.dirty[len(mr.dirty)-1] = 1<<rem - 1
+	}
+	mr.viewJob = -1
 	mr.cand = make([]int, 0, len(jobs))
 
 	mr.jobs = make([]mjJob, len(jobs))
@@ -317,16 +334,45 @@ func (mr *multiRun) activate(j int) {
 	mr.kick()
 }
 
+// touch marks worker wi's shared state as changed since the last sync.
+func (mr *multiRun) touch(wi int) {
+	mr.dirty[wi>>6] |= 1 << (wi & 63)
+}
+
 // syncViewFor refreshes the scratch view as job j sees it: shared
-// occupancy, per-job completion accounting.
+// occupancy, per-job completion accounting. The shared fields of a
+// clean (untouched) worker are already correct from the previous sync
+// whichever job that served, so only dirty workers get the full struct
+// copy; switching jobs additionally rewrites the two per-job completion
+// fields everywhere. Per-job completions only change in onCompEnd,
+// which also dirties the worker, so a same-job sync needs nothing else.
 func (mr *multiRun) syncViewFor(j int) {
 	js := &mr.jobs[j]
 	mr.view.Time = mr.sim.Now()
-	for i := range mr.workers {
-		ws := mr.workers[i].state
-		ws.CompletedChunks = js.doneChunks[i]
-		ws.CompletedWork = js.doneWork[i]
-		mr.view.Workers[i] = ws
+	if mr.viewJob != j {
+		for i := range mr.view.Workers {
+			mr.view.Workers[i].CompletedChunks = js.doneChunks[i]
+			mr.view.Workers[i].CompletedWork = js.doneWork[i]
+		}
+		mr.viewJob = j
+	}
+	for wi, word := range mr.dirty {
+		if word == 0 {
+			continue
+		}
+		mr.dirty[wi] = 0
+		base := wi << 6
+		for word != 0 {
+			i := base + bits.TrailingZeros64(word)
+			word &= word - 1
+			ws := mr.workers[i].state
+			ws.CompletedChunks = js.doneChunks[i]
+			ws.CompletedWork = js.doneWork[i]
+			mr.view.Workers[i] = ws
+		}
+	}
+	if syncViewForAudit != nil {
+		syncViewForAudit(mr, j)
 	}
 }
 
@@ -392,6 +438,7 @@ func (mr *multiRun) send(j int, c Chunk) {
 	pc := &mjChunk{mr: mr, job: j, chunk: c, seq: mr.chunks - 1, record: -1}
 	mr.sending++
 	mr.workers[wi].state.InFlight++
+	mr.touch(wi)
 	js.link.Granted += c.Size
 	js.res.Chunks++
 	js.res.DispatchedWork += c.Size
@@ -426,6 +473,7 @@ func (mr *multiRun) onArrive(pc *mjChunk) {
 	w := &mr.workers[wi]
 	w.state.InFlight--
 	w.state.Queued++
+	mr.touch(wi)
 	w.queue = append(w.queue, pc)
 	mr.emit(pc.job, obs.Event{Kind: obs.KindArrive, Time: mr.sim.Now(), Worker: wi,
 		Seq: pc.seq, Size: pc.chunk.Size, Round: pc.chunk.Round, Phase: pc.chunk.Phase})
@@ -444,6 +492,7 @@ func (mr *multiRun) startCompute(wi int) {
 	w.queue = w.queue[:len(w.queue)-1]
 	w.state.Queued--
 	w.state.Computing = true
+	mr.touch(wi)
 	w.current = pc
 	js := &mr.jobs[pc.job]
 	spec := mr.p.Workers[wi]
@@ -465,6 +514,7 @@ func (mr *multiRun) onCompEnd(pc *mjChunk) {
 	w.state.Computing = false
 	w.state.CompletedChunks++
 	w.state.CompletedWork += pc.chunk.Size
+	mr.touch(wi)
 	js := &mr.jobs[pc.job]
 	js.doneChunks[wi]++
 	js.doneWork[wi] += pc.chunk.Size

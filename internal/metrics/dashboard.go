@@ -143,6 +143,7 @@ function renderMetrics(m) {
   const rows = [
     ["events pushed", e.events_pushed, "DES events scheduled onto the heap"],
     ["events popped", e.events_popped, "events fired in timestamp order"],
+    ["heap replaces", e.events_replaced, "pushes that refilled the fired root in one sift (subset of pushed)"],
     ["lazy cancels", e.lazy_cancels, "events invalidated in place instead of removed"],
     ["max heap depth", e.max_heap_depth, "largest pending-event queue (max across runs)"],
     ["syncView copies", e.sync_view_copies, "scheduler-visible state snapshots taken"],

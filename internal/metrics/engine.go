@@ -14,11 +14,15 @@ import "sync/atomic"
 // quantity that bounds heap sift cost.
 type EngineCounters struct {
 	// EventsPushed/EventsPopped count DES schedule and fire operations;
-	// LazyCancels counts completion timers cancelled before firing.
-	EventsPushed int64 `json:"events_pushed"`
-	EventsPopped int64 `json:"events_popped"`
-	LazyCancels  int64 `json:"lazy_cancels"`
-	MaxHeapDepth int64 `json:"max_heap_depth"`
+	// EventsReplaced is the subset of pushes that took the kernel's
+	// replace-top fast path (one siftDown instead of pop-sift +
+	// push-sift); LazyCancels counts completion timers cancelled before
+	// firing.
+	EventsPushed   int64 `json:"events_pushed"`
+	EventsPopped   int64 `json:"events_popped"`
+	EventsReplaced int64 `json:"events_replaced"`
+	LazyCancels    int64 `json:"lazy_cancels"`
+	MaxHeapDepth   int64 `json:"max_heap_depth"`
 	// SyncViewCopies/SyncViewBytes measure the per-dispatch worker-state
 	// copy into the scheduler-visible View.
 	SyncViewCopies int64 `json:"sync_view_copies"`
@@ -38,6 +42,7 @@ type EngineCounters struct {
 func (c *EngineCounters) Merge(o EngineCounters) {
 	c.EventsPushed += o.EventsPushed
 	c.EventsPopped += o.EventsPopped
+	c.EventsReplaced += o.EventsReplaced
 	c.LazyCancels += o.LazyCancels
 	if o.MaxHeapDepth > c.MaxHeapDepth {
 		c.MaxHeapDepth = o.MaxHeapDepth
@@ -53,16 +58,17 @@ func (c *EngineCounters) Merge(o EngineCounters) {
 // engineAtomics is the Collector's concurrent accumulator for
 // EngineCounters — adds everywhere, CAS-max for the depth.
 type engineAtomics struct {
-	pushed, popped, cancels          atomic.Int64
-	maxDepth                         atomic.Int64
-	viewCopies, viewBytes            atomic.Int64
-	truncNormal, uniform, otherDraws atomic.Int64
-	redispatches                     atomic.Int64
+	pushed, popped, replaced, cancels atomic.Int64
+	maxDepth                          atomic.Int64
+	viewCopies, viewBytes             atomic.Int64
+	truncNormal, uniform, otherDraws  atomic.Int64
+	redispatches                      atomic.Int64
 }
 
 func (e *engineAtomics) add(ec EngineCounters) {
 	e.pushed.Add(ec.EventsPushed)
 	e.popped.Add(ec.EventsPopped)
+	e.replaced.Add(ec.EventsReplaced)
 	e.cancels.Add(ec.LazyCancels)
 	for {
 		cur := e.maxDepth.Load()
@@ -82,6 +88,7 @@ func (e *engineAtomics) snapshot() EngineCounters {
 	return EngineCounters{
 		EventsPushed:     e.pushed.Load(),
 		EventsPopped:     e.popped.Load(),
+		EventsReplaced:   e.replaced.Load(),
 		LazyCancels:      e.cancels.Load(),
 		MaxHeapDepth:     e.maxDepth.Load(),
 		SyncViewCopies:   e.viewCopies.Load(),

@@ -11,7 +11,10 @@
 // statistically independent for our purposes.
 package rng
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // Source is a deterministic xoshiro256** generator. The zero value is not
 // usable; construct instances with New or Split.
@@ -124,21 +127,12 @@ func (s *Source) Intn(n int) int {
 	}
 }
 
-// mul64 returns the 128-bit product of a and b as (hi, lo).
+// mul64 returns the 128-bit product of a and b as (hi, lo). It is
+// math/bits.Mul64, which compiles to the single widening-multiply
+// instruction on 64-bit targets; the hand-rolled 32x32 decomposition it
+// replaced is kept in the tests as the reference implementation.
 func mul64(a, b uint64) (hi, lo uint64) {
-	const mask = 0xffffffff
-	aLo, aHi := a&mask, a>>32
-	bLo, bHi := b&mask, b>>32
-	t := aLo * bLo
-	lo = t & mask
-	c := t >> 32
-	t = aHi*bLo + c
-	mid := t & mask
-	hiC := t >> 32
-	t = aLo*bHi + mid
-	lo |= (t & mask) << 32
-	hi = aHi*bHi + hiC + t>>32
-	return hi, lo
+	return bits.Mul64(a, b)
 }
 
 // Uniform returns a uniform sample in [lo, hi).
@@ -146,10 +140,98 @@ func (s *Source) Uniform(lo, hi float64) float64 {
 	return lo + (hi-lo)*s.Float64()
 }
 
-// Normal returns a standard normal sample using the polar (Marsaglia)
-// method. The second variate is intentionally discarded to keep the
-// generator stateless beyond its word state.
+// Ziggurat tables for the standard normal, Doornik's ZIGNOR layout with
+// 128 layers: zigX[i] is the right edge of layer i (zigX[0] is the base
+// strip's pseudo-edge V/f(R), zigX[1] = R, zigX[128] = 0), zigF[i] =
+// exp(-zigX[i]²/2), and zigRatio[i] = zigX[i+1]/zigX[i] is the
+// quick-accept threshold. Every layer has equal area zigV, so a uniform
+// 7-bit index selects layers with the correct probability. The tables
+// are filled once at package init from exactly specified math functions;
+// the resulting bit stream is pinned by a golden vector in testdata/.
+const (
+	zigLayers = 128
+	zigR      = 3.442619855899      // start of the right tail
+	zigV      = 9.91256303526217e-3 // common layer area
+)
+
+var (
+	zigX     [zigLayers + 1]float64
+	zigF     [zigLayers + 1]float64
+	zigRatio [zigLayers]float64
+)
+
+func init() {
+	f := math.Exp(-0.5 * zigR * zigR)
+	zigX[0] = zigV / f
+	zigX[1] = zigR
+	zigX[zigLayers] = 0
+	for i := 2; i < zigLayers; i++ {
+		x2 := -2 * math.Log(zigV/zigX[i-1]+f)
+		zigX[i] = math.Sqrt(x2)
+		f = math.Exp(-0.5 * x2)
+	}
+	for i := 0; i <= zigLayers; i++ {
+		zigF[i] = math.Exp(-0.5 * zigX[i] * zigX[i])
+	}
+	for i := 0; i < zigLayers; i++ {
+		zigRatio[i] = zigX[i+1] / zigX[i]
+	}
+}
+
+// Normal returns a standard normal sample using the ziggurat method.
+// The common path — ~98.8% of draws — costs one Uint64, a table lookup,
+// a multiply and a compare: no math.Log or math.Sqrt, which is what
+// makes the engine's per-chunk error draws cheap (the polar method this
+// replaced paid a Log+Sqrt per draw; it survives as NormalPolar).
+//
+// One 64-bit word feeds the whole fast path: bits 0-6 select the layer,
+// bit 7 the sign, bits 11-63 the 53-bit magnitude uniform.
 func (s *Source) Normal() float64 {
+	for {
+		u := s.Uint64()
+		i := u & (zigLayers - 1)
+		uf := float64(u>>11) * (1.0 / (1 << 53))
+		x := uf * zigX[i]
+		if uf < zigRatio[i] {
+			// Inside the layer's rectangular core.
+			if u&(1<<7) != 0 {
+				return -x
+			}
+			return x
+		}
+		if i == 0 {
+			// Base strip beyond R: sample the tail by Marsaglia's method.
+			neg := u&(1<<7) != 0
+			for {
+				// 1-Float64 keeps the logs' arguments in (0,1].
+				tx := math.Log(1-s.Float64()) / zigR // <= 0
+				ty := math.Log(1 - s.Float64())
+				if -2*ty >= tx*tx {
+					if neg {
+						return tx - zigR
+					}
+					return zigR - tx
+				}
+			}
+		}
+		// Wedge between the curve and the rectangle: accept x when a
+		// uniform y in the strip falls under the density.
+		if zigF[i+1]+s.Float64()*(zigF[i]-zigF[i+1]) < math.Exp(-0.5*x*x) {
+			if u&(1<<7) != 0 {
+				return -x
+			}
+			return x
+		}
+	}
+}
+
+// NormalPolar returns a standard normal sample using the polar
+// (Marsaglia) method — the v1 sampler Normal used before the ziggurat
+// landed, kept verbatim as the goldens' escape hatch: runs that must
+// reproduce the v1 bit stream (testdata/v1/) draw through it. The
+// second variate is intentionally discarded to keep the generator
+// stateless beyond its word state.
+func (s *Source) NormalPolar() float64 {
 	for {
 		u := 2*s.Float64() - 1
 		v := 2*s.Float64() - 1
@@ -178,13 +260,29 @@ func (s *Source) TruncNormal(mu, sigma, lo float64) float64 {
 		return mu
 	}
 	for i := 0; i < 1024; i++ {
-		x := s.NormalMuSigma(mu, sigma)
+		x := mu + sigma*s.Normal()
 		if x > lo {
 			return x
 		}
 	}
 	// Pathological parameters (lo far above mu): fall back to the bound
 	// plus a hair so callers never divide by zero.
+	return lo + 1e-12
+}
+
+// TruncNormalPolar is TruncNormal drawing through NormalPolar — the v1
+// call sequence, bit-identical to what TruncNormal produced before the
+// ziggurat sampler. perferr.TruncNormal{Polar: true} routes here.
+func (s *Source) TruncNormalPolar(mu, sigma, lo float64) float64 {
+	if sigma <= 0 {
+		return mu
+	}
+	for i := 0; i < 1024; i++ {
+		x := mu + sigma*s.NormalPolar()
+		if x > lo {
+			return x
+		}
+	}
 	return lo + 1e-12
 }
 
