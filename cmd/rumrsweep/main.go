@@ -756,6 +756,7 @@ func runMultiJob(sc *sweepCtx) error {
 		Algorithms: []rumr.Scheduler{rumr.RUMR(), rumr.Factoring(), rumr.MI(1)},
 		Workers:    sc.opts.Workers,
 		Metrics:    sc.opts.Metrics,
+		CachePath:  sc.cacheDir,
 	}
 	res, err := r.MultiJobContext(sc.ctx, g)
 	if err != nil {

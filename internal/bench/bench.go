@@ -22,6 +22,9 @@ import (
 	"rumr/internal/platform"
 	"rumr/internal/rng"
 	"rumr/internal/sched"
+	"rumr/internal/sched/factoring"
+	"rumr/internal/sched/mi"
+	rumrsched "rumr/internal/sched/rumr"
 )
 
 // Case names one benchmark body for the rumrbench harness.
@@ -38,6 +41,8 @@ func Cases() []Case {
 		{Name: "EngineRunError", Func: EngineRunError},
 		{Name: "EngineRunFaulty", Func: EngineRunFaulty},
 		{Name: "SweepCell", Func: SweepCell},
+		{Name: "MultiJobRun", Func: MultiJobRun},
+		{Name: "MultiJobCell", Func: MultiJobCell},
 	}
 }
 
@@ -56,17 +61,16 @@ func (d *fixedDemand) Next(v *engine.View) (engine.Chunk, bool) {
 	if d.remaining <= 0 {
 		return engine.Chunk{}, false
 	}
-	for i := range v.Workers {
-		if v.Workers[i].Idle() {
-			size := d.size
-			if size > d.remaining {
-				size = d.remaining
-			}
-			d.remaining -= size
-			return engine.Chunk{Worker: i, Size: size}, true
-		}
+	i := v.FirstIdle()
+	if i < 0 {
+		return engine.Chunk{}, false
 	}
-	return engine.Chunk{}, false
+	size := d.size
+	if size > d.remaining {
+		size = d.remaining
+	}
+	d.remaining -= size
+	return engine.Chunk{Worker: i, Size: size}, true
 }
 
 func enginePlatform() *platform.Platform {
@@ -246,6 +250,84 @@ func SweepCell(b *testing.B) {
 	ctx := context.Background()
 	run := func() {
 		if err := r.ComputeCellInto(ctx, g, cfg, cs, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+	run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+}
+
+// MultiJobRun measures one four-job contended run through the pooled
+// RunMulti path — weighted link sharing, staggered arrivals, the
+// caller-owned JobResults buffer and hot-path counters enabled. This is
+// the unit the multi-job sweeps multiply; steady state must be
+// 0 allocs/op (the pre-optimization path allocated ~670 times per run).
+func MultiJobRun(b *testing.B) {
+	p := enginePlatform()
+	const nJobs = 4
+	ds := make([]*fixedDemand, nJobs)
+	jobs := make([]engine.Job, nJobs)
+	for j := range jobs {
+		ds[j] = &fixedDemand{total: 250, size: 5}
+		jobs[j] = engine.Job{
+			Arrival:    float64(j) * 4,
+			Priority:   nJobs - 1 - j,
+			Weight:     float64(j + 1),
+			Total:      250,
+			Dispatcher: ds[j],
+		}
+	}
+	var ctrs engine.Counters
+	opts := engine.MultiOptions{
+		Policy:     engine.WeightedShare(),
+		Counters:   &ctrs,
+		JobResults: make([]engine.JobResult, 0, nJobs),
+	}
+	run := func() {
+		for _, d := range ds {
+			d.reset()
+		}
+		if _, err := engine.RunMulti(p, jobs, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	run() // warm the pool and grow slices outside the measured region
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+	if ctrs.EventsPopped == 0 {
+		b.Fatal("counters stayed zero with instrumentation enabled")
+	}
+}
+
+// MultiJobCell measures one multi-job sweep cell the way MultiJob
+// consumes it: all repetitions of one (policy, arrival rate) point for
+// the RUMR/Factoring/MI(1) trio on the default multi-job grid, through
+// the batched ComputeMultiJobCellInto core. The MultiCellState and
+// destination block are reused across iterations, so the measurement is
+// the sweep loop's steady state — platform pooled, dispatcher prototypes
+// Reset instead of reconstructed, error streams reseeded in place.
+// Steady state must be 0 allocs/op; the >=3x multi-job throughput target
+// in BENCH_baseline.json refers to this benchmark.
+func MultiJobCell(b *testing.B) {
+	g := experiment.DefaultMultiJobGrid()
+	g.ArrivalRates = []float64{0.02}
+	g.Policies = []string{"weighted"}
+	r := &experiment.Runner{Algorithms: []sched.Scheduler{
+		rumrsched.Scheduler{}, factoring.Scheduler{}, mi.Scheduler{Installments: 1},
+	}, Workers: 1}
+	pol := engine.WeightedShare()
+	cs := experiment.NewMultiCellState()
+	dst := experiment.NewCellBlock(experiment.MultiCellRows, len(r.Algorithms))
+	ctx := context.Background()
+	run := func() {
+		if err := r.ComputeMultiJobCellInto(ctx, g, pol, g.ArrivalRates[0], cs, dst); err != nil {
 			b.Fatal(err)
 		}
 	}

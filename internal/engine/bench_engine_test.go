@@ -30,3 +30,10 @@ func BenchmarkEngineRunError(b *testing.B) { bench.EngineRunError(b) }
 // BenchmarkEngineRunFaulty covers the recovery path: crashes, rejoins
 // and re-dispatch with completion timeouts (cancel-heavy event queue).
 func BenchmarkEngineRunFaulty(b *testing.B) { bench.EngineRunFaulty(b) }
+
+// BenchmarkMultiJobRun is the PR-10 headline at the engine layer: one
+// four-job contended run through the pooled RunMulti path with weighted
+// link sharing, counters, and a caller-owned JobResults buffer. Must
+// report 0 allocs/op in steady state; CI gates on the committed
+// baseline.
+func BenchmarkMultiJobRun(b *testing.B) { bench.MultiJobRun(b) }

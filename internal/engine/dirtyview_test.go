@@ -59,27 +59,34 @@ func TestSyncViewMatchesFullCopy(t *testing.T) {
 }
 
 // TestSyncViewForMatchesFullCopy is the multi-job counterpart: at every
-// syncViewFor(j), the scratch view must carry the shared ground truth
+// syncViewFor(j), job j's own view must carry the shared ground truth
 // for every worker with job j's own completion accounting substituted
 // in — exactly what the pre-dirty-tracking full rebuild produced. Jobs
-// arrive staggered under every link policy, so the view flips between
-// jobs constantly, exercising the viewJob switch path.
+// arrive staggered under every link policy, so consults alternate
+// between jobs constantly, exercising every job's private dirty set.
 func TestSyncViewForMatchesFullCopy(t *testing.T) {
 	audits := 0
 	syncViewForAudit = func(mr *multiRun, j int) {
 		audits++
 		js := &mr.jobs[j]
-		if mr.view.Time != mr.sim.Now() {
-			t.Fatalf("audit %d: view.Time = %v, now = %v", audits, mr.view.Time, mr.sim.Now())
+		if js.view.Time != mr.sim.Now() {
+			t.Fatalf("audit %d: view.Time = %v, now = %v", audits, js.view.Time, mr.sim.Now())
 		}
 		for i := range mr.workers {
 			want := mr.workers[i].state
 			want.CompletedChunks = js.doneChunks[i]
 			want.CompletedWork = js.doneWork[i]
-			if mr.view.Workers[i] != want {
+			if js.view.Workers[i] != want {
 				t.Fatalf("audit %d: stale view for job %d worker %d:\nview   %+v\ntruth  %+v",
-					audits, j, i, mr.view.Workers[i], want)
+					audits, j, i, js.view.Workers[i], want)
 			}
+			if got := js.view.WorkerIdle(i); got != want.Idle() {
+				t.Fatalf("audit %d: idle mask for job %d worker %d = %v, state says %v",
+					audits, j, i, got, want.Idle())
+			}
+		}
+		if js.view.IdleMask == nil {
+			t.Fatalf("audit %d: multi-job view lost its IdleMask", audits)
 		}
 	}
 	defer func() { syncViewForAudit = nil }()

@@ -102,6 +102,40 @@ type View struct {
 	Time float64
 	// Workers holds one state per worker; dispatchers must not mutate it.
 	Workers []WorkerState
+	// IdleMask, when non-nil, is an engine-maintained bitset with bit i
+	// set exactly when Workers[i].Idle() — kept current at every state
+	// change, so dispatchers that only need "the first idle worker" skip
+	// the per-worker scan. Nil when the hosting run does not maintain it
+	// (the single-job path); use FirstIdle/WorkerIdle, which fall back to
+	// scanning Workers.
+	IdleMask []uint64
+}
+
+// FirstIdle returns the index of the lowest-numbered idle worker, or -1
+// when every worker is busy, via the IdleMask when present.
+func (v *View) FirstIdle() int {
+	if v.IdleMask != nil {
+		for wi, word := range v.IdleMask {
+			if word != 0 {
+				return wi<<6 + bits.TrailingZeros64(word)
+			}
+		}
+		return -1
+	}
+	for i := range v.Workers {
+		if v.Workers[i].Idle() {
+			return i
+		}
+	}
+	return -1
+}
+
+// WorkerIdle reports Workers[i].Idle(), via the IdleMask when present.
+func (v *View) WorkerIdle(i int) bool {
+	if v.IdleMask != nil {
+		return v.IdleMask[i>>6]&(1<<(uint(i)&63)) != 0
+	}
+	return v.Workers[i].Idle()
 }
 
 // IdleWorkers returns the indices of idle workers, in worker order.

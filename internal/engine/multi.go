@@ -12,15 +12,20 @@ package engine
 // The single-job Run keeps its own pooled, allocation-free implementation;
 // RunMulti is a separate path over the same DES kernel, platform model and
 // trace/event vocabulary, so the single-job hot path stays byte-identical
-// (the goldens pin it) while the multi-job path favours clarity. Faults
-// are not injected into multi-job runs yet; traces are therefore
+// (the goldens pin it). The multi path carries the same steady-state
+// contract as the single-job one: run state (workers, view, dirty bitset,
+// per-job accounting, candidate scratch, chunk structs) is pooled and
+// reset between runs, chunk callbacks are shared top-level functions, and
+// with MultiOptions.JobResults supplied a steady-state RunMulti performs
+// no heap allocation at all (BenchmarkMultiJobRun pins 0 allocs/op).
+// Faults are not injected into multi-job runs yet; traces are therefore
 // fault-free and every dispatch attempt is attempt 0.
 
 import (
 	"fmt"
 	"math"
 	"math/bits"
-	"sort"
+	"sync"
 
 	"rumr/internal/des"
 	"rumr/internal/metrics"
@@ -92,7 +97,11 @@ type MultiOptions struct {
 	// RecordTrace makes RunMulti return a full per-chunk trace with
 	// job-tagged records (ChunkRecord.Job).
 	RecordTrace bool
-	// ExpectedChunks, when positive, pre-sizes the trace record buffer.
+	// ExpectedChunks, when positive, pre-sizes the trace record buffer
+	// and the pooled chunk arena on a cold pool, so a run whose total
+	// chunk count is known — a repeat of the previous repetition, a
+	// planner's PlannedChunks sum — does not regrow slices chunk by
+	// chunk. It is a hint: runs may dispatch more or fewer chunks.
 	ExpectedChunks int
 	// MaxChunks aborts runaway dispatchers, counted across all jobs
 	// (default 10 million).
@@ -100,6 +109,16 @@ type MultiOptions struct {
 	// Metrics, when non-nil, receives one AddRun for the whole multi-job
 	// run (total chunks, DES events, overall makespan).
 	Metrics *metrics.Collector
+	// Counters, when non-nil, accumulates the engine's hot-path telemetry
+	// (events, syncView bytes, RNG draws) into the pointed-to struct with
+	// plain integer adds, exactly as Options.Counters does for the
+	// single-job path. Not safe to share across concurrent runs.
+	Counters *Counters
+	// JobResults, when non-nil and with capacity for every job, becomes
+	// the backing store of MultiResult.Jobs, so batch callers avoid the
+	// per-run result allocation. Its contents are overwritten; the
+	// returned MultiResult.Jobs aliases it.
+	JobResults []JobResult
 	// Events, when non-nil, receives every state change tagged with the
 	// job it belongs to; dispatchers implementing obs.Emitter are attached
 	// to their job's tagged stream.
@@ -119,6 +138,19 @@ type MultiResult struct {
 	Trace *trace.Trace
 	// Events is the number of simulator events processed.
 	Events uint64
+}
+
+// ExhaustedDispatcher is an optional Dispatcher capability. Exhausted
+// reports that Next can never again return a chunk, no matter how the
+// platform evolves — the dispatcher's workload is fully dispatched and no
+// mechanism can hand it more. The multi-job engine uses it to stop
+// consulting (and view-syncing) drained jobs for the rest of the run. The
+// report must be permanent: a dispatcher that might still receive work
+// mid-run (a fault-tolerance transfer, an adaptive split decision) must
+// answer false until that can no longer happen, or not implement the
+// interface at all.
+type ExhaustedDispatcher interface {
+	Exhausted() bool
 }
 
 // mjChunk is the life-cycle state of one multi-job chunk. The chain is the
@@ -141,20 +173,41 @@ type mjWorker struct {
 }
 
 type mjJob struct {
-	spec    Job
-	comm    perferr.Model
-	comp    perferr.Model
-	obsD    Observer
-	link    LinkState
-	arrived bool
-	started bool // first send recorded
+	spec Job
+	comm perferr.Model
+	comp perferr.Model
+	obsD Observer
+	exh  ExhaustedDispatcher
+	// commDraws/compDraws point at the counter field matching each
+	// model's distribution (classified once per run by drawCounter), so
+	// the per-draw cost is a nil check and an add.
+	commDraws, compDraws *int64
+	link                 LinkState
+	started              bool // first send recorded
 	// Per-worker completion accounting, surfaced in this job's View in
 	// place of the shared totals.
 	doneChunks []int
 	doneWork   []float64
-	res        JobResult
+	// view is this job's incrementally maintained View: shared worker
+	// occupancy with the job's own completion accounting substituted in.
+	// The job's staleness bitset lives in multiRun.dirtyJ — touch() raises
+	// a worker's bit in every job's block, and syncViewFor(j) copies only
+	// the workers whose bit is raised in job j's block. Giving each job
+	// its own view trades a few bitset words per job for never rewriting
+	// per-job completion fields on consult: the old single-scratch-view
+	// design paid a full per-worker rewrite every time consecutive
+	// consults hit different jobs, which under contention is nearly every
+	// consult.
+	view View
+	res  JobResult
 }
 
+// multiRun is the complete state of one multi-job simulation. Instances
+// are pooled exactly like the single-job run: RunMulti borrows one,
+// resets every field, executes, and returns it. mjChunk structs are
+// pooled per instance (a cursor-recycled arena); their back-pointer to
+// the owning run is set once and stays valid because chunks never
+// migrate between instances.
 type multiRun struct {
 	sim    *des.Simulator
 	p      *platform.Platform
@@ -162,6 +215,7 @@ type multiRun struct {
 	policy LinkPolicy
 	ev     obs.JobSink
 	tr     *trace.Trace
+	ctr    *Counters
 
 	n         int
 	slots     int
@@ -171,19 +225,50 @@ type multiRun struct {
 	makespan  float64
 
 	workers []mjWorker
-	view    View
-	// dirty is the worker bitset behind the incremental view sync, as in
-	// the single-job run. viewJob is the job whose per-job completion
-	// fields the scratch view currently carries (-1 before the first
-	// sync): a same-job sync only copies dirty workers, while a job
-	// switch re-derives the two per-job fields for every worker but
-	// still copies the full shared state only for dirty ones.
-	dirty   []uint64
-	viewJob int
-	cand    []int // policy-ordered candidate scratch
+	active  []int // arrived jobs in ascending index order
+	cand    []int // candidate scratch consumed in policy order by kick
+	// idle is the shared View.IdleMask, aliased into every job's view and
+	// re-derived in touch at each worker-state change (idleness depends
+	// only on shared occupancy fields, never on per-job accounting).
+	idle []uint64
+	// dirtyJ packs every job's staleness bitset into one contiguous
+	// matrix (job-major, dWords words per job), so touch — which raises
+	// one worker bit in every job's set, several times per chunk — walks
+	// a handful of adjacent words instead of striding the mjJob structs.
+	dirtyJ []uint64
+	dWords int
+	// Contiguous per-job selection keys, indexed by job, so the policy
+	// minimum scan in selectBest stays within one cache line: selKey is
+	// the arrival time under FCFS and priority, and the memoised
+	// Granted/Weight quotient (updated at each grant) under weighted;
+	// selPrio is the priority class.
+	selKey  []float64
+	selPrio []int
+
+	// polKind classifies the policy once per run so the selection scan in
+	// kick — the hottest comparison site — runs with inlined keys instead
+	// of an interface call per pair.
+	polKind uint8
+
+	// mcs is the persistent chunk arena. Structs are handed out by cursor
+	// (mcUsed); every lifecycle field is rewritten on dispatch, so
+	// recycling the whole arena between runs is a cursor reset.
+	mcs    []*mjChunk
+	mcUsed int
 
 	err error
 }
+
+// Policy classes for multiRun.polKind; polCustom falls back to the
+// LinkPolicy interface.
+const (
+	polCustom uint8 = iota
+	polFCFS
+	polPriority
+	polWeighted
+)
+
+var multiRunPool = sync.Pool{New: func() any { return &multiRun{sim: des.New()} }}
 
 // Shared top-level des callbacks, mirroring the single-job ones.
 func mjActivateCB(arg any, aux int) { mr := arg.(*multiRun); mr.activate(aux) }
@@ -215,18 +300,35 @@ func RunMulti(p *platform.Platform, jobs []Job, opts MultiOptions) (MultiResult,
 			return MultiResult{}, fmt.Errorf("engine: job %d has invalid weight %g", j, job.Weight)
 		}
 	}
+	mr := multiRunPool.Get().(*multiRun)
+	res, err := mr.exec(p, jobs, opts)
+	mr.release()
+	multiRunPool.Put(mr)
+	return res, err
+}
 
-	mr := &multiRun{
-		sim:       des.New(),
-		p:         p,
-		policy:    opts.Policy,
-		ev:        opts.Events,
-		n:         p.N(),
-		slots:     opts.ParallelSends,
-		maxChunks: opts.MaxChunks,
-	}
+// exec resets the pooled state for (p, jobs, opts) and plays the
+// simulation.
+func (mr *multiRun) exec(p *platform.Platform, jobs []Job, opts MultiOptions) (MultiResult, error) {
+	mr.p = p
+	mr.policy = opts.Policy
+	mr.ev = opts.Events
+	mr.ctr = opts.Counters
+	mr.n = p.N()
+	mr.slots = opts.ParallelSends
+	mr.maxChunks = opts.MaxChunks
 	if mr.policy == nil {
 		mr.policy = FCFS()
+	}
+	switch mr.policy.(type) {
+	case fcfsPolicy:
+		mr.polKind = polFCFS
+	case priorityPolicy:
+		mr.polKind = polPriority
+	case weightedPolicy:
+		mr.polKind = polWeighted
+	default:
+		mr.polKind = polCustom
 	}
 	if mr.slots <= 0 {
 		mr.slots = 1
@@ -234,25 +336,77 @@ func RunMulti(p *platform.Platform, jobs []Job, opts MultiOptions) (MultiResult,
 	if mr.maxChunks <= 0 {
 		mr.maxChunks = 10_000_000
 	}
+	mr.sending = 0
+	mr.chunks = 0
+	mr.makespan = 0
+	mr.err = nil
+	mr.sim.Reset()
+
+	mr.tr = nil
 	if opts.RecordTrace {
 		mr.tr = &trace.Trace{ParallelSends: mr.slots}
 		if opts.ExpectedChunks > 0 {
 			mr.tr.Records = make([]trace.ChunkRecord, 0, opts.ExpectedChunks)
 		}
 	}
-	mr.workers = make([]mjWorker, mr.n)
-	mr.view.Workers = make([]WorkerState, mr.n)
-	mr.dirty = make([]uint64, (mr.n+63)/64)
-	for i := range mr.dirty {
-		mr.dirty[i] = ^uint64(0)
+	mr.mcUsed = 0
+	if opts.ExpectedChunks > 0 && cap(mr.mcs) == 0 {
+		mr.mcs = make([]*mjChunk, 0, opts.ExpectedChunks)
+	}
+
+	if cap(mr.workers) < mr.n {
+		mr.workers = make([]mjWorker, mr.n)
+	}
+	mr.workers = mr.workers[:mr.n]
+	for i := range mr.workers {
+		w := &mr.workers[i]
+		w.state = WorkerState{}
+		if w.queue != nil {
+			w.queue = w.queue[:0]
+		}
+		w.current = nil
+	}
+	if cap(mr.cand) < len(jobs) {
+		mr.cand = make([]int, 0, len(jobs))
+		mr.active = make([]int, 0, len(jobs))
+	}
+	mr.cand = mr.cand[:0]
+	mr.active = mr.active[:0]
+
+	idleWords := (mr.n + 63) / 64
+	if cap(mr.idle) < idleWords {
+		mr.idle = make([]uint64, idleWords)
+	}
+	mr.idle = mr.idle[:idleWords]
+	for i := range mr.idle {
+		mr.idle[i] = ^uint64(0) // every worker starts idle
 	}
 	if rem := mr.n & 63; rem != 0 {
-		mr.dirty[len(mr.dirty)-1] = 1<<rem - 1
+		mr.idle[idleWords-1] = 1<<rem - 1
 	}
-	mr.viewJob = -1
-	mr.cand = make([]int, 0, len(jobs))
 
-	mr.jobs = make([]mjJob, len(jobs))
+	// Every job starts with its whole dirty block raised: the pooled
+	// views are stale until the first sync.
+	mr.dWords = idleWords
+	if need := len(jobs) * idleWords; cap(mr.dirtyJ) < need {
+		mr.dirtyJ = make([]uint64, need)
+	} else {
+		mr.dirtyJ = mr.dirtyJ[:need]
+	}
+	for j := 0; j < len(jobs); j++ {
+		copy(mr.dirtyJ[j*idleWords:(j+1)*idleWords], mr.idle)
+	}
+	if cap(mr.selKey) < len(jobs) {
+		mr.selKey = make([]float64, len(jobs))
+		mr.selPrio = make([]int, len(jobs))
+	}
+	mr.selKey = mr.selKey[:len(jobs)]
+	mr.selPrio = mr.selPrio[:len(jobs)]
+
+	if cap(mr.jobs) < len(jobs) {
+		mr.jobs = make([]mjJob, len(jobs))
+	}
+	mr.jobs = mr.jobs[:len(jobs)]
 	for j := range jobs {
 		js := &mr.jobs[j]
 		js.spec = jobs[j]
@@ -265,12 +419,41 @@ func RunMulti(p *platform.Platform, jobs []Job, opts MultiOptions) (MultiResult,
 			js.comp = perferr.Perfect{}
 		}
 		js.obsD, _ = jobs[j].Dispatcher.(Observer)
+		js.exh, _ = jobs[j].Dispatcher.(ExhaustedDispatcher)
+		js.commDraws = drawCounter(mr.ctr, js.comm)
+		js.compDraws = drawCounter(mr.ctr, js.comp)
 		js.link = LinkState{Index: j, Arrival: jobs[j].Arrival, Priority: jobs[j].Priority, Weight: jobs[j].Weight}
 		if js.link.Weight <= 0 {
 			js.link.Weight = 1
 		}
-		js.doneChunks = make([]int, mr.n)
-		js.doneWork = make([]float64, mr.n)
+		if mr.polKind == polWeighted {
+			mr.selKey[j] = 0 // Granted/Weight at Granted = 0
+		} else {
+			mr.selKey[j] = js.link.Arrival
+		}
+		mr.selPrio[j] = js.link.Priority
+		js.started = false
+		if cap(js.view.Workers) < mr.n {
+			js.view.Workers = make([]WorkerState, mr.n)
+		}
+		js.view.Workers = js.view.Workers[:mr.n]
+		// The occupancy fields are refreshed by the first sync (the dirty
+		// block starts fully raised), but the completion fields are only
+		// ever written by onCompEnd, so the pooled entries must be zeroed.
+		clear(js.view.Workers)
+		js.view.Time = 0
+		js.view.IdleMask = mr.idle
+		if cap(js.doneChunks) < mr.n {
+			js.doneChunks = make([]int, mr.n)
+			js.doneWork = make([]float64, mr.n)
+		} else {
+			js.doneChunks = js.doneChunks[:mr.n]
+			js.doneWork = js.doneWork[:mr.n]
+			for i := range js.doneChunks {
+				js.doneChunks[i] = 0
+				js.doneWork[i] = 0
+			}
+		}
 		js.res = JobResult{Name: jobs[j].Name, Arrival: jobs[j].Arrival}
 		if mr.ev != nil {
 			if em, ok := jobs[j].Dispatcher.(obs.Emitter); ok {
@@ -285,8 +468,14 @@ func RunMulti(p *platform.Platform, jobs []Job, opts MultiOptions) (MultiResult,
 		return MultiResult{}, mr.err
 	}
 
+	out := opts.JobResults
+	if cap(out) >= len(jobs) {
+		out = out[:len(jobs)]
+	} else {
+		out = make([]JobResult, len(jobs))
+	}
 	res := MultiResult{
-		Jobs:     make([]JobResult, len(jobs)),
+		Jobs:     out,
 		Makespan: mr.makespan,
 		Chunks:   mr.chunks,
 		Events:   mr.sim.Processed(),
@@ -306,6 +495,18 @@ func RunMulti(p *platform.Platform, jobs []Job, opts MultiOptions) (MultiResult,
 				Seq: jr.Chunks, Size: jr.DispatchedWork})
 		}
 	}
+	if mr.ctr != nil {
+		// The DES kernel keeps its own always-on counters; fold them in
+		// once per run rather than branching per event in the inner loop.
+		st := mr.sim.Stats()
+		mr.ctr.EventsPushed += int64(st.Pushed)
+		mr.ctr.EventsPopped += int64(st.Fired)
+		mr.ctr.EventsReplaced += int64(st.Replaced)
+		mr.ctr.LazyCancels += int64(st.Cancelled)
+		if d := int64(st.MaxDepth); d > mr.ctr.MaxHeapDepth {
+			mr.ctr.MaxHeapDepth = d
+		}
+	}
 	if mr.tr != nil {
 		mr.tr.Makespan = mr.makespan
 		res.Trace = mr.tr
@@ -314,6 +515,56 @@ func RunMulti(p *platform.Platform, jobs []Job, opts MultiOptions) (MultiResult,
 		opts.Metrics.AddRun(res.Chunks, res.Events, res.Makespan)
 	}
 	return res, nil
+}
+
+// release drops every borrowed reference before the instance goes back to
+// the pool, and recycles this run's chunks by resetting the arena cursor
+// (chunk structs hold no pointers besides the intentional back-pointer to
+// this instance, and send/startCompute rewrite every lifecycle field, so
+// no per-chunk scrub is needed). Capacities (heap, arena, queues, per-job
+// accounting) are retained — that is the point of pooling.
+func (mr *multiRun) release() {
+	mr.mcUsed = 0
+	for i := range mr.workers {
+		w := &mr.workers[i]
+		for j := range w.queue {
+			w.queue[j] = nil
+		}
+		w.queue = w.queue[:0]
+		w.current = nil
+	}
+	for j := range mr.jobs {
+		js := &mr.jobs[j]
+		js.spec = Job{}
+		js.comm = nil
+		js.comp = nil
+		js.obsD = nil
+		js.exh = nil
+		js.commDraws = nil
+		js.compDraws = nil
+	}
+	mr.p = nil
+	mr.policy = nil
+	mr.ev = nil
+	mr.tr = nil
+	mr.ctr = nil
+	mr.err = nil
+}
+
+// allocMC hands out the next chunk struct from the arena, growing it only
+// on a cold pool. Recycled structs come back with stale lifecycle fields;
+// send (job, chunk, seq, record) and startCompute (predicted, effective)
+// rewrite all of them before any reader sees the struct.
+func (mr *multiRun) allocMC() *mjChunk {
+	if mr.mcUsed < len(mr.mcs) {
+		pc := mr.mcs[mr.mcUsed]
+		mr.mcUsed++
+		return pc
+	}
+	pc := &mjChunk{mr: mr, record: -1}
+	mr.mcs = append(mr.mcs, pc)
+	mr.mcUsed++
+	return pc
 }
 
 func (mr *multiRun) fail(err error) {
@@ -330,76 +581,157 @@ func (mr *multiRun) emit(job int, e obs.Event) {
 }
 
 func (mr *multiRun) activate(j int) {
-	mr.jobs[j].arrived = true
+	// Keep mr.active in ascending job order: the selection in kick breaks
+	// policy ties on list position, which must equal job index.
+	ins := len(mr.active)
+	for i, a := range mr.active {
+		if a > j {
+			ins = i
+			break
+		}
+	}
+	mr.active = append(mr.active, 0)
+	copy(mr.active[ins+1:], mr.active[ins:])
+	mr.active[ins] = j
 	mr.kick()
 }
 
-// touch marks worker wi's shared state as changed since the last sync.
-func (mr *multiRun) touch(wi int) {
-	mr.dirty[wi>>6] |= 1 << (wi & 63)
+// deactivate drops job j from the candidate list once its dispatcher
+// reports permanent exhaustion.
+func (mr *multiRun) deactivate(j int) {
+	for i, a := range mr.active {
+		if a == j {
+			mr.active = append(mr.active[:i], mr.active[i+1:]...)
+			return
+		}
+	}
 }
 
-// syncViewFor refreshes the scratch view as job j sees it: shared
-// occupancy, per-job completion accounting. The shared fields of a
-// clean (untouched) worker are already correct from the previous sync
-// whichever job that served, so only dirty workers get the full struct
-// copy; switching jobs additionally rewrites the two per-job completion
-// fields everywhere. Per-job completions only change in onCompEnd,
-// which also dirties the worker, so a same-job sync needs nothing else.
+// touch marks worker wi's shared state as changed since every job's last
+// sync and re-derives the worker's bit of the shared idle mask. One
+// bit-OR per job keeps syncViewFor incremental without a shared scratch
+// view (see mjJob.view). Every mutation site completes its state writes
+// before calling touch, so the mask is never stale at a consult.
+func (mr *multiRun) touch(wi int) {
+	w, b := wi>>6, uint64(1)<<(wi&63)
+	for base := w; base < len(mr.dirtyJ); base += mr.dWords {
+		mr.dirtyJ[base] |= b
+	}
+	if mr.workers[wi].state.Idle() {
+		mr.idle[w] |= b
+	} else {
+		mr.idle[w] &^= b
+	}
+}
+
+// touchBusy is touch for mutation sites whose transition can only leave
+// the worker busy (a send put a chunk in flight, an arrival queued one, a
+// compute started): the idle bit is cleared without rechecking the state.
+func (mr *multiRun) touchBusy(wi int) {
+	w, b := wi>>6, uint64(1)<<(wi&63)
+	for base := w; base < len(mr.dirtyJ); base += mr.dWords {
+		mr.dirtyJ[base] |= b
+	}
+	mr.idle[w] &^= b
+}
+
+// syncViewFor refreshes job j's own view. Only workers dirtied since
+// this job's previous sync are rewritten, and only their occupancy
+// fields: the view's completion fields belong to job j alone and are
+// maintained eagerly by onCompEnd (which also dirties the worker), so
+// the occupancy refresh must not clobber them and a clean worker's
+// entry is correct in full.
 func (mr *multiRun) syncViewFor(j int) {
 	js := &mr.jobs[j]
-	mr.view.Time = mr.sim.Now()
-	if mr.viewJob != j {
-		for i := range mr.view.Workers {
-			mr.view.Workers[i].CompletedChunks = js.doneChunks[i]
-			mr.view.Workers[i].CompletedWork = js.doneWork[i]
-		}
-		mr.viewJob = j
-	}
-	for wi, word := range mr.dirty {
+	js.view.Time = mr.sim.Now()
+	copied := 0
+	dirty := mr.dirtyJ[j*mr.dWords : (j+1)*mr.dWords]
+	for wi, word := range dirty {
 		if word == 0 {
 			continue
 		}
-		mr.dirty[wi] = 0
+		dirty[wi] = 0
 		base := wi << 6
 		for word != 0 {
 			i := base + bits.TrailingZeros64(word)
 			word &= word - 1
-			ws := mr.workers[i].state
-			ws.CompletedChunks = js.doneChunks[i]
-			ws.CompletedWork = js.doneWork[i]
-			mr.view.Workers[i] = ws
+			src := &mr.workers[i].state
+			dst := &js.view.Workers[i]
+			dst.Computing = src.Computing
+			dst.Down = src.Down
+			dst.LinkDown = src.LinkDown
+			dst.Queued = src.Queued
+			dst.InFlight = src.InFlight
+			copied++
 		}
+	}
+	if mr.ctr != nil {
+		mr.ctr.SyncViewCopies++
+		mr.ctr.SyncViewBytes += int64(copied) * workerStateBytes
 	}
 	if syncViewForAudit != nil {
 		syncViewForAudit(mr, j)
 	}
 }
 
-// orderCandidates fills mr.cand with the arrived jobs sorted by the link
-// policy (ties on job index), the order the free port is offered in.
-func (mr *multiRun) orderCandidates() {
-	mr.cand = mr.cand[:0]
-	for j := range mr.jobs {
-		if mr.jobs[j].arrived {
-			mr.cand = append(mr.cand, j)
+// selectBest returns the position in mr.cand of the policy minimum —
+// first among ties, the job a stable sort would consult next. The
+// built-in policies compare inlined keys (the exact values their Less
+// methods derive), so the scan performs no interface call per pair;
+// unknown policies fall back to the LinkPolicy interface.
+func (mr *multiRun) selectBest() int {
+	best := 0
+	switch mr.polKind {
+	case polWeighted, polFCFS:
+		// One key per job: Granted/Weight (weighted) or arrival (FCFS).
+		bk := mr.selKey[mr.cand[0]]
+		for i := 1; i < len(mr.cand); i++ {
+			if k := mr.selKey[mr.cand[i]]; k < bk {
+				best, bk = i, k
+			}
+		}
+	case polPriority:
+		bp, bk := mr.selPrio[mr.cand[0]], mr.selKey[mr.cand[0]]
+		for i := 1; i < len(mr.cand); i++ {
+			p, k := mr.selPrio[mr.cand[i]], mr.selKey[mr.cand[i]]
+			if p < bp || (p == bp && k < bk) {
+				best, bp, bk = i, p, k
+			}
+		}
+	default:
+		for i := 1; i < len(mr.cand); i++ {
+			if mr.policy.Less(&mr.jobs[mr.cand[i]].link, &mr.jobs[mr.cand[best]].link) {
+				best = i
+			}
 		}
 	}
-	sort.SliceStable(mr.cand, func(x, y int) bool {
-		return mr.policy.Less(&mr.jobs[mr.cand[x]].link, &mr.jobs[mr.cand[y]].link)
-	})
+	return best
 }
 
 // kick offers free port slots to the jobs in policy order until either the
-// port is saturated or every arrived job declines.
+// port is saturated or every arrived job declines. The policy order is
+// realised lazily: instead of sorting the whole candidate list per offer,
+// kick repeatedly extracts the policy minimum (first among ties, matching
+// a stable sort) and consults it, stopping at the first job that accepts.
+// In the common case — the best-ranked job takes the port — that is one
+// linear scan instead of a sort plus a scan.
 func (mr *multiRun) kick() {
 	for mr.sending < mr.slots && mr.err == nil {
-		mr.orderCandidates()
+		mr.cand = append(mr.cand[:0], mr.active...)
 		dispatched := false
-		for _, j := range mr.cand {
+		for len(mr.cand) > 0 {
+			best := mr.selectBest()
+			j := mr.cand[best]
+			mr.cand = append(mr.cand[:best], mr.cand[best+1:]...)
 			mr.syncViewFor(j)
-			c, ok := mr.jobs[j].spec.Dispatcher.Next(&mr.view)
+			c, ok := mr.jobs[j].spec.Dispatcher.Next(&mr.jobs[j].view)
 			if !ok {
+				// A permanently drained job leaves the candidate set for
+				// good: skipping it only skips consults that could never
+				// produce a chunk, so the dispatch sequence is unchanged.
+				if ex := mr.jobs[j].exh; ex != nil && ex.Exhausted() {
+					mr.deactivate(j)
+				}
 				continue
 			}
 			if c.Worker < 0 || c.Worker >= mr.n {
@@ -431,15 +763,25 @@ func (mr *multiRun) kick() {
 func (mr *multiRun) send(j int, c Chunk) {
 	js := &mr.jobs[j]
 	wi := c.Worker
-	spec := mr.p.Workers[wi]
+	spec := &mr.p.Workers[wi]
+	if js.commDraws != nil {
+		*js.commDraws++
+	}
 	sendDur := js.comm.Perturb(spec.NLat + c.Size/spec.B)
 	now := mr.sim.Now()
 
-	pc := &mjChunk{mr: mr, job: j, chunk: c, seq: mr.chunks - 1, record: -1}
+	pc := mr.allocMC()
+	pc.job = j
+	pc.chunk = c
+	pc.seq = mr.chunks - 1
+	pc.record = -1
 	mr.sending++
 	mr.workers[wi].state.InFlight++
-	mr.touch(wi)
+	mr.touchBusy(wi)
 	js.link.Granted += c.Size
+	if mr.polKind == polWeighted {
+		mr.selKey[j] = js.link.Granted / js.link.Weight
+	}
 	js.res.Chunks++
 	js.res.DispatchedWork += c.Size
 	if !js.started {
@@ -464,16 +806,41 @@ func (mr *multiRun) onSendEnd(pc *mjChunk) {
 	mr.sending--
 	mr.emit(pc.job, obs.Event{Kind: obs.KindSendEnd, Time: mr.sim.Now(), Worker: pc.chunk.Worker,
 		Seq: pc.seq, Size: pc.chunk.Size, Round: pc.chunk.Round, Phase: pc.chunk.Phase})
-	mr.sim.AfterCall(mr.p.Workers[pc.chunk.Worker].TLat, mjArriveCB, pc, 0)
+	if tl := mr.p.Workers[pc.chunk.Worker].TLat; tl != 0 {
+		mr.sim.AfterCall(tl, mjArriveCB, pc, 0)
+		mr.kick()
+		return
+	}
+	// TLat == 0 (every sweep platform): the arrival would be the very next
+	// event, at this same timestamp. Offer the freed port slot first — the
+	// dispatch decision must see the pre-arrival view, exactly as when the
+	// arrival popped as its own event — then deliver the chunk inline,
+	// saving one simulator event per chunk.
 	mr.kick()
+	if mr.err == nil {
+		mr.onArrive(pc)
+	}
 }
 
 func (mr *multiRun) onArrive(pc *mjChunk) {
 	wi := pc.chunk.Worker
 	w := &mr.workers[wi]
 	w.state.InFlight--
+	if !w.state.Computing && len(w.queue) == 0 {
+		// Fast path: the chunk goes straight to the idle CPU. The Queued
+		// 1-then-0 round-trip through the FIFO is unobservable — no
+		// dispatcher is consulted between arrival and compute start — so
+		// it is skipped along with its extra dirty-bit pass.
+		w.state.Computing = true
+		mr.touchBusy(wi)
+		mr.emit(pc.job, obs.Event{Kind: obs.KindArrive, Time: mr.sim.Now(), Worker: wi,
+			Seq: pc.seq, Size: pc.chunk.Size, Round: pc.chunk.Round, Phase: pc.chunk.Phase})
+		mr.beginCompute(wi, pc)
+		mr.kick()
+		return
+	}
 	w.state.Queued++
-	mr.touch(wi)
+	mr.touchBusy(wi)
 	w.queue = append(w.queue, pc)
 	mr.emit(pc.job, obs.Event{Kind: obs.KindArrive, Time: mr.sim.Now(), Worker: wi,
 		Seq: pc.seq, Size: pc.chunk.Size, Round: pc.chunk.Round, Phase: pc.chunk.Phase})
@@ -492,11 +859,21 @@ func (mr *multiRun) startCompute(wi int) {
 	w.queue = w.queue[:len(w.queue)-1]
 	w.state.Queued--
 	w.state.Computing = true
-	mr.touch(wi)
+	mr.touchBusy(wi)
+	mr.beginCompute(wi, pc)
+}
+
+// beginCompute draws the chunk's effective duration and schedules its
+// completion; the caller has already marked the worker Computing.
+func (mr *multiRun) beginCompute(wi int, pc *mjChunk) {
+	w := &mr.workers[wi]
 	w.current = pc
 	js := &mr.jobs[pc.job]
-	spec := mr.p.Workers[wi]
+	spec := &mr.p.Workers[wi]
 	pc.predicted = spec.CLat + pc.chunk.Size/spec.S
+	if js.compDraws != nil {
+		*js.compDraws++
+	}
 	pc.effective = js.comp.Perturb(pc.predicted)
 	start := mr.sim.Now()
 	if mr.tr != nil && pc.record >= 0 {
@@ -518,6 +895,11 @@ func (mr *multiRun) onCompEnd(pc *mjChunk) {
 	js := &mr.jobs[pc.job]
 	js.doneChunks[wi]++
 	js.doneWork[wi] += pc.chunk.Size
+	// The job's own view carries its completion fields directly (sync
+	// refreshes occupancy only); doneChunks/doneWork stay the auditable
+	// ground truth.
+	js.view.Workers[wi].CompletedChunks = js.doneChunks[wi]
+	js.view.Workers[wi].CompletedWork = js.doneWork[wi]
 	js.res.CompletedWork += pc.chunk.Size
 	end := mr.sim.Now()
 	if end > js.res.Finish {

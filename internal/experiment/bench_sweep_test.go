@@ -16,3 +16,12 @@ import (
 // repetitions. The body lives in internal/bench so cmd/rumrbench can
 // run the identical measurement for BENCH_baseline.json.
 func BenchmarkSweepCell(b *testing.B) { bench.SweepCell(b) }
+
+// BenchmarkMultiJobCell is the multi-job sibling: all repetitions of one
+// (policy, arrival rate) cell through the batched ComputeMultiJobCellInto
+// core with a reused MultiCellState — dispatcher prototypes Reset between
+// repetitions, error streams reseeded in place, arrivals regenerated into
+// a held buffer. The committed target is 0 allocs/op and >=3x throughput
+// vs the pre-optimization per-repetition construction (both recorded in
+// BENCH_baseline.json and gated by cmd/rumrbench in CI).
+func BenchmarkMultiJobCell(b *testing.B) { bench.MultiJobCell(b) }

@@ -54,6 +54,33 @@ func CellKey(g Grid, algorithms []string, model ErrorModelKind, unknownError boo
 	return hex.EncodeToString(sum[:16])
 }
 
+// MultiCellKey returns the content address of one multi-job (policy,
+// arrival rate) cell's aggregate block under the given sweep parameters.
+// Like CellKey it hashes values, not grid positions: extending the
+// arrival-rate or policy axis and re-sweeping computes only the added
+// cells. The field set differs from CellKey's, so single- and multi-job
+// entries can never collide in a shared directory.
+func MultiCellKey(g MultiJobGrid, algorithms []string, model ErrorModelKind, unknownError bool, policy string, rate float64) string {
+	blob, err := json.Marshal(struct {
+		BaseSeed     uint64
+		Jobs         int
+		Total        float64
+		Error        float64
+		Reps         int
+		Policy       string
+		Rate         float64
+		Algorithms   []string
+		Model        ErrorModelKind
+		UnknownError bool
+		Config       Config
+	}{g.BaseSeed, g.Jobs, g.Total, g.Error, g.Reps, policy, rate, algorithms, model, unknownError, g.Config})
+	if err != nil {
+		panic("experiment: multi cell key marshal: " + err.Error()) // plain values always marshal
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:16])
+}
+
 // cacheEntry is the on-disk schema of one cell file. The key is repeated
 // inside the file so a renamed or hand-copied file cannot masquerade as a
 // different cell; the config label is for humans browsing the directory.

@@ -287,6 +287,9 @@ type Runner struct {
 	// reallocated. sync.Pool is concurrency-safe, matching the worker-pool
 	// fan-out; each CellState is used by one goroutine at a time.
 	cells sync.Pool
+	// mcells pools MultiCellStates the same way for the multi-job sweep's
+	// (policy, arrival rate) cells.
+	mcells sync.Pool
 }
 
 func (r *Runner) model(errMag float64, src *rng.Source) perferr.Model {

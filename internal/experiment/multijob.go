@@ -16,13 +16,11 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"time"
 
 	"rumr/internal/arrivals"
-	"rumr/internal/dlt"
 	"rumr/internal/engine"
-	"rumr/internal/metrics"
 	"rumr/internal/rng"
-	"rumr/internal/sched"
 )
 
 // MultiJobGrid describes a multi-job sweep: one platform configuration,
@@ -172,6 +170,17 @@ func (r *Runner) MultiJobContext(parent context.Context, g MultiJobGrid) (*Multi
 			cells = append(cells, cell{pi, ri})
 		}
 	}
+	var cache *Cache
+	if r.CachePath != "" {
+		c, err := OpenCache(r.CachePath)
+		if err != nil {
+			return nil, err
+		}
+		cache = c
+	}
+	if r.Metrics != nil {
+		r.Metrics.AddTotalConfigs(len(cells))
+	}
 
 	ctx, cancel := context.WithCancel(parent)
 	defer cancel()
@@ -199,7 +208,7 @@ func (r *Runner) MultiJobContext(parent context.Context, g MultiJobGrid) (*Multi
 				if ctx.Err() != nil {
 					continue
 				}
-				if err := r.runMultiJobCell(ctx, g, pols[c.pi], c.pi, c.ri, res); err != nil {
+				if err := r.runMultiJobCell(ctx, g, pols[c.pi], c.pi, c.ri, res, cache); err != nil {
 					if ctx.Err() == nil {
 						fail(err)
 					}
@@ -247,113 +256,50 @@ func multiJobSeed(g MultiJobGrid, rate float64, rep int) uint64 {
 }
 
 // runMultiJobCell fills one (policy, rate) cell: Reps instances per
-// algorithm, means across jobs and repetitions.
-func (r *Runner) runMultiJobCell(ctx context.Context, g MultiJobGrid, pol engine.LinkPolicy, pi, ri int, res *MultiJobResults) error {
+// algorithm, means across jobs and repetitions. The heavy lifting runs
+// through the batched MultiCellState path (pooled platform, dispatcher
+// prototypes Reset between repetitions, in-place reseeding), which
+// TestBatchedMultiCellMatchesReference pins bit-identical to the original
+// per-repetition construction. A content-addressed cache hit restores the
+// cell without simulating at all.
+func (r *Runner) runMultiJobCell(ctx context.Context, g MultiJobGrid, pol engine.LinkPolicy, pi, ri int, res *MultiJobResults, cache *Cache) error {
 	rate := g.ArrivalRates[ri]
-	p := g.Config.Platform()
-	lb := dlt.LowerBound(p, g.Total)
-	if lb <= 0 {
-		return fmt.Errorf("experiment: degenerate platform %v: zero lower bound", g.Config)
-	}
 	nA := len(r.Algorithms)
-	response := make([]float64, nA)
-	slowdown := make([]float64, nA)
-	fairness := make([]float64, nA)
-	makespan := make([]float64, nA)
-	failed := make([]bool, nA)
-
-	known := g.Error
-	if r.UnknownError {
-		known = -1
+	key := ""
+	if cache != nil {
+		key = MultiCellKey(g, res.Algorithms, r.ErrorModel, r.UnknownError, pol.Name(), rate)
+		if cell, ok := cache.Get(key, multiCellRows, nA); ok {
+			res.MeanResponse[pi][ri] = cell[multiRowResponse]
+			res.MeanSlowdown[pi][ri] = cell[multiRowSlowdown]
+			res.MeanFairness[pi][ri] = cell[multiRowFairness]
+			res.MeanMakespan[pi][ri] = cell[multiRowMakespan]
+			if r.Metrics != nil {
+				r.Metrics.SkipConfigs(1)
+			}
+			return nil
+		}
 	}
-	pr := &sched.Problem{Platform: p, Total: g.Total, KnownError: known, MinUnit: 1}
-	inv := make([]float64, g.Jobs)
-	for rep := 0; rep < g.Reps; rep++ {
-		if err := ctx.Err(); err != nil {
+	cs, _ := r.mcells.Get().(*MultiCellState)
+	if cs == nil {
+		cs = NewMultiCellState()
+	}
+	defer r.mcells.Put(cs)
+	start := time.Now()
+	cell := NewCellBlock(multiCellRows, nA)
+	if err := r.ComputeMultiJobCellInto(ctx, g, pol, rate, cs, cell); err != nil {
+		return err
+	}
+	res.MeanResponse[pi][ri] = cell[multiRowResponse]
+	res.MeanSlowdown[pi][ri] = cell[multiRowSlowdown]
+	res.MeanFairness[pi][ri] = cell[multiRowFairness]
+	res.MeanMakespan[pi][ri] = cell[multiRowMakespan]
+	if cache != nil {
+		if err := cache.Put(key, g.Config, cell); err != nil {
 			return err
 		}
-		arr := multiJobArrivals(g, rate, rep)
-		seed := multiJobSeed(g, rate, rep)
-		for ai, algo := range r.Algorithms {
-			if failed[ai] {
-				continue
-			}
-			src := rng.NewFrom(seed)
-			jobs := make([]engine.Job, g.Jobs)
-			ok := true
-			for j := range jobs {
-				d, err := algo.NewDispatcher(pr)
-				if err != nil {
-					// The algorithm cannot handle the configuration at
-					// all; mark the whole cell NaN, like the other sweeps.
-					failed[ai] = true
-					ok = false
-					break
-				}
-				jobs[j] = engine.Job{
-					Name:       fmt.Sprintf("job%d", j),
-					Arrival:    arr[j],
-					Priority:   g.Jobs - 1 - j,
-					Weight:     1,
-					Total:      g.Total,
-					Dispatcher: d,
-					CommModel:  r.model(g.Error, src.Split()),
-					CompModel:  r.model(g.Error, src.Split()),
-				}
-			}
-			if !ok {
-				continue
-			}
-			out, err := engine.RunMulti(p, jobs, engine.MultiOptions{
-				Policy:  pol,
-				Metrics: r.Metrics,
-			})
-			if err != nil {
-				return fmt.Errorf("experiment: multi-job %s/%s rate %g rep %d: %w",
-					pol.Name(), algo.Name(), rate, rep, err)
-			}
-			runResp, runSlow := 0.0, 0.0
-			for j, jr := range out.Jobs {
-				runResp += jr.Response
-				s := jr.Response / lb
-				runSlow += s
-				if s > 0 {
-					inv[j] = 1 / s
-				} else {
-					inv[j] = 0
-				}
-			}
-			fair := metrics.JainIndex(inv)
-			response[ai] += runResp / float64(g.Jobs)
-			slowdown[ai] += runSlow / float64(g.Jobs)
-			fairness[ai] += fair
-			makespan[ai] += out.Makespan
-			if r.Metrics != nil {
-				resp := make([]float64, len(out.Jobs))
-				slows := make([]float64, len(out.Jobs))
-				for j, jr := range out.Jobs {
-					resp[j] = jr.Response
-					slows[j] = jr.Response / lb
-				}
-				r.Metrics.AddMultiJob(resp, slows, fair)
-			}
-		}
 	}
-
-	mean := func(v []float64) []float64 {
-		out := make([]float64, nA)
-		for ai := range v {
-			if failed[ai] {
-				out[ai] = math.NaN()
-			} else {
-				out[ai] = v[ai] / float64(g.Reps)
-			}
-		}
-		return out
+	if r.Metrics != nil {
+		r.Metrics.ConfigDone(time.Since(start))
 	}
-	res.MeanResponse[pi][ri] = mean(response)
-	res.MeanSlowdown[pi][ri] = mean(slowdown)
-	res.MeanFairness[pi][ri] = mean(fairness)
-	res.MeanMakespan[pi][ri] = mean(makespan)
 	return nil
 }

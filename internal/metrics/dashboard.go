@@ -126,6 +126,8 @@ function renderMetrics(m) {
     tile(fmtCount(m.simulations), "simulations", fmtCount(Math.round(m.runs_per_sec)) + "/s") +
     tile(fmtCount(m.events), "DES events", "") +
     tile(fmtCount(m.chunks), "chunks dispatched", "") +
+    (m.multi_job_runs ? tile(fmtCount(m.multi_job_runs), "multi-job runs",
+         "slowdown p50 " + fmtNum(m.job_slowdown && m.job_slowdown.p50)) : "") +
     tile(fmtDur(m.elapsed_seconds), "elapsed", "") +
     tile(fmtDur(m.eta_seconds), "ETA", "");
 
@@ -134,6 +136,11 @@ function renderMetrics(m) {
     ["chunks per run", m.chunks_per_run],
     ["config wall (s)", m.config_wall_seconds],
   ];
+  if (m.multi_job_runs) {
+    hists.push(["job response", m.job_response],
+               ["job slowdown", m.job_slowdown],
+               ["Jain fairness", m.fairness]);
+  }
   $("#hist tbody").innerHTML = hists.map(([name, h]) =>
     "<tr><td>" + name + "</td><td>" + fmtCount(h.count) + "</td><td>" + fmtNum(h.min) +
     "</td><td>" + fmtNum(h.p50) + "</td><td>" + fmtNum(h.p90) + "</td><td>" + fmtNum(h.p99) +

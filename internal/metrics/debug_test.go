@@ -144,7 +144,8 @@ func TestDashboardEndpoint(t *testing.T) {
 	if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
 		t.Fatalf("Cache-Control = %q", cc)
 	}
-	for _, want := range []string{"<!doctype html>", `fetch("/metrics"`, `fetch("/shards"`, `href="/trace"`} {
+	for _, want := range []string{"<!doctype html>", `fetch("/metrics"`, `fetch("/shards"`, `href="/trace"`,
+		"multi_job_runs", "job_slowdown", "Jain fairness"} {
 		if !strings.Contains(string(body), want) {
 			t.Fatalf("dashboard page lacks %q", want)
 		}

@@ -199,6 +199,16 @@ func (d *dispatcher) Next(v *engine.View) (engine.Chunk, bool) {
 	return engine.Chunk{}, false
 }
 
+// Exhausted implements engine.ExhaustedDispatcher: both phases drained.
+// The informed dispatcher fixes the phase split at construction and never
+// moves work between phases mid-run, so the condition is permanent. (The
+// adaptive and fault-tolerant variants deliberately do not implement the
+// interface: they can create or refill phase 2 mid-run.)
+func (d *dispatcher) Exhausted() bool {
+	return (d.phase1 == nil || d.phase1.Exhausted()) &&
+		(d.phase2 == nil || d.phase2.Exhausted())
+}
+
 // Scheduler adapts RUMR to the sched.Scheduler interface. The zero value
 // is the original algorithm; the fields select the paper's §5.2 ablation
 // variants.

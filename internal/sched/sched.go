@@ -249,12 +249,12 @@ func (s *Static) Next(v *engine.View) (engine.Chunk, bool) {
 	// order is authoritative even when all workers look idle; premature
 	// finishes can only exist once execution has started.
 	if s.OutOfOrder && s.started {
-		if !v.Workers[s.Plan[head].Worker].Idle() {
+		if !v.WorkerIdle(s.Plan[head].Worker) {
 			for i := head + 1; i < len(s.Plan); i++ {
 				if s.sent[i] {
 					continue
 				}
-				if v.Workers[s.Plan[i].Worker].Idle() {
+				if v.WorkerIdle(s.Plan[i].Worker) {
 					pick = i
 					break
 				}
@@ -277,6 +277,11 @@ func (s *Static) Next(v *engine.View) (engine.Chunk, bool) {
 
 // Remaining returns how many planned chunks have not been dispatched.
 func (s *Static) Remaining() int { return s.remaining }
+
+// Exhausted implements engine.ExhaustedDispatcher: with every plan entry
+// dispatched or withdrawn, Next can never produce another chunk (only a
+// between-runs Reset rewinds the plan).
+func (s *Static) Exhausted() bool { return s.remaining == 0 }
 
 // Reset implements Replayable: the plan rewinds to fully unsent,
 // including entries withdrawn by TrimTail.
@@ -407,18 +412,18 @@ func (d *Demand) Add(extra float64) {
 	d.total += extra
 }
 
+// Exhausted implements engine.ExhaustedDispatcher: the pool is empty.
+// Wrappers that may still Add work mid-run (fault-tolerance transfers)
+// must gate their own Exhausted on that possibility — the engine only
+// consults the top-level dispatcher it was handed.
+func (d *Demand) Exhausted() bool { return d.remaining <= 0 }
+
 // Next implements engine.Dispatcher: serve the first idle worker.
 func (d *Demand) Next(v *engine.View) (engine.Chunk, bool) {
 	if d.remaining <= 0 {
 		return engine.Chunk{}, false
 	}
-	target := -1
-	for i := range v.Workers {
-		if v.Workers[i].Idle() {
-			target = i
-			break
-		}
-	}
+	target := v.FirstIdle()
 	if target < 0 {
 		return engine.Chunk{}, false
 	}
